@@ -1,0 +1,100 @@
+"""Benchmarks regenerating the OCR artifacts: Fig. 10, Fig. 11, Fig. 12.
+
+Paper reference values (Kassel/Taskar handwriting, 10-fold CV):
+  Fig. 10 : HMM (alpha=0) 0.7102, best dHMM 0.7203 at alpha=10 (alpha_A=1e5)
+  Fig. 11 : Naive Bayes 62.7% < HMM 70.6% <= Optimized HMM < dHMM 72.06%
+  Fig. 12 : dHMM heightens the transition diversity of letters 'x' and 'y'
+            against specific partners (x-g, x-j, y-f).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_header
+from repro.datasets.ocr import LETTERS
+from repro.experiments.ocr import (
+    letter_diversity_profiles,
+    run_ocr_alpha_sweep,
+    run_ocr_classifier_comparison,
+)
+from repro.experiments.reporting import format_table
+
+ALPHA_GRID = (0.0, 0.1, 1.0, 10.0, 100.0)
+
+
+def test_fig10_accuracy_vs_alpha(benchmark, ocr_dataset):
+    """Fig. 10: supervised OCR accuracy as a function of alpha (alpha_A = 1e5)."""
+
+    def run():
+        return run_ocr_alpha_sweep(
+            dataset=ocr_dataset, alphas=ALPHA_GRID, alpha_anchor=1e5, n_folds=4, seed=0
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Fig. 10 - OCR accuracy vs alpha (alpha_A = 1e5)")
+    print(format_table(["alpha", "accuracy"], list(zip(sweep.alphas, sweep.accuracies))))
+    print(f"baseline (alpha=0 / plain HMM): {sweep.baseline_accuracy:.4f}")
+    print(f"best: {sweep.best_accuracy:.4f} at alpha={sweep.best_alpha}")
+    print("paper: baseline 0.7102, best 0.7203 at alpha=10")
+
+    assert np.all(sweep.accuracies > 0.4)
+    # Shape check: adding the prior never costs more than a small margin and
+    # the best setting is at least the baseline.
+    assert sweep.best_accuracy >= sweep.baseline_accuracy - 1e-9
+    assert sweep.accuracies.min() >= sweep.baseline_accuracy - 0.05
+    benchmark.extra_info["baseline"] = sweep.baseline_accuracy
+    benchmark.extra_info["best"] = sweep.best_accuracy
+    benchmark.extra_info["best_alpha"] = sweep.best_alpha
+
+
+def test_fig11_classifier_comparison(benchmark, ocr_dataset):
+    """Fig. 11: Naive Bayes vs HMM vs Optimized HMM vs dHMM (k-fold CV)."""
+
+    def run():
+        return run_ocr_classifier_comparison(
+            dataset=ocr_dataset, alpha=10.0, alpha_anchor=1e5, n_folds=5, seed=0
+        )
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Fig. 11 - OCR test accuracy by classifier (mean +/- std over folds)")
+    print(format_table(["classifier", "accuracy", "std"], comparison.as_rows()))
+    print("paper: NB 0.627, HMM 0.706, Optimized HMM ~0.71, dHMM 0.7206")
+
+    accuracies = dict(zip(comparison.classifier_names, comparison.mean_accuracies))
+    # Shape checks: the chain-structured models beat the independent
+    # classifier, and the dHMM at least matches the plain HMM.
+    assert accuracies["HMM"] > accuracies["Naive Bayes"]
+    assert accuracies["dHMM"] > accuracies["Naive Bayes"]
+    assert accuracies["dHMM"] >= accuracies["HMM"] - 0.01
+    for name, acc in accuracies.items():
+        benchmark.extra_info[name] = float(acc)
+
+
+def test_fig12_letter_diversity(benchmark, ocr_dataset):
+    """Fig. 12: transition diversity of letters 'x' and 'y' vs all others."""
+
+    def run():
+        return letter_diversity_profiles(
+            dataset=ocr_dataset, letters=("x", "y"), alpha=10.0, alpha_anchor=1e5, seed=0
+        )
+
+    profiles = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for letter in ("x", "y"):
+        others = [c for c in LETTERS if c != letter]
+        print_header(f"Fig. 12 - transition diversity between '{letter}' and the other letters")
+        rows = list(zip(others, profiles[letter]["hmm"], profiles[letter]["dhmm"]))
+        print(format_table(["letter", "HMM", "dHMM"], rows))
+
+        hmm_profile = profiles[letter]["hmm"]
+        dhmm_profile = profiles[letter]["dhmm"]
+        assert hmm_profile.shape == (25,)
+        # Shape check: the overall trend of the two curves agrees (the paper
+        # notes they are "almost the same everywhere" except a few pairs) and
+        # the dHMM does not reduce the average diversity.
+        correlation = np.corrcoef(hmm_profile, dhmm_profile)[0, 1]
+        assert correlation > 0.8
+        assert dhmm_profile.mean() >= hmm_profile.mean() - 0.02

@@ -1,0 +1,11 @@
+"""Baseline classifiers the paper compares against (Fig. 11)."""
+
+from repro.baselines.naive_bayes import BernoulliNaiveBayes
+from repro.baselines.optimized_hmm import OptimizedHMMClassifier
+from repro.baselines.hmm_classifier import SupervisedHMMClassifier
+
+__all__ = [
+    "BernoulliNaiveBayes",
+    "SupervisedHMMClassifier",
+    "OptimizedHMMClassifier",
+]

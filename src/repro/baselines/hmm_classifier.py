@@ -1,0 +1,74 @@
+"""Supervised HMM sequence classifier (the paper's plain "HMM" baseline).
+
+Parameters ``(pi, A, B)`` are estimated by counting from the labeled training
+words; test words are decoded with Viterbi.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.hmm.emissions.bernoulli import BernoulliEmission
+from repro.hmm.model import HMM
+from repro.hmm.supervised import estimate_supervised_parameters
+
+
+class SupervisedHMMClassifier:
+    """Count-trained HMM with Bernoulli emissions for sequential labeling.
+
+    Parameters
+    ----------
+    n_states:
+        Number of hidden states (26 letters in the OCR task).
+    n_features:
+        Dimensionality of the binary observations (128 pixels).
+    transition_pseudocount, emission_pseudocount:
+        Laplace smoothing for the counting estimates.
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        n_features: int,
+        transition_pseudocount: float = 0.1,
+        emission_pseudocount: float = 1.0,
+    ) -> None:
+        if n_states < 2:
+            raise ValidationError(f"n_states must be at least 2, got {n_states}")
+        if n_features < 1:
+            raise ValidationError(f"n_features must be positive, got {n_features}")
+        self.n_states = n_states
+        self.n_features = n_features
+        self.transition_pseudocount = transition_pseudocount
+        self.emission_pseudocount = emission_pseudocount
+        self.model_: HMM | None = None
+
+    def fit(
+        self, sequences: Sequence[np.ndarray], labels: Sequence[np.ndarray]
+    ) -> "SupervisedHMMClassifier":
+        """Estimate ``(pi, A, B)`` by counting on the labeled training words."""
+        startprob, transmat = estimate_supervised_parameters(
+            labels, self.n_states, pseudocount=self.transition_pseudocount
+        )
+        emissions = BernoulliEmission.random_init(self.n_states, self.n_features, seed=0)
+        emissions.fit_supervised(sequences, labels, pseudocount=self.emission_pseudocount)
+        self.model_ = HMM(startprob, transmat, emissions)
+        return self
+
+    def _check_fitted(self) -> HMM:
+        if self.model_ is None:
+            raise NotFittedError("SupervisedHMMClassifier must be fit before prediction")
+        return self.model_
+
+    def predict(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Viterbi-decode letter labels for every test word."""
+        model = self._check_fitted()
+        return [model.decode(np.asarray(seq, dtype=np.float64)) for seq in sequences]
+
+    @property
+    def transmat_(self) -> np.ndarray:
+        """The count-estimated transition matrix ``A0``."""
+        return self._check_fitted().transmat

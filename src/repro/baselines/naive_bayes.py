@@ -1,0 +1,90 @@
+"""Bernoulli Naive Bayes baseline for supervised OCR (Fig. 11, leftmost bar).
+
+Each letter image is classified independently of its neighbours — no chain
+structure — which is exactly why it trails the HMM-family models in the
+paper's comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.maths import safe_log
+
+
+class BernoulliNaiveBayes:
+    """Naive Bayes with independent Bernoulli features per class.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes (26 letters in the OCR task).
+    n_features:
+        Number of binary features (128 pixels).
+    pseudocount:
+        Laplace smoothing added to both the class prior and the per-pixel
+        Bernoulli counts.
+    """
+
+    def __init__(self, n_classes: int, n_features: int, pseudocount: float = 1.0) -> None:
+        if n_classes < 2:
+            raise ValidationError(f"n_classes must be at least 2, got {n_classes}")
+        if n_features < 1:
+            raise ValidationError(f"n_features must be positive, got {n_features}")
+        if pseudocount < 0:
+            raise ValidationError(f"pseudocount must be non-negative, got {pseudocount}")
+        self.n_classes = n_classes
+        self.n_features = n_features
+        self.pseudocount = pseudocount
+        self.class_log_prior_: np.ndarray | None = None
+        self.feature_probs_: np.ndarray | None = None
+
+    def fit(
+        self, sequences: Sequence[np.ndarray], labels: Sequence[np.ndarray]
+    ) -> "BernoulliNaiveBayes":
+        """Fit from labeled sequences (concatenated into independent items)."""
+        X = np.concatenate([np.asarray(s, dtype=np.float64) for s in sequences])
+        y = np.concatenate([np.asarray(l, dtype=np.int64) for l in labels])
+        if X.shape[0] != y.shape[0]:
+            raise ValidationError("sequences and labels disagree on the number of items")
+        if X.shape[1] != self.n_features:
+            raise ValidationError(
+                f"expected {self.n_features} features, got {X.shape[1]}"
+            )
+
+        class_counts = np.full(self.n_classes, self.pseudocount)
+        pixel_counts = np.full((self.n_classes, self.n_features), self.pseudocount)
+        totals = np.full(self.n_classes, 2.0 * self.pseudocount)
+        for cls in range(self.n_classes):
+            mask = y == cls
+            class_counts[cls] += float(mask.sum())
+            if np.any(mask):
+                pixel_counts[cls] += X[mask].sum(axis=0)
+                totals[cls] += float(mask.sum())
+
+        self.class_log_prior_ = safe_log(class_counts / class_counts.sum())
+        self.feature_probs_ = np.clip(pixel_counts / totals[:, None], 1e-6, 1 - 1e-6)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.class_log_prior_ is None or self.feature_probs_ is None:
+            raise NotFittedError("BernoulliNaiveBayes must be fit before prediction")
+
+    def log_joint(self, items: np.ndarray) -> np.ndarray:
+        """Per-class log joint ``log P(class) + log P(x | class)`` for each item."""
+        self._check_fitted()
+        X = np.asarray(items, dtype=np.float64)
+        log_p = np.log(self.feature_probs_)
+        log_1p = np.log1p(-self.feature_probs_)
+        return self.class_log_prior_[None, :] + X @ log_p.T + (1.0 - X) @ log_1p.T
+
+    def predict_items(self, items: np.ndarray) -> np.ndarray:
+        """Predict a class for every row of ``items``."""
+        return np.argmax(self.log_joint(items), axis=1)
+
+    def predict(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Predict letter labels for every sequence, position by position."""
+        return [self.predict_items(np.asarray(seq, dtype=np.float64)) for seq in sequences]

@@ -1,0 +1,14 @@
+"""The paper's primary contribution: diversity-regularized HMMs."""
+
+from repro.core.config import DHMMConfig
+from repro.core.transition_prior import DPPTransitionPrior, DiversityTransitionUpdater
+from repro.core.diversified_hmm import DiversifiedHMM
+from repro.core.supervised import SupervisedDiversifiedHMM
+
+__all__ = [
+    "DHMMConfig",
+    "DPPTransitionPrior",
+    "DiversityTransitionUpdater",
+    "DiversifiedHMM",
+    "SupervisedDiversifiedHMM",
+]

@@ -1,0 +1,67 @@
+"""Configuration objects for the diversified HMM models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class DHMMConfig:
+    """Hyper-parameters of the dHMM (both unsupervised and supervised).
+
+    Attributes
+    ----------
+    alpha:
+        Weight of the diversity-encouraging DPP prior (``alpha = 0`` reduces
+        the model to the classical HMM).  Paper values: 1 for the toy
+        experiment, 100 for PoS tagging, 10 for OCR.
+    rho:
+        Probability product kernel exponent; the paper fixes ``rho = 0.5``.
+    alpha_anchor:
+        Supervised-only weight ``alpha_A`` of the proximal term
+        ``-alpha_A * ||A - A0||^2`` keeping the refined transition matrix
+        near the count estimate (paper: 1e5).
+    max_em_iter, em_tol:
+        EM stopping criteria (unsupervised setting).
+    max_inner_iter, inner_tol:
+        Stopping criteria of the projected-gradient transition M-step
+        (Algorithm 1's iteration cap and ``delta`` threshold).
+    initial_step:
+        Initial step size of the adaptive gradient-ascent step controller.
+    transition_floor:
+        Smallest admissible transition probability, keeping the DPP kernel
+        and the log-likelihood finite.
+    kernel_jitter:
+        Diagonal jitter added to the DPP kernel before inversion.
+    """
+
+    alpha: float = 1.0
+    rho: float = 0.5
+    alpha_anchor: float = 1e5
+    max_em_iter: int = 50
+    em_tol: float = 1e-4
+    max_inner_iter: int = 50
+    inner_tol: float = 1e-6
+    initial_step: float = 0.05
+    transition_floor: float = 1e-8
+    kernel_jitter: float = 1e-10
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValidationError(f"alpha must be non-negative, got {self.alpha}")
+        if self.rho <= 0:
+            raise ValidationError(f"rho must be positive, got {self.rho}")
+        if self.alpha_anchor < 0:
+            raise ValidationError(f"alpha_anchor must be non-negative, got {self.alpha_anchor}")
+        if self.max_em_iter < 1 or self.max_inner_iter < 1:
+            raise ValidationError("iteration caps must be at least 1")
+        if self.em_tol < 0 or self.inner_tol < 0:
+            raise ValidationError("tolerances must be non-negative")
+        if self.initial_step <= 0:
+            raise ValidationError("initial_step must be positive")
+        if not 0 < self.transition_floor < 1:
+            raise ValidationError("transition_floor must lie in (0, 1)")
+        if self.kernel_jitter < 0:
+            raise ValidationError("kernel_jitter must be non-negative")

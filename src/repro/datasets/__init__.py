@@ -1,0 +1,24 @@
+"""Dataset generators and loaders for the paper's three experiment domains."""
+
+from repro.datasets.toy import ToyDataset, toy_ground_truth_model, generate_toy_dataset
+from repro.datasets.tags import TAG_INVENTORY, TagInfo, reduced_tag_names, tag_frequency_vector
+from repro.datasets.pos import PosCorpus, generate_wsj_like_corpus
+from repro.datasets.ocr import OcrDataset, generate_ocr_dataset, letter_prototypes
+from repro.datasets.splits import k_fold_indices, train_test_split_indices
+
+__all__ = [
+    "ToyDataset",
+    "toy_ground_truth_model",
+    "generate_toy_dataset",
+    "TAG_INVENTORY",
+    "TagInfo",
+    "reduced_tag_names",
+    "tag_frequency_vector",
+    "PosCorpus",
+    "generate_wsj_like_corpus",
+    "OcrDataset",
+    "generate_ocr_dataset",
+    "letter_prototypes",
+    "k_fold_indices",
+    "train_test_split_indices",
+]

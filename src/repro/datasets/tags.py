@@ -1,0 +1,125 @@
+"""The reduced 15-tag inventory of the paper's PoS experiment (Table 2).
+
+The paper merges the 46 Penn Treebank WSJ tags into 15 groups and reports the
+frequency of each original tag in its training slice.  We keep the full
+mapping so the synthetic corpus generator can reproduce the same group
+frequencies and the same skewed long-tail behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: (reduced index [1-based in the paper], original PTB tag, frequency) rows of Table 2.
+_TABLE2_ROWS: list[tuple[int, str, int]] = [
+    (1, "NNP", 9408),
+    (1, "NNPS", 244),
+    (1, "NNS", 6047),
+    (1, "NN", 13166),
+    (1, "SYM", 1),
+    (2, ",", 4886),
+    (2, "--", 712),
+    (2, "''", 693),
+    (2, ":", 563),
+    (2, ".", 3874),
+    (2, "$", 724),
+    (2, "(", 120),
+    (2, ")", 126),
+    (2, "LS", 13),
+    (2, "#", 16),
+    (3, "CD", 3546),
+    (4, "JJS", 182),
+    (4, "JJ", 5834),
+    (4, "JJR", 381),
+    (5, "MD", 927),
+    (6, "VBZ", 2125),
+    (6, "VB", 2554),
+    (6, "VBG", 1459),
+    (6, "VBD", 3043),
+    (6, "VBN", 2134),
+    (6, "VBP", 1321),
+    (6, "VBG|NN", 1),
+    (7, "DT", 8165),
+    (7, "PDT", 27),
+    (7, "WDT", 445),
+    (8, "IN", 9959),
+    (8, "CC", 2265),
+    (8, "TO", 2179),
+    (9, "FW", 4),
+    (10, "WRB", 178),
+    (10, "RB", 2829),
+    (10, "RBS", 35),
+    (10, "RBR", 136),
+    (11, "UH", 3),
+    (12, "WP", 241),
+    (12, "WP$", 14),
+    (12, "PRP", 1716),
+    (12, "PRP$", 766),
+    (13, "POS", 824),
+    (14, "EX", 88),
+    (15, "RP", 107),
+]
+
+#: Human-readable names for the 15 reduced groups (0-based index order).
+_REDUCED_NAMES = [
+    "NOUN",          # 1
+    "PUNCT",         # 2
+    "NUMBER",        # 3
+    "ADJECTIVE",     # 4
+    "MODAL",         # 5
+    "VERB",          # 6
+    "DETERMINER",    # 7
+    "PREPOSITION",   # 8
+    "FOREIGN",       # 9
+    "ADVERB",        # 10
+    "INTERJECTION",  # 11
+    "PRONOUN",       # 12
+    "POSSESSIVE",    # 13
+    "EXISTENTIAL",   # 14
+    "PARTICLE",      # 15
+]
+
+N_REDUCED_TAGS = 15
+
+
+@dataclass(frozen=True)
+class TagInfo:
+    """One row of Table 2: an original PTB tag with its reduced group."""
+
+    reduced_index: int  # 0-based reduced group index
+    ptb_tag: str
+    frequency: int
+    reduced_name: str
+
+
+TAG_INVENTORY: list[TagInfo] = [
+    TagInfo(
+        reduced_index=row[0] - 1,
+        ptb_tag=row[1],
+        frequency=row[2],
+        reduced_name=_REDUCED_NAMES[row[0] - 1],
+    )
+    for row in _TABLE2_ROWS
+]
+
+
+def reduced_tag_names() -> list[str]:
+    """Names of the 15 reduced tag groups, in index order."""
+    return list(_REDUCED_NAMES)
+
+
+def tag_frequency_vector() -> np.ndarray:
+    """Total Table-2 frequency of each reduced tag group (length 15)."""
+    freq = np.zeros(N_REDUCED_TAGS, dtype=np.float64)
+    for info in TAG_INVENTORY:
+        freq[info.reduced_index] += info.frequency
+    return freq
+
+
+def tag_frequency_table() -> list[tuple[str, int]]:
+    """(name, frequency) pairs for the reduced groups, sorted by frequency."""
+    freq = tag_frequency_vector()
+    pairs = [(name, int(freq[i])) for i, name in enumerate(_REDUCED_NAMES)]
+    return sorted(pairs, key=lambda item: item[1], reverse=True)

@@ -1,0 +1,119 @@
+"""The paper's simulated toy experiment (Section 4.1).
+
+A 5-state HMM with single-mode Gaussian emissions:
+
+* ``pi = (0.0101, 0.0912, 0.2421, 0.0652, 0.5914)``
+* a fixed, diverse ground-truth transition matrix,
+* ``B.mu = (1, 2, 3, 4, 5)`` and ``B.sigma = 0.025`` (the sigma is swept in
+  the Fig. 3/5 experiments).
+
+300 sequences of length 6 are generated from the ground truth, and both the
+plain HMM and the dHMM are trained on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.hmm.emissions.gaussian import GaussianEmission
+from repro.hmm.model import HMM
+from repro.utils.rng import SeedLike, as_generator
+
+#: Ground-truth initial distribution from the paper.
+TOY_STARTPROB = np.array([0.0101, 0.0912, 0.2421, 0.0652, 0.5914])
+
+#: Ground-truth transition matrix.  The paper only shows it as a bar-chart
+#: figure (Fig. 2a, first column); this matrix reproduces its qualitative
+#: structure: each state has a distinct, fairly peaked transition profile so
+#: the rows are mutually diverse.
+TOY_TRANSMAT = np.array(
+    [
+        [0.60, 0.10, 0.10, 0.10, 0.10],
+        [0.05, 0.10, 0.65, 0.10, 0.10],
+        [0.10, 0.05, 0.10, 0.65, 0.10],
+        [0.10, 0.10, 0.05, 0.15, 0.60],
+        [0.55, 0.15, 0.10, 0.15, 0.05],
+    ]
+)
+
+#: Ground-truth Gaussian means and (default) standard deviation.
+TOY_MEANS = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+TOY_SIGMA = 0.025
+
+#: Dataset size used throughout Section 4.1.
+TOY_N_SEQUENCES = 300
+TOY_SEQUENCE_LENGTH = 6
+
+
+@dataclass
+class ToyDataset:
+    """A sampled toy dataset together with its generating model.
+
+    Attributes
+    ----------
+    observations:
+        List of float arrays (length ``sequence_length`` each).
+    states:
+        Ground-truth hidden state paths, parallel to ``observations``.
+    model:
+        The generating :class:`~repro.hmm.model.HMM`.
+    sigma:
+        Emission standard deviation used for generation.
+    """
+
+    observations: list[np.ndarray]
+    states: list[np.ndarray]
+    model: HMM
+    sigma: float
+
+    @property
+    def n_sequences(self) -> int:
+        return len(self.observations)
+
+    @property
+    def n_states(self) -> int:
+        return self.model.n_states
+
+
+def toy_ground_truth_model(sigma: float = TOY_SIGMA) -> HMM:
+    """Ground-truth toy HMM with the requested emission standard deviation."""
+    if sigma <= 0:
+        raise ValidationError(f"sigma must be positive, got {sigma}")
+    emissions = GaussianEmission(TOY_MEANS.copy(), np.full(5, sigma**2))
+    return HMM(TOY_STARTPROB.copy(), TOY_TRANSMAT.copy(), emissions)
+
+
+def generate_toy_dataset(
+    n_sequences: int = TOY_N_SEQUENCES,
+    sequence_length: int = TOY_SEQUENCE_LENGTH,
+    sigma: float = TOY_SIGMA,
+    seed: SeedLike = None,
+) -> ToyDataset:
+    """Sample the paper's toy dataset.
+
+    Parameters
+    ----------
+    n_sequences, sequence_length:
+        Dataset dimensions; the paper uses 300 sequences of length 6.
+    sigma:
+        Emission standard deviation; Fig. 3/5 sweep it as
+        ``0.025 + 0.1 * (t - 1)``.
+    seed:
+        Seed or generator for reproducibility.
+    """
+    if n_sequences < 1 or sequence_length < 1:
+        raise ValidationError("n_sequences and sequence_length must be positive")
+    rng = as_generator(seed)
+    model = toy_ground_truth_model(sigma)
+    states, observations = model.sample_dataset(n_sequences, sequence_length, rng)
+    return ToyDataset(observations=observations, states=states, model=model, sigma=sigma)
+
+
+def sigma_sweep_values(n_points: int = 50, start: float = 0.025, step: float = 0.1) -> np.ndarray:
+    """The emission-sigma grid of Fig. 3/5: ``sigma_t = 0.025 + 0.1 (t-1)``."""
+    if n_points < 1:
+        raise ValidationError(f"n_points must be positive, got {n_points}")
+    return start + step * np.arange(n_points)

@@ -1,0 +1,64 @@
+"""Elementary symmetric polynomials of kernel eigenvalues.
+
+``e_k(lambda_1, ..., lambda_N)`` is the normalizer of the k-DPP (paper
+Eq. 1).  The standard dynamic program from Kulesza & Taskar (2011) is used:
+
+    e_k(lambda_1..n) = e_k(lambda_1..n-1) + lambda_n * e_{k-1}(lambda_1..n-1)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def elementary_symmetric_polynomials(eigenvalues: np.ndarray, max_order: int) -> np.ndarray:
+    """Compute ``e_0 .. e_max_order`` of the given eigenvalues.
+
+    Parameters
+    ----------
+    eigenvalues:
+        One-dimensional array of (non-negative) eigenvalues.
+    max_order:
+        Highest order polynomial to compute.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array ``E`` of shape ``(max_order + 1,)`` with ``E[k] = e_k``.
+    """
+    lam = np.asarray(eigenvalues, dtype=np.float64)
+    if lam.ndim != 1:
+        raise ValidationError(f"eigenvalues must be 1-D, got shape {lam.shape}")
+    if max_order < 0:
+        raise ValidationError(f"max_order must be non-negative, got {max_order}")
+
+    n = lam.size
+    order = min(max_order, n)
+    # e[k] after processing the first i eigenvalues.
+    e = np.zeros(max_order + 1, dtype=np.float64)
+    e[0] = 1.0
+    for i in range(n):
+        upper = min(i + 1, order)
+        # iterate k downwards so e[k-1] is still the previous-column value
+        for k in range(upper, 0, -1):
+            e[k] = e[k] + lam[i] * e[k - 1]
+    return e
+
+
+def elementary_symmetric_table(eigenvalues: np.ndarray, max_order: int) -> np.ndarray:
+    """Full DP table ``E[k, n] = e_k(lambda_1..n)`` used by the k-DPP sampler."""
+    lam = np.asarray(eigenvalues, dtype=np.float64)
+    if lam.ndim != 1:
+        raise ValidationError(f"eigenvalues must be 1-D, got shape {lam.shape}")
+    if max_order < 0:
+        raise ValidationError(f"max_order must be non-negative, got {max_order}")
+
+    n = lam.size
+    table = np.zeros((max_order + 1, n + 1), dtype=np.float64)
+    table[0, :] = 1.0
+    for k in range(1, max_order + 1):
+        for i in range(1, n + 1):
+            table[k, i] = table[k, i - 1] + lam[i - 1] * table[k - 1, i - 1]
+    return table

@@ -1,0 +1,87 @@
+"""k-DPP distribution over fixed-size subsets of a ground set.
+
+The dHMM uses a *continuous* k-DPP over the k rows of the transition matrix;
+the normalizer is dropped because it does not depend on ``A`` once the subset
+size is fixed at ``k``.  This module provides the general discrete k-DPP with
+its exact normalizer for completeness (it also backs the samplers and some of
+the unit tests that check the prior really favours diverse subsets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dpp.esp import elementary_symmetric_polynomials
+from repro.exceptions import ValidationError
+
+
+@dataclass
+class KDPP:
+    """A k-DPP defined by an L-ensemble kernel ``L`` and a cardinality ``k``.
+
+    ``P(Y) = det(L_Y) / e_k(eigenvalues(L))`` for ``|Y| = k``.
+    """
+
+    kernel: np.ndarray
+    k: int
+
+    def __post_init__(self) -> None:
+        L = np.asarray(self.kernel, dtype=np.float64)
+        if L.ndim != 2 or L.shape[0] != L.shape[1]:
+            raise ValidationError(f"kernel must be square, got shape {L.shape}")
+        if not np.allclose(L, L.T, atol=1e-8):
+            raise ValidationError("kernel must be symmetric")
+        if self.k < 0 or self.k > L.shape[0]:
+            raise ValidationError(
+                f"k must lie in [0, {L.shape[0]}], got {self.k}"
+            )
+        self.kernel = 0.5 * (L + L.T)
+        self._eigenvalues = np.clip(np.linalg.eigvalsh(self.kernel), 0.0, None)
+        self._log_normalizer = float(
+            np.log(
+                max(
+                    elementary_symmetric_polynomials(self._eigenvalues, self.k)[self.k],
+                    np.finfo(np.float64).tiny,
+                )
+            )
+        )
+
+    @property
+    def ground_set_size(self) -> int:
+        """Number of items in the ground set."""
+        return self.kernel.shape[0]
+
+    @property
+    def log_normalizer(self) -> float:
+        """Log of the k-DPP normalizer ``e_k(lambda)``."""
+        return self._log_normalizer
+
+    def log_probability(self, subset) -> float:
+        """Exact log-probability of a subset of size ``k``."""
+        idx = self._validate_subset(subset)
+        sub = self.kernel[np.ix_(idx, idx)]
+        sign, logdet = np.linalg.slogdet(sub)
+        if sign <= 0:
+            return float("-inf")
+        return float(logdet - self._log_normalizer)
+
+    def unnormalized_log_probability(self, subset) -> float:
+        """``log det(L_Y)`` without the normalizer (what the dHMM prior uses)."""
+        idx = self._validate_subset(subset)
+        sub = self.kernel[np.ix_(idx, idx)]
+        sign, logdet = np.linalg.slogdet(sub)
+        if sign <= 0:
+            return float("-inf")
+        return float(logdet)
+
+    def _validate_subset(self, subset) -> np.ndarray:
+        idx = np.asarray(list(subset), dtype=np.int64)
+        if idx.size != self.k:
+            raise ValidationError(f"subset must have size {self.k}, got {idx.size}")
+        if idx.size != np.unique(idx).size:
+            raise ValidationError("subset must not contain duplicates")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.ground_set_size):
+            raise ValidationError("subset indices out of range")
+        return idx

@@ -1,0 +1,99 @@
+"""Probability product kernels between discrete distributions.
+
+The dHMM prior treats each row of the transition matrix as a point in the
+probability simplex and measures pairwise similarity with the probability
+product kernel of Jebara, Kondor & Howard (JMLR 2004):
+
+    K(A_i, A_j; rho) = sum_x P(x|A_i)^rho P(x|A_j)^rho
+
+normalized to the correlation form
+
+    K~(A_i, A_j; rho) = K(A_i, A_j) / sqrt(K(A_i, A_i) K(A_j, A_j)).
+
+With rho = 0.5 (the paper's setting) the kernel equals the Bhattacharyya
+coefficient between the two rows and the diagonal of ``K~`` is exactly one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def probability_product_kernel(p: np.ndarray, q: np.ndarray, rho: float = 0.5) -> float:
+    """Probability product kernel between two discrete distributions.
+
+    Parameters
+    ----------
+    p, q:
+        Non-negative vectors of the same length (typically summing to one).
+    rho:
+        Kernel exponent; ``0.5`` gives the Bhattacharyya kernel, ``1.0`` the
+        expected-likelihood kernel.
+    """
+    if rho <= 0:
+        raise ValidationError(f"rho must be positive, got {rho}")
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape or p.ndim != 1:
+        raise ValidationError(
+            f"p and q must be 1-D vectors of equal length, got {p.shape} and {q.shape}"
+        )
+    if np.any(p < 0) or np.any(q < 0):
+        raise ValidationError("distributions must be non-negative")
+    return float(np.sum((p ** rho) * (q ** rho)))
+
+
+def normalized_probability_kernel(p: np.ndarray, q: np.ndarray, rho: float = 0.5) -> float:
+    """Normalized correlation form of the probability product kernel (Eq. 2/5)."""
+    numerator = probability_product_kernel(p, q, rho)
+    denom = np.sqrt(
+        probability_product_kernel(p, p, rho) * probability_product_kernel(q, q, rho)
+    )
+    if denom == 0.0:
+        raise ValidationError("cannot normalize kernel for an all-zero distribution")
+    return float(numerator / denom)
+
+
+def transition_kernel_matrix(
+    transition_matrix: np.ndarray, rho: float = 0.5, jitter: float = 0.0
+) -> np.ndarray:
+    """Normalized-correlation kernel matrix over the rows of a transition matrix.
+
+    This is ``K~_A`` in the paper (Eq. 5): entry ``(i, j)`` measures the
+    similarity between transition distributions out of states ``i`` and
+    ``j``.  An optional ``jitter`` is added to the diagonal to keep the
+    matrix invertible when rows are (numerically) identical.
+
+    Parameters
+    ----------
+    transition_matrix:
+        A ``(k, m)`` matrix with non-negative rows; rows are typically
+        probability distributions but only non-negativity is required.
+    rho:
+        Probability product kernel exponent (paper uses 0.5).
+    jitter:
+        Non-negative value added to the diagonal.
+    """
+    if rho <= 0:
+        raise ValidationError(f"rho must be positive, got {rho}")
+    if jitter < 0:
+        raise ValidationError(f"jitter must be non-negative, got {jitter}")
+    A = np.asarray(transition_matrix, dtype=np.float64)
+    if A.ndim != 2:
+        raise ValidationError(f"transition_matrix must be 2-D, got shape {A.shape}")
+    if np.any(A < 0):
+        raise ValidationError("transition_matrix must be non-negative")
+
+    powered = A ** rho
+    raw = powered @ powered.T
+    norms = np.sqrt(np.clip(np.diag(raw), np.finfo(np.float64).tiny, None))
+    kernel = raw / np.outer(norms, norms)
+    # Numerical safety: the diagonal of the correlation kernel is one by
+    # construction; enforce symmetry exactly.
+    kernel = 0.5 * (kernel + kernel.T)
+    np.fill_diagonal(kernel, 1.0)
+    if jitter > 0:
+        kernel = kernel + jitter * np.eye(A.shape[0])
+    return kernel

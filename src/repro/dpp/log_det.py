@@ -1,0 +1,120 @@
+"""Log-determinant prior score and its gradient with respect to transitions.
+
+The diversity prior of the dHMM is ``alpha * log det(K~_A)`` where ``K~_A``
+is the normalized probability product kernel over the rows of the transition
+matrix ``A``.  The paper quotes the closed form (Eq. 15, for rho = 0.5)
+
+    d log|K~_A| / d A_ij = 1/2 * sum_m [K~_A^{-1}]_{mi} sqrt(A_mj / A_ij)
+
+which is the gradient of the *unnormalized* kernel's log-determinant.  The
+projected-gradient M-step evaluates its objective through the *normalized*
+kernel, so this module implements the exact gradient of the normalized form
+(it differs by per-row normalization terms; on the probability simplex the
+two agree up to components that are constant within a row and therefore
+vanish under the simplex projection).  The exact form keeps every line-search
+step a true ascent direction for any ``rho > 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dpp.kernels import transition_kernel_matrix
+from repro.exceptions import ValidationError
+
+_MIN_PROB = 1e-12
+
+
+def log_det_psd(matrix: np.ndarray, jitter: float = 0.0) -> float:
+    """Log-determinant of a symmetric positive (semi-)definite matrix.
+
+    Uses a Cholesky factorization and falls back to an eigenvalue
+    decomposition with clamped eigenvalues when the matrix is only
+    semi-definite numerically.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValidationError(f"matrix must be square, got shape {arr.shape}")
+    if jitter > 0:
+        arr = arr + jitter * np.eye(arr.shape[0])
+    try:
+        chol = np.linalg.cholesky(arr)
+        return float(2.0 * np.sum(np.log(np.diag(chol))))
+    except np.linalg.LinAlgError:
+        eigvals = np.linalg.eigvalsh(arr)
+        eigvals = np.clip(eigvals, np.finfo(np.float64).tiny, None)
+        return float(np.sum(np.log(eigvals)))
+
+
+def dpp_log_prior(
+    transition_matrix: np.ndarray, rho: float = 0.5, jitter: float = 1e-10
+) -> float:
+    """Unnormalized log-probability of ``A`` under the DPP diversity prior.
+
+    Returns ``log det(K~_A)`` (Eq. 6 without the constant normalizer, which
+    the paper also drops).  The value is non-positive because the normalized
+    kernel has unit diagonal.
+    """
+    kernel = transition_kernel_matrix(transition_matrix, rho=rho, jitter=jitter)
+    return log_det_psd(kernel)
+
+
+def dpp_log_prior_gradient(
+    transition_matrix: np.ndarray, rho: float = 0.5, jitter: float = 1e-10
+) -> np.ndarray:
+    """Exact gradient of ``log det(K~_A)`` with respect to the entries of ``A``.
+
+    Derivation (for the normalized correlation kernel): with
+    ``P = A ** rho``, ``raw = P P^T``, ``s_i = raw_ii`` and
+    ``K~ = raw / sqrt(s_i s_l)``,
+
+        d log|K~| / dA_ij
+            = 2 rho A_ij^{rho-1} *
+              ( sum_l [K~^-1]_{li} P_lj / sqrt(s_i s_l)
+                - [K~^-1]_{ii} P_ij / s_i
+                - (1 - [K~^-1]_{ii}) P_ij / s_i )
+
+    which this function evaluates in a fully vectorized form.
+    """
+    A = np.asarray(transition_matrix, dtype=np.float64)
+    if A.ndim != 2:
+        raise ValidationError(f"transition_matrix must be 2-D, got shape {A.shape}")
+    if rho <= 0:
+        raise ValidationError(f"rho must be positive, got {rho}")
+    A = np.clip(A, _MIN_PROB, None)
+
+    powered = A ** rho
+    raw = powered @ powered.T
+    row_scale = np.clip(np.diag(raw), np.finfo(np.float64).tiny, None)
+    norms = np.sqrt(row_scale)
+
+    kernel = transition_kernel_matrix(A, rho=rho, jitter=jitter)
+    kernel_inv = np.linalg.inv(kernel)
+    inv_diag = np.diag(kernel_inv)
+
+    # T1_ij = sum_l [K~^-1]_{li} P_lj / sqrt(s_i s_l)  (all l, including i)
+    scaled_inv = kernel_inv / norms[:, None]           # divide row l by sqrt(s_l)
+    T1 = (scaled_inv.T @ powered) / norms[:, None]     # divide row i by sqrt(s_i)
+    # Remove the l = i contribution and subtract the normalization pull-back,
+    # which together give  - P_ij / s_i  (the inv_diag terms cancel).
+    correction = powered / row_scale[:, None]
+    T1 -= inv_diag[:, None] * correction
+    T2 = (1.0 - inv_diag)[:, None] * correction
+
+    prefactor = 2.0 * rho * A ** (rho - 1.0)
+    return prefactor * (T1 - T2)
+
+
+def paper_closed_form_gradient(transition_matrix: np.ndarray) -> np.ndarray:
+    """The paper's Eq. (15) closed form (rho = 0.5, unnormalized kernel).
+
+    Kept for reference and tested against the exact gradient: on the
+    probability simplex the two differ only by components that are constant
+    within each row, which the simplex projection removes.
+    """
+    A = np.clip(np.asarray(transition_matrix, dtype=np.float64), _MIN_PROB, None)
+    kernel = transition_kernel_matrix(A, rho=0.5)
+    kernel_inv = np.linalg.inv(kernel)
+    sqrt_A = np.sqrt(A)
+    weighted = kernel_inv.T @ sqrt_A
+    return 0.5 * weighted / sqrt_A

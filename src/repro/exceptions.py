@@ -1,0 +1,28 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class when they want to distinguish library failures from
+programming errors in their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied arrays or parameters are malformed."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when inference is requested from a model that was never fit."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Warning emitted when an iterative solver stops before converging."""
+
+
+class DimensionMismatchError(ValidationError):
+    """Raised when array shapes are inconsistent with the model layout."""

@@ -1,0 +1,47 @@
+"""Experiment harnesses reproducing every table and figure of the paper."""
+
+from repro.experiments.alignment import align_model_to_reference, permute_model_parameters
+from repro.experiments.toy import (
+    SigmaSweepResult,
+    ToyComparisonResult,
+    run_sigma_sweep,
+    run_toy_comparison,
+)
+from repro.experiments.pos import (
+    PosAlphaSweepResult,
+    corpus_statistics,
+    run_pos_alpha_sweep,
+    tag_frequency_histograms,
+    transition_diversity_profile,
+)
+from repro.experiments.ocr import (
+    OcrAlphaSweepResult,
+    OcrComparisonResult,
+    letter_diversity_profiles,
+    run_ocr_alpha_sweep,
+    run_ocr_classifier_comparison,
+)
+from repro.experiments.ablations import run_projection_ablation, run_rho_ablation
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "align_model_to_reference",
+    "permute_model_parameters",
+    "ToyComparisonResult",
+    "SigmaSweepResult",
+    "run_toy_comparison",
+    "run_sigma_sweep",
+    "PosAlphaSweepResult",
+    "run_pos_alpha_sweep",
+    "transition_diversity_profile",
+    "tag_frequency_histograms",
+    "corpus_statistics",
+    "OcrAlphaSweepResult",
+    "OcrComparisonResult",
+    "run_ocr_alpha_sweep",
+    "run_ocr_classifier_comparison",
+    "letter_diversity_profiles",
+    "run_rho_ablation",
+    "run_projection_ablation",
+    "format_table",
+]

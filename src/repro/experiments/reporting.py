@@ -1,0 +1,50 @@
+"""Plain-text reporting helpers for the experiment harnesses.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers render them as aligned text tables so the benchmark
+output can be eyeballed against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], float_format: str = "{:.4f}"
+) -> str:
+    """Render a simple aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; floats are formatted with ``float_format``, other
+        values with ``str``.
+    float_format:
+        Format string applied to float cells.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered_rows = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """Render an (x, y) series as a two-column table titled ``name``."""
+    rows = list(zip(xs, ys))
+    return f"{name}\n" + format_table(["x", "y"], rows)

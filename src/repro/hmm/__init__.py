@@ -1,0 +1,48 @@
+"""Hidden Markov Model substrate.
+
+Everything the paper's dHMM builds on: emission families, log-space
+forward-backward inference, Viterbi decoding, Baum-Welch EM training,
+supervised (counting) estimation and sequence sampling.
+"""
+
+from repro.hmm.emissions import (
+    BernoulliEmission,
+    CategoricalEmission,
+    EmissionModel,
+    GaussianEmission,
+)
+from repro.hmm.forward_backward import (
+    SequencePosteriors,
+    log_backward,
+    log_forward,
+    compute_posteriors,
+    sequence_log_likelihood,
+)
+from repro.hmm.viterbi import viterbi_decode
+from repro.hmm.model import HMM
+from repro.hmm.baum_welch import BaumWelchTrainer, EStepStatistics, FitResult
+from repro.hmm.transition_updaters import (
+    MaximumLikelihoodTransitionUpdater,
+    TransitionUpdater,
+)
+from repro.hmm.supervised import estimate_supervised_parameters
+
+__all__ = [
+    "EmissionModel",
+    "GaussianEmission",
+    "CategoricalEmission",
+    "BernoulliEmission",
+    "SequencePosteriors",
+    "log_forward",
+    "log_backward",
+    "compute_posteriors",
+    "sequence_log_likelihood",
+    "viterbi_decode",
+    "HMM",
+    "BaumWelchTrainer",
+    "EStepStatistics",
+    "FitResult",
+    "TransitionUpdater",
+    "MaximumLikelihoodTransitionUpdater",
+    "estimate_supervised_parameters",
+]

@@ -1,0 +1,165 @@
+"""Baum-Welch (EM) training for HMMs with a pluggable transition M-step.
+
+The expectation step collects the unary posteriors ``gamma`` and the expected
+transition counts ``xi`` via forward-backward.  The maximization step updates
+``pi`` and the emissions in closed form and delegates the transition update to
+a :class:`~repro.hmm.transition_updaters.TransitionUpdater` — the single
+extension point the dHMM needs.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.hmm.model import HMM
+from repro.hmm.transition_updaters import (
+    MaximumLikelihoodTransitionUpdater,
+    TransitionUpdater,
+)
+from repro.utils.maths import normalize_rows
+
+
+@dataclass
+class EStepStatistics:
+    """Sufficient statistics gathered during one E-step over all sequences."""
+
+    start_counts: np.ndarray
+    transition_counts: np.ndarray
+    posteriors: list[np.ndarray]
+    log_likelihood: float
+
+
+@dataclass
+class FitResult:
+    """Summary of an EM run.
+
+    Attributes
+    ----------
+    log_likelihood:
+        Final total data log-likelihood (without any prior term).
+    history:
+        Log-likelihood after every EM iteration.
+    n_iter:
+        Number of EM iterations performed.
+    converged:
+        Whether the improvement dropped below the tolerance before the
+        iteration cap was reached.
+    """
+
+    log_likelihood: float
+    history: list[float] = field(default_factory=list)
+    n_iter: int = 0
+    converged: bool = False
+
+
+class BaumWelchTrainer:
+    """Expectation-Maximization trainer for :class:`~repro.hmm.model.HMM`.
+
+    Parameters
+    ----------
+    transition_updater:
+        Strategy used for the transition M-step; defaults to the classical
+        normalized-counts update.
+    max_iter, tol:
+        EM stopping criteria (iteration cap and minimum log-likelihood
+        improvement).
+    update_startprob, update_emissions, update_transitions:
+        Flags allowing individual parameter blocks to be frozen, used by
+        ablation experiments and by supervised fine-tuning.
+    warn_on_no_convergence:
+        Emit a :class:`~repro.exceptions.ConvergenceWarning` if EM stops
+        because the iteration budget ran out.
+    """
+
+    def __init__(
+        self,
+        transition_updater: TransitionUpdater | None = None,
+        max_iter: int = 50,
+        tol: float = 1e-4,
+        update_startprob: bool = True,
+        update_emissions: bool = True,
+        update_transitions: bool = True,
+        warn_on_no_convergence: bool = False,
+    ) -> None:
+        if max_iter < 1:
+            raise ValidationError(f"max_iter must be at least 1, got {max_iter}")
+        if tol < 0:
+            raise ValidationError(f"tol must be non-negative, got {tol}")
+        self.transition_updater = transition_updater or MaximumLikelihoodTransitionUpdater()
+        self.max_iter = max_iter
+        self.tol = tol
+        self.update_startprob = update_startprob
+        self.update_emissions = update_emissions
+        self.update_transitions = update_transitions
+        self.warn_on_no_convergence = warn_on_no_convergence
+
+    # ------------------------------------------------------------------ #
+    def e_step(self, model: HMM, sequences: Sequence[np.ndarray]) -> EStepStatistics:
+        """Run forward-backward over every sequence and accumulate statistics."""
+        k = model.n_states
+        start_counts = np.zeros(k)
+        transition_counts = np.zeros((k, k))
+        posteriors: list[np.ndarray] = []
+        total_ll = 0.0
+        for seq in sequences:
+            stats = model.posteriors(seq)
+            start_counts += stats.gamma[0]
+            transition_counts += stats.xi_sum
+            posteriors.append(stats.gamma)
+            total_ll += stats.log_likelihood
+        return EStepStatistics(
+            start_counts=start_counts,
+            transition_counts=transition_counts,
+            posteriors=posteriors,
+            log_likelihood=total_ll,
+        )
+
+    def m_step(
+        self, model: HMM, sequences: Sequence[np.ndarray], stats: EStepStatistics
+    ) -> None:
+        """Update ``pi``, ``A`` and the emissions in place."""
+        if self.update_startprob:
+            total = stats.start_counts.sum()
+            if total > 0:
+                model.startprob = stats.start_counts / total
+        if self.update_transitions:
+            model.transmat = self.transition_updater.update(
+                stats.transition_counts, model.transmat
+            )
+        else:
+            model.transmat = normalize_rows(model.transmat)
+        if self.update_emissions:
+            model.emissions.m_step(sequences, stats.posteriors)
+
+    # ------------------------------------------------------------------ #
+    def fit(self, model: HMM, sequences: Sequence[np.ndarray]) -> FitResult:
+        """Run EM until convergence, mutating ``model`` in place."""
+        if not sequences:
+            raise ValidationError("sequences must be non-empty")
+
+        history: list[float] = []
+        converged = False
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            stats = self.e_step(model, sequences)
+            history.append(stats.log_likelihood)
+            if len(history) >= 2 and abs(history[-1] - history[-2]) < self.tol:
+                converged = True
+                break
+            self.m_step(model, sequences, stats)
+
+        if not converged and self.warn_on_no_convergence:
+            warnings.warn(
+                f"EM stopped after {n_iter} iterations without converging",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        final_ll = history[-1] if history else float("-inf")
+        return FitResult(
+            log_likelihood=final_ll, history=history, n_iter=n_iter, converged=converged
+        )

@@ -1,0 +1,13 @@
+"""Emission distribution families for the HMM substrate."""
+
+from repro.hmm.emissions.base import EmissionModel
+from repro.hmm.emissions.gaussian import GaussianEmission
+from repro.hmm.emissions.categorical import CategoricalEmission
+from repro.hmm.emissions.bernoulli import BernoulliEmission
+
+__all__ = [
+    "EmissionModel",
+    "GaussianEmission",
+    "CategoricalEmission",
+    "BernoulliEmission",
+]

@@ -1,0 +1,72 @@
+"""Abstract interface shared by all emission families.
+
+An emission model owns the per-state observation distributions ``B`` of the
+HMM.  The HMM core only ever talks to emissions through this interface, so
+the same forward-backward / Viterbi / EM machinery serves the Gaussian toy
+experiment, the categorical PoS-tagging experiment, and the Bernoulli OCR
+experiment.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike
+
+
+class EmissionModel(abc.ABC):
+    """Per-state observation distributions of an HMM.
+
+    Concrete implementations store their parameters as numpy arrays and
+    expose three operations: scoring observations, re-estimating parameters
+    from weighted posteriors (the emission part of the M-step), and sampling.
+    """
+
+    #: number of hidden states the emission model covers
+    n_states: int
+
+    @abc.abstractmethod
+    def log_likelihoods(self, sequence: np.ndarray) -> np.ndarray:
+        """Log-likelihood of every observation under every state.
+
+        Parameters
+        ----------
+        sequence:
+            Observations for one sequence; the first axis is time.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(T, n_states)`` with entries
+            ``log P(y_t | x_t = i)``.
+        """
+
+    @abc.abstractmethod
+    def m_step(
+        self, sequences: Sequence[np.ndarray], posteriors: Sequence[np.ndarray]
+    ) -> None:
+        """Update parameters from posterior state responsibilities.
+
+        ``posteriors[n]`` has shape ``(T_n, n_states)`` and holds
+        ``q(x_t = i)`` for sequence ``n``.  Implementations update their
+        parameters in place (standard EM weighted-average updates).
+        """
+
+    @abc.abstractmethod
+    def sample(self, state: int, rng: np.random.Generator) -> np.ndarray | float | int:
+        """Draw one observation from state ``state``."""
+
+    @abc.abstractmethod
+    def initialize_random(self, sequences: Sequence[np.ndarray], seed: SeedLike = None) -> None:
+        """Randomly (re-)initialize parameters before EM, using the data scale."""
+
+    @abc.abstractmethod
+    def copy(self) -> "EmissionModel":
+        """Deep copy of the emission model (used to snapshot EM state)."""
+
+    def validate_sequence(self, sequence: np.ndarray) -> np.ndarray:
+        """Hook for subclasses to validate/convert a single sequence."""
+        return np.asarray(sequence)

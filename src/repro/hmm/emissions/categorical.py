@@ -1,0 +1,74 @@
+"""Categorical (multinomial) emissions used for PoS tagging over a vocabulary."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.hmm.emissions.base import EmissionModel
+from repro.utils.maths import normalize_rows, safe_log
+from repro.utils.rng import SeedLike, as_generator
+
+
+class CategoricalEmission(EmissionModel):
+    """Per-state categorical distribution over a discrete vocabulary.
+
+    Parameters
+    ----------
+    emission_probs:
+        Row-stochastic matrix ``B`` of shape ``(n_states, n_symbols)``;
+        ``B[i, v] = P(y_t = v | x_t = i)``.
+    """
+
+    def __init__(self, emission_probs: np.ndarray) -> None:
+        B = np.asarray(emission_probs, dtype=np.float64)
+        if B.ndim != 2:
+            raise ValidationError(f"emission_probs must be 2-D, got shape {B.shape}")
+        if np.any(B < 0):
+            raise ValidationError("emission_probs must be non-negative")
+        sums = B.sum(axis=1)
+        if not np.allclose(sums, 1.0, atol=1e-6):
+            raise ValidationError("rows of emission_probs must sum to 1")
+        self.emission_probs = B / sums[:, None]
+        self.n_states, self.n_symbols = B.shape
+
+    @classmethod
+    def random_init(
+        cls, n_states: int, n_symbols: int, seed: SeedLike = None, concentration: float = 1.0
+    ) -> "CategoricalEmission":
+        """Draw each state's emission row from a symmetric Dirichlet."""
+        rng = as_generator(seed)
+        rows = rng.dirichlet(np.full(n_symbols, concentration), size=n_states)
+        return cls(rows)
+
+    def log_likelihoods(self, sequence: np.ndarray) -> np.ndarray:
+        obs = np.asarray(sequence)
+        if obs.ndim != 1:
+            raise ValidationError(f"Categorical emissions expect 1-D sequences, got {obs.shape}")
+        if obs.size and (obs.min() < 0 or obs.max() >= self.n_symbols):
+            raise ValidationError("observation symbol out of range")
+        return safe_log(self.emission_probs[:, obs].T)
+
+    def m_step(
+        self, sequences: Sequence[np.ndarray], posteriors: Sequence[np.ndarray]
+    ) -> None:
+        counts = np.zeros((self.n_states, self.n_symbols))
+        for seq, post in zip(sequences, posteriors):
+            obs = np.asarray(seq, dtype=np.int64)
+            np.add.at(counts.T, obs, post)
+        self.emission_probs = normalize_rows(counts)
+
+    def sample(self, state: int, rng: np.random.Generator) -> int:
+        return int(rng.choice(self.n_symbols, p=self.emission_probs[state]))
+
+    def initialize_random(self, sequences: Sequence[np.ndarray], seed: SeedLike = None) -> None:
+        fresh = self.random_init(self.n_states, self.n_symbols, seed)
+        self.emission_probs = fresh.emission_probs
+
+    def copy(self) -> "CategoricalEmission":
+        return CategoricalEmission(self.emission_probs.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CategoricalEmission(n_states={self.n_states}, n_symbols={self.n_symbols})"

@@ -1,0 +1,161 @@
+"""The Hidden Markov Model container class.
+
+``HMM`` bundles the three parameter blocks of the paper's notation,
+``lambda = (pi, A, B)``:
+
+* ``startprob`` — the initial state distribution ``pi``;
+* ``transmat`` — the row-stochastic transition matrix ``A``;
+* ``emissions`` — an :class:`~repro.hmm.emissions.base.EmissionModel`
+  holding ``B``.
+
+The class offers inference (scoring, posteriors, Viterbi decoding) and
+sampling; training is delegated to :class:`~repro.hmm.baum_welch.BaumWelchTrainer`
+(unsupervised) and :func:`~repro.hmm.supervised.estimate_supervised_parameters`
+(supervised), both of which work for the plain HMM and the dHMM alike.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.hmm.emissions.base import EmissionModel
+from repro.hmm.forward_backward import (
+    SequencePosteriors,
+    compute_posteriors,
+    sequence_log_likelihood,
+)
+from repro.hmm.viterbi import viterbi_decode
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_probability_matrix, check_probability_vector
+
+
+class HMM:
+    """First-order Hidden Markov Model with pluggable emissions.
+
+    Parameters
+    ----------
+    startprob:
+        Initial state distribution ``pi`` of length ``K``.
+    transmat:
+        Row-stochastic ``K x K`` transition matrix ``A``.
+    emissions:
+        Emission model ``B`` covering the same ``K`` states.
+    """
+
+    def __init__(
+        self, startprob: np.ndarray, transmat: np.ndarray, emissions: EmissionModel
+    ) -> None:
+        self.startprob = check_probability_vector(startprob, "startprob")
+        self.transmat = check_probability_matrix(transmat, "transmat")
+        if self.transmat.shape[0] != self.transmat.shape[1]:
+            raise ValidationError("transmat must be square")
+        if self.startprob.shape[0] != self.transmat.shape[0]:
+            raise ValidationError("startprob and transmat disagree on the number of states")
+        if emissions.n_states != self.startprob.shape[0]:
+            raise ValidationError("emission model covers a different number of states")
+        self.emissions = emissions
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def random_init(
+        cls,
+        emissions: EmissionModel,
+        seed: SeedLike = None,
+        dirichlet_concentration: float = 3.0,
+    ) -> "HMM":
+        """Random HMM with Dirichlet-sampled ``pi`` and rows of ``A``.
+
+        The concentration default of 3 matches the paper's toy-experiment
+        initialization ``Dir(eta_i = 3)``.
+        """
+        rng = as_generator(seed)
+        k = emissions.n_states
+        startprob = rng.dirichlet(np.full(k, dirichlet_concentration))
+        transmat = rng.dirichlet(np.full(k, dirichlet_concentration), size=k)
+        return cls(startprob, transmat, emissions)
+
+    @property
+    def n_states(self) -> int:
+        """Number of hidden states ``K``."""
+        return self.startprob.shape[0]
+
+    def copy(self) -> "HMM":
+        """Deep copy of the model (parameters and emissions)."""
+        return HMM(self.startprob.copy(), self.transmat.copy(), self.emissions.copy())
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def log_likelihood(self, sequence: np.ndarray) -> float:
+        """Log marginal likelihood ``log P(Y | lambda)`` of one sequence."""
+        log_obs = self.emissions.log_likelihoods(sequence)
+        return sequence_log_likelihood(self.startprob, self.transmat, log_obs)
+
+    def score(self, sequences: Sequence[np.ndarray]) -> float:
+        """Total log-likelihood of a collection of sequences."""
+        return float(sum(self.log_likelihood(seq) for seq in sequences))
+
+    def posteriors(self, sequence: np.ndarray) -> SequencePosteriors:
+        """Forward-backward posteriors for one sequence."""
+        log_obs = self.emissions.log_likelihoods(sequence)
+        return compute_posteriors(self.startprob, self.transmat, log_obs)
+
+    def decode(self, sequence: np.ndarray) -> np.ndarray:
+        """Most likely hidden state path (Viterbi) for one sequence."""
+        log_obs = self.emissions.log_likelihoods(sequence)
+        path, _ = viterbi_decode(self.startprob, self.transmat, log_obs)
+        return path
+
+    def predict(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Viterbi paths for a collection of sequences."""
+        return [self.decode(seq) for seq in sequences]
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def sample(self, length: int, seed: SeedLike = None) -> tuple[np.ndarray, list]:
+        """Draw a state path and observations of the given length.
+
+        Returns
+        -------
+        (states, observations):
+            ``states`` is an integer array of length ``length``;
+            ``observations`` is a list of per-step emissions whose type
+            depends on the emission family (floats, ints or binary vectors).
+        """
+        if length < 1:
+            raise ValidationError(f"length must be at least 1, got {length}")
+        rng = as_generator(seed)
+        states = np.zeros(length, dtype=np.int64)
+        observations: list = []
+        states[0] = int(rng.choice(self.n_states, p=self.startprob))
+        observations.append(self.emissions.sample(states[0], rng))
+        for t in range(1, length):
+            states[t] = int(rng.choice(self.n_states, p=self.transmat[states[t - 1]]))
+            observations.append(self.emissions.sample(states[t], rng))
+        return states, observations
+
+    def sample_dataset(
+        self, n_sequences: int, length: int, seed: SeedLike = None
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Draw ``n_sequences`` i.i.d. sequences of a fixed length.
+
+        Returns parallel lists ``(state_paths, observation_sequences)``;
+        observations are stacked into arrays when the emission type allows it.
+        """
+        rng = as_generator(seed)
+        states_list: list[np.ndarray] = []
+        obs_list: list[np.ndarray] = []
+        for _ in range(n_sequences):
+            states, obs = self.sample(length, rng)
+            states_list.append(states)
+            obs_list.append(np.asarray(obs))
+        return states_list, obs_list
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"HMM(n_states={self.n_states}, emissions={self.emissions!r})"

@@ -1,0 +1,85 @@
+"""Supervised (fully observed) HMM parameter estimation by counting.
+
+When the hidden states are observed during training (the paper's OCR
+setting), maximum likelihood reduces to frequency counting: ``pi`` from the
+first state of every sequence, ``A`` from consecutive state pairs, and the
+emission parameters from per-state observation statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.maths import normalize_rows
+
+
+@dataclass
+class SupervisedCounts:
+    """Raw counts extracted from a labeled corpus."""
+
+    start_counts: np.ndarray
+    transition_counts: np.ndarray
+    state_counts: np.ndarray
+
+
+def count_transitions(
+    label_sequences: Sequence[np.ndarray], n_states: int
+) -> SupervisedCounts:
+    """Count initial states, transitions and state occupancies."""
+    if n_states < 1:
+        raise ValidationError(f"n_states must be positive, got {n_states}")
+    start_counts = np.zeros(n_states)
+    transition_counts = np.zeros((n_states, n_states))
+    state_counts = np.zeros(n_states)
+    for seq in label_sequences:
+        labels = np.asarray(seq, dtype=np.int64)
+        if labels.size == 0:
+            continue
+        if labels.min() < 0 or labels.max() >= n_states:
+            raise ValidationError("label outside the valid state range")
+        start_counts[labels[0]] += 1.0
+        np.add.at(state_counts, labels, 1.0)
+        if labels.size > 1:
+            np.add.at(transition_counts, (labels[:-1], labels[1:]), 1.0)
+    return SupervisedCounts(
+        start_counts=start_counts,
+        transition_counts=transition_counts,
+        state_counts=state_counts,
+    )
+
+
+def estimate_supervised_parameters(
+    label_sequences: Sequence[np.ndarray],
+    n_states: int,
+    pseudocount: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Count-based estimates of ``(pi, A)`` from labeled sequences.
+
+    Parameters
+    ----------
+    label_sequences:
+        Integer state sequences observed during training.
+    n_states:
+        Size of the state space ``K``.
+    pseudocount:
+        Additive (Laplace) smoothing applied to both ``pi`` and the rows of
+        ``A``; a small positive value avoids zero transition probabilities
+        for pairs never seen in training.
+
+    Returns
+    -------
+    (startprob, transmat)
+    """
+    if pseudocount < 0:
+        raise ValidationError(f"pseudocount must be non-negative, got {pseudocount}")
+    counts = count_transitions(label_sequences, n_states)
+
+    start = counts.start_counts + pseudocount
+    total = start.sum()
+    startprob = start / total if total > 0 else np.full(n_states, 1.0 / n_states)
+    transmat = normalize_rows(counts.transition_counts, pseudocount=pseudocount)
+    return startprob, transmat

@@ -1,0 +1,37 @@
+"""Evaluation metrics used throughout the paper's experiments."""
+
+from repro.metrics.hungarian import hungarian_assignment
+from repro.metrics.accuracy import (
+    align_labels_one_to_one,
+    many_to_one_accuracy,
+    one_to_one_accuracy,
+    sequence_accuracy,
+)
+from repro.metrics.diversity import (
+    average_pairwise_bhattacharyya,
+    average_pairwise_cosine_distance,
+    pairwise_bhattacharyya_distances,
+    row_diversity_profile,
+)
+from repro.metrics.histograms import (
+    effective_state_count,
+    state_histogram,
+    histogram_distance,
+)
+from repro.metrics.clustering import v_measure
+
+__all__ = [
+    "hungarian_assignment",
+    "align_labels_one_to_one",
+    "one_to_one_accuracy",
+    "many_to_one_accuracy",
+    "sequence_accuracy",
+    "average_pairwise_bhattacharyya",
+    "average_pairwise_cosine_distance",
+    "pairwise_bhattacharyya_distances",
+    "row_diversity_profile",
+    "state_histogram",
+    "effective_state_count",
+    "histogram_distance",
+    "v_measure",
+]

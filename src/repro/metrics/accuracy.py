@@ -1,0 +1,91 @@
+"""Sequential-labeling accuracy measures (1-to-1, many-to-1, plain)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.metrics.hungarian import hungarian_assignment
+
+
+def _flatten(sequences: Sequence[np.ndarray]) -> np.ndarray:
+    if isinstance(sequences, np.ndarray) and sequences.ndim == 1:
+        return sequences.astype(np.int64)
+    return np.concatenate([np.asarray(s, dtype=np.int64) for s in sequences])
+
+
+def confusion_matrix(
+    true_labels: np.ndarray, predicted_labels: np.ndarray, n_true: int, n_pred: int
+) -> np.ndarray:
+    """Count matrix ``C[i, j] = #{t : true_t = i and pred_t = j}``."""
+    counts = np.zeros((n_true, n_pred), dtype=np.float64)
+    np.add.at(counts, (true_labels, predicted_labels), 1.0)
+    return counts
+
+
+def align_labels_one_to_one(
+    true_labels, predicted_labels, n_states: int | None = None
+) -> dict[int, int]:
+    """Best 1-to-1 mapping from predicted labels to true labels (Hungarian).
+
+    Returns a dict ``mapping[predicted] = true`` maximizing the number of
+    correctly mapped positions, exactly the alignment the paper uses for its
+    "1-to-1 accuracy" measure.
+    """
+    true_flat = _flatten(true_labels)
+    pred_flat = _flatten(predicted_labels)
+    if true_flat.shape != pred_flat.shape:
+        raise ValidationError("true and predicted labels must have the same total length")
+    if n_states is None:
+        n_states = int(max(true_flat.max(), pred_flat.max())) + 1
+    counts = confusion_matrix(true_flat, pred_flat, n_states, n_states)
+    row_idx, col_idx = hungarian_assignment(-counts)
+    return {int(pred): int(true) for true, pred in zip(row_idx, col_idx)}
+
+
+def one_to_one_accuracy(true_labels, predicted_labels, n_states: int | None = None) -> float:
+    """1-to-1 accuracy: map predicted states to true states bijectively.
+
+    This is the measure reported in Table 1, Fig. 7 and Fig. 10 of the paper.
+    """
+    true_flat = _flatten(true_labels)
+    pred_flat = _flatten(predicted_labels)
+    mapping = align_labels_one_to_one(true_flat, pred_flat, n_states)
+    mapped = np.array([mapping.get(int(p), -1) for p in pred_flat])
+    return float(np.mean(mapped == true_flat))
+
+
+def many_to_one_accuracy(true_labels, predicted_labels, n_states: int | None = None) -> float:
+    """Many-to-1 accuracy: each predicted state maps to its majority true state."""
+    true_flat = _flatten(true_labels)
+    pred_flat = _flatten(predicted_labels)
+    if true_flat.shape != pred_flat.shape:
+        raise ValidationError("true and predicted labels must have the same total length")
+    if n_states is None:
+        n_states = int(max(true_flat.max(), pred_flat.max())) + 1
+    counts = confusion_matrix(true_flat, pred_flat, n_states, n_states)
+    best_true_for_pred = np.argmax(counts, axis=0)
+    mapped = best_true_for_pred[pred_flat]
+    return float(np.mean(mapped == true_flat))
+
+
+def sequence_accuracy(true_labels, predicted_labels) -> float:
+    """Plain per-position accuracy for supervised models (labels already aligned)."""
+    true_flat = _flatten(true_labels)
+    pred_flat = _flatten(predicted_labels)
+    if true_flat.shape != pred_flat.shape:
+        raise ValidationError("true and predicted labels must have the same total length")
+    if true_flat.size == 0:
+        raise ValidationError("cannot compute accuracy of empty label sequences")
+    return float(np.mean(true_flat == pred_flat))
+
+
+def remap_predictions(predicted_labels, mapping: dict[int, int]) -> list[np.ndarray]:
+    """Apply a predicted->true label mapping to a collection of sequences."""
+    remapped = []
+    for seq in predicted_labels:
+        arr = np.asarray(seq, dtype=np.int64)
+        remapped.append(np.array([mapping.get(int(p), int(p)) for p in arr], dtype=np.int64))
+    return remapped

@@ -1,0 +1,73 @@
+"""Information-theoretic clustering metrics (supplementary to the paper).
+
+V-measure (homogeneity/completeness harmonic mean) is a standard
+unsupervised-tagging metric and is useful as a secondary check that the
+diversity prior actually improves the induced labeling, not only the
+1-to-1 accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def _entropy_from_counts(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-np.sum(p * np.log(p)))
+
+
+def v_measure(true_labels, predicted_labels, beta: float = 1.0) -> float:
+    """V-measure between a true labeling and a predicted labeling.
+
+    Parameters
+    ----------
+    true_labels, predicted_labels:
+        Flat integer arrays (or lists of sequences, which are concatenated).
+    beta:
+        Weight of homogeneity vs completeness; 1.0 is the standard choice.
+    """
+    def flatten(x):
+        if isinstance(x, np.ndarray) and x.ndim == 1:
+            return x.astype(np.int64)
+        return np.concatenate([np.asarray(s, dtype=np.int64) for s in x])
+
+    true = flatten(true_labels)
+    pred = flatten(predicted_labels)
+    if true.shape != pred.shape:
+        raise ValidationError("true and predicted labels must have the same total length")
+    if true.size == 0:
+        raise ValidationError("cannot compute v-measure of empty labelings")
+
+    n_true = int(true.max()) + 1
+    n_pred = int(pred.max()) + 1
+    contingency = np.zeros((n_true, n_pred))
+    np.add.at(contingency, (true, pred), 1.0)
+
+    h_true = _entropy_from_counts(contingency.sum(axis=1))
+    h_pred = _entropy_from_counts(contingency.sum(axis=0))
+
+    total = contingency.sum()
+    joint = contingency / total
+    # conditional entropies H(true | pred) and H(pred | true)
+    pred_marginal = joint.sum(axis=0)
+    true_marginal = joint.sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        h_true_given_pred = -np.nansum(
+            joint * (np.log(joint) - np.log(pred_marginal[None, :]))
+        )
+        h_pred_given_true = -np.nansum(
+            joint * (np.log(joint) - np.log(true_marginal[:, None]))
+        )
+
+    homogeneity = 1.0 if h_true == 0 else 1.0 - h_true_given_pred / h_true
+    completeness = 1.0 if h_pred == 0 else 1.0 - h_pred_given_true / h_pred
+    if homogeneity + completeness == 0:
+        return 0.0
+    return float(
+        (1 + beta) * homogeneity * completeness / (beta * homogeneity + completeness)
+    )

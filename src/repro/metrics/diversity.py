@@ -1,0 +1,73 @@
+"""Diversity measures over the rows of a transition matrix.
+
+The paper quantifies how "diverse" a learned transition matrix is with the
+average pairwise Bhattacharyya distance between its rows (Fig. 3, 8, 12) and
+also refers to an average cosine distance in the figure axis labels; both are
+provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.maths import bhattacharyya_distance
+
+
+def _check_rows(matrix: np.ndarray) -> np.ndarray:
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValidationError(f"matrix must be 2-D, got shape {arr.shape}")
+    if arr.shape[0] < 2:
+        raise ValidationError("need at least two rows to measure diversity")
+    if np.any(arr < 0):
+        raise ValidationError("matrix must be non-negative")
+    return arr
+
+
+def pairwise_bhattacharyya_distances(matrix: np.ndarray) -> np.ndarray:
+    """Symmetric matrix of Bhattacharyya distances between all row pairs."""
+    arr = _check_rows(matrix)
+    k = arr.shape[0]
+    distances = np.zeros((k, k))
+    for i in range(k):
+        for j in range(i + 1, k):
+            d = bhattacharyya_distance(arr[i], arr[j])
+            distances[i, j] = d
+            distances[j, i] = d
+    return distances
+
+
+def average_pairwise_bhattacharyya(matrix: np.ndarray) -> float:
+    """Mean Bhattacharyya distance over all unordered row pairs (Fig. 3's y-axis)."""
+    distances = pairwise_bhattacharyya_distances(matrix)
+    k = distances.shape[0]
+    upper = distances[np.triu_indices(k, k=1)]
+    return float(upper.mean())
+
+
+def average_pairwise_cosine_distance(matrix: np.ndarray) -> float:
+    """Mean cosine distance ``1 - cos(row_i, row_j)`` over all row pairs."""
+    arr = _check_rows(matrix)
+    norms = np.linalg.norm(arr, axis=1, keepdims=True)
+    normalized = arr / np.clip(norms, 1e-300, None)
+    cosine = normalized @ normalized.T
+    k = arr.shape[0]
+    upper = cosine[np.triu_indices(k, k=1)]
+    return float(np.mean(1.0 - upper))
+
+
+def row_diversity_profile(matrix: np.ndarray, row: int) -> np.ndarray:
+    """Bhattacharyya distance between one row and every other row.
+
+    This is the quantity plotted in Fig. 8 (tag 1 vs the other tags) and
+    Fig. 12 (letters 'x'/'y' vs the other letters): the returned vector has
+    length ``k - 1`` and excludes the reference row itself.
+    """
+    arr = _check_rows(matrix)
+    k = arr.shape[0]
+    if not 0 <= row < k:
+        raise ValidationError(f"row must lie in [0, {k}), got {row}")
+    return np.array(
+        [bhattacharyya_distance(arr[row], arr[other]) for other in range(k) if other != row]
+    )

@@ -1,0 +1,50 @@
+"""Hidden-state histogram statistics (Table 1, Fig. 4, Fig. 5, Fig. 9)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def state_histogram(label_sequences: Sequence[np.ndarray], n_states: int) -> np.ndarray:
+    """Frequency of every state over a collection of label sequences."""
+    if n_states < 1:
+        raise ValidationError(f"n_states must be positive, got {n_states}")
+    counts = np.zeros(n_states, dtype=np.float64)
+    for seq in label_sequences:
+        arr = np.asarray(seq, dtype=np.int64)
+        if arr.size == 0:
+            continue
+        if arr.min() < 0 or arr.max() >= n_states:
+            raise ValidationError("label outside the valid state range")
+        np.add.at(counts, arr, 1.0)
+    return counts
+
+
+def effective_state_count(
+    label_sequences: Sequence[np.ndarray], n_states: int, threshold: float = 50.0
+) -> int:
+    """Number of states whose frequency exceeds ``threshold``.
+
+    Mirrors the paper's Fig. 4/5 procedure: states used fewer than
+    ``sigma_F = 50`` times are considered "not identified" by the model.
+    """
+    if threshold < 0:
+        raise ValidationError(f"threshold must be non-negative, got {threshold}")
+    counts = state_histogram(label_sequences, n_states)
+    return int(np.sum(counts >= threshold))
+
+
+def histogram_distance(histogram_a: np.ndarray, histogram_b: np.ndarray) -> float:
+    """Total-variation distance between two (count) histograms after normalizing."""
+    a = np.asarray(histogram_a, dtype=np.float64)
+    b = np.asarray(histogram_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValidationError("histograms must have the same shape")
+    a_sum, b_sum = a.sum(), b.sum()
+    if a_sum <= 0 or b_sum <= 0:
+        raise ValidationError("histograms must have positive mass")
+    return float(0.5 * np.abs(a / a_sum - b / b_sum).sum())

@@ -1,0 +1,97 @@
+"""Hungarian (Kuhn-Munkres) algorithm for minimum-cost assignment.
+
+The paper aligns inferred hidden-state labels to ground-truth labels with the
+Hungarian algorithm before computing 1-to-1 accuracy.  This module implements
+the O(n^3) shortest-augmenting-path variant with dual potentials from scratch
+(the test suite cross-checks it against ``scipy.optimize.linear_sum_assignment``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def hungarian_assignment(cost_matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Solve the rectangular assignment problem, minimizing total cost.
+
+    Parameters
+    ----------
+    cost_matrix:
+        ``(n_rows, n_cols)`` matrix of finite costs.  When the matrix is
+        rectangular, ``min(n_rows, n_cols)`` assignments are produced.
+
+    Returns
+    -------
+    (row_indices, col_indices):
+        Arrays such that pairing ``row_indices[i]`` with ``col_indices[i]``
+        minimizes the summed cost, sorted by row index.
+    """
+    cost = np.asarray(cost_matrix, dtype=np.float64)
+    if cost.ndim != 2:
+        raise ValidationError(f"cost_matrix must be 2-D, got shape {cost.shape}")
+    if cost.size == 0:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+    if np.any(~np.isfinite(cost)):
+        raise ValidationError("cost_matrix must be finite")
+
+    transposed = cost.shape[0] > cost.shape[1]
+    if transposed:
+        cost = cost.T
+    n_rows, n_cols = cost.shape
+
+    # Shortest augmenting path with potentials (1-indexed internal arrays).
+    INF = float(np.inf)
+    u = np.zeros(n_rows + 1)
+    v = np.zeros(n_cols + 1)
+    match_col = np.zeros(n_cols + 1, dtype=np.int64)  # row matched to each column
+    way = np.zeros(n_cols + 1, dtype=np.int64)
+
+    for row in range(1, n_rows + 1):
+        match_col[0] = row
+        current_col = 0
+        min_value = np.full(n_cols + 1, INF)
+        used = np.zeros(n_cols + 1, dtype=bool)
+        while True:
+            used[current_col] = True
+            current_row = match_col[current_col]
+            delta = INF
+            next_col = 0
+            for col in range(1, n_cols + 1):
+                if used[col]:
+                    continue
+                reduced = cost[current_row - 1, col - 1] - u[current_row] - v[col]
+                if reduced < min_value[col]:
+                    min_value[col] = reduced
+                    way[col] = current_col
+                if min_value[col] < delta:
+                    delta = min_value[col]
+                    next_col = col
+            for col in range(n_cols + 1):
+                if used[col]:
+                    u[match_col[col]] += delta
+                    v[col] -= delta
+                else:
+                    min_value[col] -= delta
+            current_col = next_col
+            if match_col[current_col] == 0:
+                break
+        # Augment along the found path.
+        while current_col != 0:
+            previous_col = way[current_col]
+            match_col[current_col] = match_col[previous_col]
+            current_col = previous_col
+
+    rows = []
+    cols = []
+    for col in range(1, n_cols + 1):
+        if match_col[col] != 0:
+            rows.append(match_col[col] - 1)
+            cols.append(col - 1)
+    row_idx = np.asarray(rows, dtype=np.int64)
+    col_idx = np.asarray(cols, dtype=np.int64)
+    if transposed:
+        row_idx, col_idx = col_idx, row_idx
+    order = np.argsort(row_idx)
+    return row_idx[order], col_idx[order]

@@ -1,0 +1,58 @@
+"""Convergence tracking for iterative solvers (EM and gradient ascent)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ConvergenceMonitor:
+    """Track an objective trace and decide when to stop.
+
+    Convergence is declared when the absolute improvement between successive
+    recorded values falls below ``tol`` (the paper's ``delta`` threshold in
+    Algorithm 1), or when ``max_iter`` values have been recorded.
+    """
+
+    tol: float = 1e-6
+    max_iter: int = 100
+    history: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.tol < 0:
+            raise ValueError("tol must be non-negative")
+        if self.max_iter < 1:
+            raise ValueError("max_iter must be at least 1")
+
+    def update(self, value: float) -> bool:
+        """Record ``value`` and return ``True`` if iteration should stop."""
+        self.history.append(float(value))
+        return self.converged or self.exhausted
+
+    @property
+    def converged(self) -> bool:
+        """Whether the last improvement was below ``tol``."""
+        if len(self.history) < 2:
+            return False
+        return abs(self.history[-1] - self.history[-2]) < self.tol
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the iteration budget has been used up."""
+        return len(self.history) >= self.max_iter
+
+    @property
+    def n_iter(self) -> int:
+        """Number of recorded objective values."""
+        return len(self.history)
+
+    @property
+    def last(self) -> float:
+        """Most recently recorded objective value."""
+        if not self.history:
+            raise ValueError("no values recorded yet")
+        return self.history[-1]
+
+    def reset(self) -> None:
+        """Clear the recorded history."""
+        self.history.clear()

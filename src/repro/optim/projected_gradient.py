@@ -1,0 +1,137 @@
+"""Projected gradient ascent over row-stochastic matrices.
+
+This is the workhorse of the dHMM M-step (Algorithm 1 in the paper): the
+objective combines the expected complete-data log-likelihood of the
+transitions with the DPP log-determinant prior, the gradient is Eq. (15),
+and feasibility is restored after each step by projecting every row back
+onto the probability simplex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.optim.line_search import AdaptiveStepController
+from repro.optim.simplex import project_rows_to_simplex
+
+MatrixObjective = Callable[[np.ndarray], float]
+MatrixGradient = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class ProjectedGradientResult:
+    """Outcome of a projected gradient ascent run.
+
+    Attributes
+    ----------
+    solution:
+        The final row-stochastic matrix.
+    objective:
+        Objective value at ``solution``.
+    history:
+        Objective value after every accepted iteration (including the
+        starting point).
+    n_iter:
+        Number of iterations performed (accepted or not).
+    converged:
+        Whether the stop criterion ``|f_new - f_old| < tol`` was met.
+    """
+
+    solution: np.ndarray
+    objective: float
+    history: list[float] = field(default_factory=list)
+    n_iter: int = 0
+    converged: bool = False
+
+
+def maximize_rowwise_simplex(
+    objective: MatrixObjective,
+    gradient: MatrixGradient,
+    initial: np.ndarray,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    initial_step: float = 0.1,
+    min_value: float = 1e-12,
+) -> ProjectedGradientResult:
+    """Maximize ``objective`` over matrices whose rows lie on the simplex.
+
+    Parameters
+    ----------
+    objective, gradient:
+        Callables evaluating the objective and its gradient at a matrix.
+    initial:
+        Starting row-stochastic matrix; it is projected onto the simplex
+        before the first evaluation for safety.
+    max_iter:
+        Maximum number of ascent iterations.
+    tol:
+        Stop when the objective improves by less than this amount.
+    initial_step:
+        Starting step size for the adaptive controller.
+    min_value:
+        Floor applied to matrix entries after projection, keeping the DPP
+        kernel and the transition log-likelihood finite.
+    """
+    current = project_rows_to_simplex(np.asarray(initial, dtype=np.float64))
+    current = _floor_and_renormalize(current, min_value)
+    controller = AdaptiveStepController(initial_step=initial_step)
+
+    best_value = objective(current)
+    history = [best_value]
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, max_iter + 1):
+        grad = gradient(current)
+        # Normalize the step by the gradient's largest entry so the nominal
+        # step size measures the maximum movement of a probability entry,
+        # independent of how large the expected counts are.
+        grad_scale = float(np.max(np.abs(grad)))
+        if not np.isfinite(grad_scale) or grad_scale == 0.0:
+            converged = True
+            break
+        direction = grad / grad_scale
+
+        accepted = False
+        # Try the controller's step, backing off a bounded number of times.
+        for _ in range(40):
+            step = controller.step
+            candidate = project_rows_to_simplex(current + step * direction)
+            candidate = _floor_and_renormalize(candidate, min_value)
+            value = objective(candidate)
+            if np.isfinite(value) and value > best_value:
+                accepted = True
+                break
+            controller.report_failure()
+
+        if not accepted:
+            converged = True
+            break
+
+        improvement = value - best_value
+        current = candidate
+        best_value = value
+        history.append(best_value)
+        controller.report_success()
+        if improvement < tol:
+            converged = True
+            break
+
+    return ProjectedGradientResult(
+        solution=current,
+        objective=best_value,
+        history=history,
+        n_iter=iterations,
+        converged=converged,
+    )
+
+
+def _floor_and_renormalize(matrix: np.ndarray, min_value: float) -> np.ndarray:
+    """Clamp entries to ``min_value`` and renormalize rows to sum to one."""
+    if min_value <= 0:
+        return matrix
+    floored = np.clip(matrix, min_value, None)
+    return floored / floored.sum(axis=1, keepdims=True)

@@ -1,0 +1,76 @@
+"""Euclidean projection onto the probability simplex.
+
+Implements Algorithm 1 of Wang & Carreira-Perpiñán (2013), "Projection onto
+the probability simplex: An efficient algorithm with a simple proof, and an
+application" (arXiv:1309.1541), which the dHMM paper uses to re-project the
+rows of the transition matrix after each gradient step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def project_to_simplex(point: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    """Project ``point`` onto the simplex ``{x : x >= 0, sum(x) = radius}``.
+
+    Parameters
+    ----------
+    point:
+        One-dimensional array of arbitrary real numbers.
+    radius:
+        Total mass of the simplex, 1.0 for probability vectors.
+
+    Returns
+    -------
+    numpy.ndarray
+        The Euclidean projection of ``point`` onto the simplex.
+    """
+    if radius <= 0:
+        raise ValidationError(f"radius must be positive, got {radius}")
+    v = np.asarray(point, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValidationError(f"point must be one-dimensional, got shape {v.shape}")
+    if v.size == 0:
+        raise ValidationError("cannot project an empty vector")
+    if np.any(~np.isfinite(v)):
+        raise ValidationError("point contains non-finite entries")
+
+    n = v.size
+    u = np.sort(v)[::-1]
+    cumulative = np.cumsum(u) - radius
+    indices = np.arange(1, n + 1)
+    candidate = u - cumulative / indices
+    rho = int(np.nonzero(candidate > 0)[0][-1]) + 1
+    theta = cumulative[rho - 1] / rho
+    return np.maximum(v - theta, 0.0)
+
+
+def project_rows_to_simplex(matrix: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    """Project every row of ``matrix`` onto the probability simplex.
+
+    This is the vectorized form used in the dHMM M-step where every row of
+    the transition matrix must remain a valid distribution.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValidationError(f"matrix must be two-dimensional, got shape {arr.shape}")
+    if arr.shape[1] == 0:
+        raise ValidationError("matrix must have at least one column")
+    if np.any(~np.isfinite(arr)):
+        raise ValidationError("matrix contains non-finite entries")
+    if radius <= 0:
+        raise ValidationError(f"radius must be positive, got {radius}")
+
+    n_rows, n_cols = arr.shape
+    u = np.sort(arr, axis=1)[:, ::-1]
+    cumulative = np.cumsum(u, axis=1) - radius
+    indices = np.arange(1, n_cols + 1)[None, :]
+    candidate = u - cumulative / indices
+    # rho is the last index where the candidate is positive (1-based).
+    positive = candidate > 0
+    rho = n_cols - np.argmax(positive[:, ::-1], axis=1)
+    theta = cumulative[np.arange(n_rows), rho - 1] / rho
+    return np.maximum(arr - theta[:, None], 0.0)

@@ -1,0 +1,28 @@
+"""Shared low-level helpers: validation, RNG handling and numerics."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_probability_matrix,
+    check_probability_vector,
+    check_sequences,
+    check_square_matrix,
+)
+from repro.utils.maths import (
+    logsumexp,
+    normalize_log_probabilities,
+    normalize_rows,
+    safe_log,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_probability_matrix",
+    "check_probability_vector",
+    "check_sequences",
+    "check_square_matrix",
+    "logsumexp",
+    "normalize_log_probabilities",
+    "normalize_rows",
+    "safe_log",
+]

@@ -1,0 +1,42 @@
+"""Random number generator plumbing.
+
+Every stochastic entry point of the library accepts a ``seed`` argument that
+may be ``None``, an integer or an already-constructed
+:class:`numpy.random.Generator`.  :func:`as_generator` normalizes all three
+forms so downstream code only ever deals with ``Generator`` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent child generators from a single seed.
+
+    Useful for repeated experiment runs that must be independent yet fully
+    reproducible from one top-level seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = as_generator(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,48 @@
+"""Shared fixtures: small datasets and models reused across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ocr import generate_ocr_dataset
+from repro.datasets.pos import generate_wsj_like_corpus
+from repro.datasets.toy import generate_toy_dataset
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A deterministic generator for ad-hoc randomness inside tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def toy_data():
+    """A small instance of the paper's toy dataset (fast to fit)."""
+    return generate_toy_dataset(n_sequences=60, sequence_length=6, sigma=0.025, seed=0)
+
+
+@pytest.fixture(scope="session")
+def flat_toy_data():
+    """A toy dataset with flat emissions (sigma = 2.0), the hard regime."""
+    return generate_toy_dataset(n_sequences=60, sequence_length=6, sigma=2.0, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_pos_corpus():
+    """A miniature WSJ-like corpus: 60 sentences, 300-word vocabulary."""
+    return generate_wsj_like_corpus(
+        n_sentences=60, vocabulary_size=300, mean_length=8, max_length=30, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_ocr_dataset():
+    """A miniature OCR dataset: 80 words."""
+    return generate_ocr_dataset(n_words=80, seed=0)
+
+
+@pytest.fixture
+def random_transition_matrix(rng):
+    """A random 5x5 row-stochastic matrix."""
+    return rng.dirichlet(np.ones(5) * 2.0, size=5)

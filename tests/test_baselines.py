@@ -1,0 +1,117 @@
+"""Unit tests for the supervised OCR baseline classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BernoulliNaiveBayes,
+    OptimizedHMMClassifier,
+    SupervisedHMMClassifier,
+)
+from repro.datasets.ocr import N_LETTERS, N_PIXELS
+from repro.exceptions import NotFittedError, ValidationError
+from repro.metrics.accuracy import sequence_accuracy
+
+
+@pytest.fixture(scope="module")
+def ocr_split(tiny_ocr_dataset):
+    data = tiny_ocr_dataset
+    n_train = 60
+    train = (data.images[:n_train], data.labels[:n_train])
+    test = (data.images[n_train:], data.labels[n_train:])
+    return train, test
+
+
+class TestBernoulliNaiveBayes:
+    def test_fit_predict_accuracy_above_chance(self, ocr_split):
+        (train_x, train_y), (test_x, test_y) = ocr_split
+        clf = BernoulliNaiveBayes(N_LETTERS, N_PIXELS).fit(train_x, train_y)
+        acc = sequence_accuracy(test_y, clf.predict(test_x))
+        assert acc > 0.3  # chance is ~0.04
+
+    def test_prediction_shapes_match_inputs(self, ocr_split):
+        (train_x, train_y), (test_x, _) = ocr_split
+        clf = BernoulliNaiveBayes(N_LETTERS, N_PIXELS).fit(train_x, train_y)
+        preds = clf.predict(test_x)
+        assert len(preds) == len(test_x)
+        assert all(p.shape[0] == x.shape[0] for p, x in zip(preds, test_x))
+
+    def test_log_joint_shape(self, ocr_split):
+        (train_x, train_y), _ = ocr_split
+        clf = BernoulliNaiveBayes(N_LETTERS, N_PIXELS).fit(train_x, train_y)
+        scores = clf.log_joint(train_x[0])
+        assert scores.shape == (train_x[0].shape[0], N_LETTERS)
+
+    def test_predict_before_fit_raises(self):
+        clf = BernoulliNaiveBayes(N_LETTERS, N_PIXELS)
+        with pytest.raises(NotFittedError):
+            clf.predict([np.zeros((2, N_PIXELS))])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            BernoulliNaiveBayes(1, 10)
+        with pytest.raises(ValidationError):
+            BernoulliNaiveBayes(5, 0)
+        with pytest.raises(ValidationError):
+            BernoulliNaiveBayes(5, 10, pseudocount=-1.0)
+
+    def test_feature_dimension_mismatch_raises(self, ocr_split):
+        (train_x, train_y), _ = ocr_split
+        clf = BernoulliNaiveBayes(N_LETTERS, 10)
+        with pytest.raises(ValidationError):
+            clf.fit(train_x, train_y)
+
+
+class TestSupervisedHMMClassifier:
+    def test_beats_naive_bayes_on_average(self, ocr_split):
+        (train_x, train_y), (test_x, test_y) = ocr_split
+        nb = BernoulliNaiveBayes(N_LETTERS, N_PIXELS).fit(train_x, train_y)
+        hmm = SupervisedHMMClassifier(N_LETTERS, N_PIXELS).fit(train_x, train_y)
+        nb_acc = sequence_accuracy(test_y, nb.predict(test_x))
+        hmm_acc = sequence_accuracy(test_y, hmm.predict(test_x))
+        assert hmm_acc >= nb_acc - 0.02
+
+    def test_transmat_is_row_stochastic(self, ocr_split):
+        (train_x, train_y), _ = ocr_split
+        hmm = SupervisedHMMClassifier(N_LETTERS, N_PIXELS).fit(train_x, train_y)
+        assert np.allclose(hmm.transmat_.sum(axis=1), 1.0)
+        assert np.all(hmm.transmat_ >= 0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            SupervisedHMMClassifier(N_LETTERS, N_PIXELS).predict([np.zeros((1, N_PIXELS))])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            SupervisedHMMClassifier(1, N_PIXELS)
+        with pytest.raises(ValidationError):
+            SupervisedHMMClassifier(N_LETTERS, 0)
+
+
+class TestOptimizedHMMClassifier:
+    def test_accuracy_comparable_to_plain_hmm(self, ocr_split):
+        # On the tiny 80-word fixture the emission re-weighting trick is
+        # noisy, so only a coarse "same ballpark" comparison is meaningful
+        # (the Fig. 11 benchmark checks the ordering on a realistic size).
+        (train_x, train_y), (test_x, test_y) = ocr_split
+        hmm = SupervisedHMMClassifier(N_LETTERS, N_PIXELS).fit(train_x, train_y)
+        opt = OptimizedHMMClassifier(N_LETTERS, N_PIXELS).fit(train_x, train_y)
+        hmm_acc = sequence_accuracy(test_y, hmm.predict(test_x))
+        opt_acc = sequence_accuracy(test_y, opt.predict(test_x))
+        assert opt_acc >= hmm_acc - 0.15
+        assert opt_acc > 0.3
+
+    def test_pixel_weights_are_built(self, ocr_split):
+        (train_x, train_y), _ = ocr_split
+        opt = OptimizedHMMClassifier(N_LETTERS, N_PIXELS).fit(train_x, train_y)
+        assert opt.pixel_weights_ is not None
+        assert opt.pixel_weights_.shape == (N_PIXELS,)
+        assert set(np.unique(opt.pixel_weights_)) <= {0.5, 1.0}
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            OptimizedHMMClassifier(N_LETTERS, N_PIXELS).predict([np.zeros((1, N_PIXELS))])
+
+    def test_invalid_emission_weight(self):
+        with pytest.raises(ValidationError):
+            OptimizedHMMClassifier(N_LETTERS, N_PIXELS, emission_weight=0.0)

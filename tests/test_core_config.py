@@ -1,0 +1,42 @@
+"""Unit tests for DHMMConfig validation."""
+
+import pytest
+
+from repro.core.config import DHMMConfig
+from repro.exceptions import ValidationError
+
+
+class TestDHMMConfig:
+    def test_defaults_follow_the_paper(self):
+        config = DHMMConfig()
+        assert config.rho == 0.5
+        assert config.alpha >= 0
+        assert config.alpha_anchor == 1e5
+
+    def test_alpha_zero_is_allowed(self):
+        assert DHMMConfig(alpha=0.0).alpha == 0.0
+
+    def test_frozen(self):
+        config = DHMMConfig()
+        with pytest.raises(AttributeError):
+            config.alpha = 5.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": -1.0},
+            {"rho": 0.0},
+            {"alpha_anchor": -1.0},
+            {"max_em_iter": 0},
+            {"max_inner_iter": 0},
+            {"em_tol": -1e-3},
+            {"inner_tol": -1e-3},
+            {"initial_step": 0.0},
+            {"transition_floor": 0.0},
+            {"transition_floor": 1.5},
+            {"kernel_jitter": -1e-9},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValidationError):
+            DHMMConfig(**kwargs)

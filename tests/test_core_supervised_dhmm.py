@@ -1,0 +1,76 @@
+"""Unit tests for the supervised diversified HMM."""
+
+import numpy as np
+import pytest
+
+from repro.core import DHMMConfig, SupervisedDiversifiedHMM
+from repro.datasets.ocr import N_LETTERS, N_PIXELS
+from repro.exceptions import NotFittedError, ValidationError
+from repro.metrics.accuracy import sequence_accuracy
+from repro.metrics.diversity import average_pairwise_bhattacharyya
+
+
+@pytest.fixture(scope="module")
+def fitted_dhmm(tiny_ocr_dataset):
+    model = SupervisedDiversifiedHMM(
+        N_LETTERS, N_PIXELS, config=DHMMConfig(alpha=10.0, alpha_anchor=1e4)
+    )
+    model.fit(tiny_ocr_dataset.images, tiny_ocr_dataset.labels)
+    return model
+
+
+class TestSupervisedDiversifiedHMM:
+    def test_fit_produces_valid_transition_matrix(self, fitted_dhmm):
+        assert fitted_dhmm.transmat_.shape == (N_LETTERS, N_LETTERS)
+        assert np.allclose(fitted_dhmm.transmat_.sum(axis=1), 1.0)
+        assert np.all(fitted_dhmm.transmat_ >= 0)
+
+    def test_refined_matrix_is_at_least_as_diverse_as_counts(self, fitted_dhmm):
+        base_div = average_pairwise_bhattacharyya(fitted_dhmm.base_transmat_)
+        refined_div = average_pairwise_bhattacharyya(fitted_dhmm.transmat_)
+        assert refined_div >= base_div - 1e-6
+
+    def test_anchor_keeps_refinement_close_to_counts(self, tiny_ocr_dataset):
+        model = SupervisedDiversifiedHMM(
+            N_LETTERS, N_PIXELS, config=DHMMConfig(alpha=10.0, alpha_anchor=1e6)
+        )
+        model.fit(tiny_ocr_dataset.images, tiny_ocr_dataset.labels)
+        assert np.max(np.abs(model.transmat_ - model.base_transmat_)) < 0.05
+
+    def test_alpha_zero_keeps_count_estimate_exactly(self, tiny_ocr_dataset):
+        model = SupervisedDiversifiedHMM(N_LETTERS, N_PIXELS, config=DHMMConfig(alpha=0.0))
+        model.fit(tiny_ocr_dataset.images, tiny_ocr_dataset.labels)
+        assert np.allclose(model.transmat_, model.base_transmat_)
+
+    def test_training_accuracy_above_chance(self, fitted_dhmm, tiny_ocr_dataset):
+        predictions = fitted_dhmm.predict(tiny_ocr_dataset.images)
+        acc = sequence_accuracy(tiny_ocr_dataset.labels, predictions)
+        assert acc > 0.3
+
+    def test_predictions_match_sequence_lengths(self, fitted_dhmm, tiny_ocr_dataset):
+        predictions = fitted_dhmm.predict(tiny_ocr_dataset.images[:5])
+        for pred, img in zip(predictions, tiny_ocr_dataset.images[:5]):
+            assert pred.shape[0] == img.shape[0]
+
+    def test_score_is_finite(self, fitted_dhmm, tiny_ocr_dataset):
+        assert np.isfinite(fitted_dhmm.score(tiny_ocr_dataset.images[:5]))
+
+    def test_predict_before_fit_raises(self):
+        model = SupervisedDiversifiedHMM(N_LETTERS, N_PIXELS)
+        with pytest.raises(NotFittedError):
+            model.predict([np.zeros((2, N_PIXELS))])
+
+    def test_mismatched_sequences_and_labels_raise(self, tiny_ocr_dataset):
+        model = SupervisedDiversifiedHMM(N_LETTERS, N_PIXELS)
+        with pytest.raises(ValidationError):
+            model.fit(tiny_ocr_dataset.images[:3], tiny_ocr_dataset.labels[:2])
+
+    def test_requires_emissions_or_feature_count(self):
+        with pytest.raises(ValidationError):
+            SupervisedDiversifiedHMM(N_LETTERS)
+        with pytest.raises(ValidationError):
+            SupervisedDiversifiedHMM(1, N_PIXELS)
+
+    def test_refinement_result_is_exposed(self, fitted_dhmm):
+        assert fitted_dhmm.refinement_result_ is not None
+        assert np.isfinite(fitted_dhmm.refinement_result_.objective)

@@ -1,0 +1,93 @@
+"""Unit tests for the DPP transition prior and its M-step updater."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DHMMConfig
+from repro.core.transition_prior import DiversityTransitionUpdater, DPPTransitionPrior
+from repro.dpp.log_det import dpp_log_prior
+from repro.exceptions import ValidationError
+from repro.metrics.diversity import average_pairwise_bhattacharyya
+from repro.utils.maths import normalize_rows, safe_log
+
+
+class TestDPPTransitionPrior:
+    def test_alpha_zero_gives_zero_prior_and_gradient(self, random_transition_matrix):
+        prior = DPPTransitionPrior(alpha=0.0)
+        assert prior.log_prior(random_transition_matrix) == 0.0
+        assert np.allclose(prior.gradient(random_transition_matrix), 0.0)
+
+    def test_log_prior_scales_linearly_with_alpha(self, random_transition_matrix):
+        p1 = DPPTransitionPrior(alpha=1.0).log_prior(random_transition_matrix)
+        p3 = DPPTransitionPrior(alpha=3.0).log_prior(random_transition_matrix)
+        assert np.isclose(p3, 3.0 * p1)
+
+    def test_prior_prefers_diverse_matrices(self):
+        prior = DPPTransitionPrior(alpha=1.0)
+        diverse = np.eye(4) * 0.9 + 0.1 / 3
+        diverse /= diverse.sum(axis=1, keepdims=True)
+        collapsed = np.full((4, 4), 0.25)
+        assert prior.log_prior(diverse) > prior.log_prior(collapsed)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValidationError):
+            DPPTransitionPrior(alpha=-1.0)
+        with pytest.raises(ValidationError):
+            DPPTransitionPrior(rho=0.0)
+        with pytest.raises(ValidationError):
+            DPPTransitionPrior(jitter=-1.0)
+
+
+class TestDiversityTransitionUpdater:
+    def make_counts(self, seed=0, k=4, scale=50.0):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(1.0, scale, size=(k, k))
+
+    def test_alpha_zero_matches_normalized_counts(self):
+        counts = self.make_counts()
+        updater = DiversityTransitionUpdater(DPPTransitionPrior(alpha=0.0))
+        out = updater.update(counts, np.full((4, 4), 0.25))
+        assert np.allclose(out, normalize_rows(counts))
+
+    def test_update_is_row_stochastic(self):
+        counts = self.make_counts(1)
+        updater = DiversityTransitionUpdater(DPPTransitionPrior(alpha=5.0))
+        out = updater.update(counts, normalize_rows(counts))
+        assert np.allclose(out.sum(axis=1), 1.0)
+        assert np.all(out >= 0)
+
+    def test_map_objective_not_below_ml_solution(self):
+        counts = self.make_counts(2)
+        prior = DPPTransitionPrior(alpha=10.0)
+        updater = DiversityTransitionUpdater(prior)
+        ml_solution = normalize_rows(counts)
+        out = updater.update(counts, ml_solution)
+        assert updater.objective(counts, out) >= updater.objective(counts, ml_solution) - 1e-9
+
+    def test_prior_increases_diversity_for_collapsed_counts(self):
+        # Expected counts whose rows are identical: the ML update collapses,
+        # the diversity-regularized update must spread the rows apart.
+        counts = np.tile(np.array([10.0, 6.0, 4.0, 2.0]), (4, 1))
+        prior = DPPTransitionPrior(alpha=50.0)
+        updater = DiversityTransitionUpdater(prior, DHMMConfig(alpha=50.0, max_inner_iter=100))
+        out = updater.update(counts, normalize_rows(counts))
+        ml_diversity = average_pairwise_bhattacharyya(normalize_rows(counts))
+        assert average_pairwise_bhattacharyya(out) > ml_diversity
+
+    def test_larger_alpha_gives_higher_prior_value(self):
+        counts = self.make_counts(3)
+        weak = DiversityTransitionUpdater(DPPTransitionPrior(alpha=1.0)).update(
+            counts, normalize_rows(counts)
+        )
+        strong = DiversityTransitionUpdater(
+            DPPTransitionPrior(alpha=200.0), DHMMConfig(alpha=200.0, max_inner_iter=100)
+        ).update(counts, normalize_rows(counts))
+        assert dpp_log_prior(strong) >= dpp_log_prior(weak) - 1e-6
+
+    def test_objective_combines_likelihood_and_prior(self):
+        counts = self.make_counts(4)
+        prior = DPPTransitionPrior(alpha=2.0)
+        updater = DiversityTransitionUpdater(prior)
+        A = normalize_rows(counts)
+        expected = float(np.sum(counts * safe_log(A))) + prior.log_prior(A)
+        assert np.isclose(updater.objective(counts, A), expected)

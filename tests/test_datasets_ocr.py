@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic OCR dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ocr import (
+    LETTERS,
+    N_LETTERS,
+    N_PIXELS,
+    generate_ocr_dataset,
+    letter_bigram_chain,
+    letter_prototypes,
+)
+from repro.exceptions import ValidationError
+
+
+class TestLetterPrototypes:
+    def test_shape_and_binarity(self):
+        protos = letter_prototypes()
+        assert protos.shape == (N_LETTERS, N_PIXELS)
+        assert set(np.unique(protos)) <= {0.0, 1.0}
+
+    def test_all_letters_have_ink(self):
+        protos = letter_prototypes()
+        assert np.all(protos.sum(axis=1) >= 5)
+
+    def test_prototypes_are_pairwise_distinct(self):
+        protos = letter_prototypes()
+        for i in range(N_LETTERS):
+            for j in range(i + 1, N_LETTERS):
+                hamming = np.sum(protos[i] != protos[j])
+                assert hamming >= 3, f"{LETTERS[i]} and {LETTERS[j]} are too similar"
+
+    def test_deterministic(self):
+        assert np.array_equal(letter_prototypes(), letter_prototypes())
+
+
+class TestLetterBigramChain:
+    def test_start_and_transitions_are_stochastic(self):
+        startprob, transmat = letter_bigram_chain()
+        assert np.isclose(startprob.sum(), 1.0)
+        assert np.allclose(transmat.sum(axis=1), 1.0)
+
+    def test_q_is_followed_by_u(self):
+        _, transmat = letter_bigram_chain()
+        q, u = LETTERS.index("q"), LETTERS.index("u")
+        assert transmat[q, u] > 0.5
+
+    def test_common_bigram_th_is_boosted(self):
+        _, transmat = letter_bigram_chain()
+        t, h, z = LETTERS.index("t"), LETTERS.index("h"), LETTERS.index("z")
+        assert transmat[t, h] > transmat[t, z]
+
+
+class TestGenerateOcrDataset:
+    def test_dimensions(self, tiny_ocr_dataset):
+        data = tiny_ocr_dataset
+        assert data.n_words == 80
+        assert len(data.images) == len(data.labels) == len(data.words)
+        for img, lab, word in zip(data.images, data.labels, data.words):
+            assert img.shape == (len(lab), N_PIXELS)
+            assert len(word) == len(lab)
+
+    def test_word_lengths_in_bounds(self, tiny_ocr_dataset):
+        lengths = [len(lab) for lab in tiny_ocr_dataset.labels]
+        assert min(lengths) >= 1
+        assert max(lengths) <= 14
+
+    def test_images_are_binary(self, tiny_ocr_dataset):
+        for img in tiny_ocr_dataset.images[:10]:
+            assert set(np.unique(img)) <= {0.0, 1.0}
+
+    def test_words_match_labels(self, tiny_ocr_dataset):
+        for word, lab in zip(tiny_ocr_dataset.words, tiny_ocr_dataset.labels):
+            assert word == "".join(LETTERS[i] for i in lab)
+
+    def test_noisy_glyphs_stay_close_to_prototypes(self):
+        data = generate_ocr_dataset(n_words=30, pixel_noise=0.05, shift_probability=0.0, seed=0)
+        for img, lab in zip(data.images, data.labels):
+            for row, letter in zip(img, lab):
+                hamming = np.sum(row != data.prototypes[letter]) / N_PIXELS
+                assert hamming < 0.25
+
+    def test_higher_noise_increases_distortion(self):
+        clean = generate_ocr_dataset(n_words=30, pixel_noise=0.01, shift_probability=0.0, seed=1)
+        noisy = generate_ocr_dataset(n_words=30, pixel_noise=0.25, shift_probability=0.0, seed=1)
+
+        def mean_distortion(data):
+            distances = []
+            for img, lab in zip(data.images, data.labels):
+                for row, letter in zip(img, lab):
+                    distances.append(np.mean(row != data.prototypes[letter]))
+            return float(np.mean(distances))
+
+        assert mean_distortion(noisy) > mean_distortion(clean)
+
+    def test_reproducible_with_seed(self):
+        a = generate_ocr_dataset(n_words=10, seed=5)
+        b = generate_ocr_dataset(n_words=10, seed=5)
+        assert a.words == b.words
+        assert all(np.array_equal(x, y) for x, y in zip(a.images, b.images))
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValidationError):
+            generate_ocr_dataset(n_words=0)
+        with pytest.raises(ValidationError):
+            generate_ocr_dataset(min_length=0)
+        with pytest.raises(ValidationError):
+            generate_ocr_dataset(pixel_noise=0.7)

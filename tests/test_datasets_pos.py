@@ -1,0 +1,80 @@
+"""Unit tests for the synthetic WSJ-like PoS corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.pos import generate_wsj_like_corpus
+from repro.datasets.tags import N_REDUCED_TAGS, tag_frequency_vector
+from repro.exceptions import ValidationError
+from repro.metrics.diversity import average_pairwise_bhattacharyya
+
+
+class TestGenerateWsjLikeCorpus:
+    def test_dimensions(self, tiny_pos_corpus):
+        corpus = tiny_pos_corpus
+        assert corpus.n_sentences == 60
+        assert corpus.n_tags == N_REDUCED_TAGS
+        assert corpus.vocabulary_size == 300
+        assert len(corpus.words) == len(corpus.tags)
+
+    def test_words_and_tags_are_parallel(self, tiny_pos_corpus):
+        for words, tags in zip(tiny_pos_corpus.words, tiny_pos_corpus.tags):
+            assert len(words) == len(tags)
+
+    def test_symbols_in_range(self, tiny_pos_corpus):
+        corpus = tiny_pos_corpus
+        for words, tags in zip(corpus.words, corpus.tags):
+            assert words.min() >= 0 and words.max() < corpus.vocabulary_size
+            assert tags.min() >= 0 and tags.max() < corpus.n_tags
+
+    def test_sentence_lengths_respect_bounds(self, tiny_pos_corpus):
+        lengths = [len(s) for s in tiny_pos_corpus.words]
+        assert min(lengths) >= 2
+        assert max(lengths) <= 30
+
+    def test_generating_parameters_are_stored_and_stochastic(self, tiny_pos_corpus):
+        corpus = tiny_pos_corpus
+        assert np.isclose(corpus.startprob.sum(), 1.0)
+        assert np.allclose(corpus.transmat.sum(axis=1), 1.0)
+        assert np.allclose(corpus.emission_probs.sum(axis=1), 1.0)
+
+    def test_tag_marginals_are_skewed_like_table2(self):
+        corpus = generate_wsj_like_corpus(
+            n_sentences=400, vocabulary_size=800, mean_length=12, seed=0
+        )
+        hist = corpus.tag_histogram()
+        target = tag_frequency_vector()
+        # The four most frequent groups of Table 2 should also be among the
+        # most frequent groups of the synthetic corpus.
+        top_synthetic = set(np.argsort(hist)[::-1][:6].tolist())
+        top_table = set(np.argsort(target)[::-1][:4].tolist())
+        assert top_table <= top_synthetic
+
+    def test_transition_rows_are_diverse(self, tiny_pos_corpus):
+        assert average_pairwise_bhattacharyya(tiny_pos_corpus.transmat) > 0.2
+
+    def test_word_histogram_has_long_tail(self):
+        corpus = generate_wsj_like_corpus(
+            n_sentences=300, vocabulary_size=500, mean_length=12, seed=1
+        )
+        hist = np.sort(corpus.word_histogram())[::-1]
+        top_decile_share = hist[:50].sum() / hist.sum()
+        assert top_decile_share > 0.4
+
+    def test_reproducible_with_seed(self):
+        a = generate_wsj_like_corpus(n_sentences=20, vocabulary_size=200, seed=3)
+        b = generate_wsj_like_corpus(n_sentences=20, vocabulary_size=200, seed=3)
+        assert all(np.array_equal(x, y) for x, y in zip(a.words, b.words))
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValidationError):
+            generate_wsj_like_corpus(n_sentences=0)
+        with pytest.raises(ValidationError):
+            generate_wsj_like_corpus(vocabulary_size=10)
+        with pytest.raises(ValidationError):
+            generate_wsj_like_corpus(min_length=10, max_length=5)
+        with pytest.raises(ValidationError):
+            generate_wsj_like_corpus(ambiguity=1.5)
+
+    def test_token_count_property(self, tiny_pos_corpus):
+        assert tiny_pos_corpus.n_tokens == sum(len(s) for s in tiny_pos_corpus.words)

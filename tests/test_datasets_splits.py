@@ -1,0 +1,65 @@
+"""Unit tests for cross-validation splitting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import k_fold_indices, train_test_split_indices
+from repro.exceptions import ValidationError
+
+
+class TestKFoldIndices:
+    def test_folds_partition_all_items(self):
+        splits = k_fold_indices(53, n_folds=10, seed=0)
+        assert len(splits) == 10
+        all_test = np.concatenate([test for _, test in splits])
+        assert sorted(all_test.tolist()) == list(range(53))
+
+    def test_train_and_test_are_disjoint_and_complete(self):
+        for train, test in k_fold_indices(30, n_folds=5, seed=1):
+            assert set(train.tolist()).isdisjoint(test.tolist())
+            assert sorted(train.tolist() + test.tolist()) == list(range(30))
+
+    def test_fold_sizes_are_balanced(self):
+        splits = k_fold_indices(100, n_folds=10, seed=2)
+        sizes = [len(test) for _, test in splits]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_reproducible_with_seed(self):
+        a = k_fold_indices(20, n_folds=4, seed=3)
+        b = k_fold_indices(20, n_folds=4, seed=3)
+        assert all(np.array_equal(x[1], y[1]) for x, y in zip(a, b))
+
+    def test_no_shuffle_keeps_order(self):
+        splits = k_fold_indices(10, n_folds=5, shuffle=False)
+        assert splits[0][1].tolist() == [0, 1]
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValidationError):
+            k_fold_indices(1, n_folds=2)
+        with pytest.raises(ValidationError):
+            k_fold_indices(10, n_folds=1)
+        with pytest.raises(ValidationError):
+            k_fold_indices(10, n_folds=11)
+
+
+class TestTrainTestSplit:
+    def test_partition_and_sizes(self):
+        train, test = train_test_split_indices(50, test_fraction=0.2, seed=0)
+        assert len(test) == 10
+        assert len(train) == 40
+        assert set(train.tolist()).isdisjoint(test.tolist())
+
+    def test_at_least_one_item_each_side(self):
+        train, test = train_test_split_indices(3, test_fraction=0.01, seed=0)
+        assert len(test) >= 1
+        assert len(train) >= 1
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValidationError):
+            train_test_split_indices(10, test_fraction=0.0)
+        with pytest.raises(ValidationError):
+            train_test_split_indices(10, test_fraction=1.0)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValidationError):
+            train_test_split_indices(1)

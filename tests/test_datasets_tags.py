@@ -1,0 +1,49 @@
+"""Unit tests for the Table-2 tag inventory."""
+
+import numpy as np
+
+from repro.datasets.tags import (
+    N_REDUCED_TAGS,
+    TAG_INVENTORY,
+    reduced_tag_names,
+    tag_frequency_table,
+    tag_frequency_vector,
+)
+
+
+class TestTagInventory:
+    def test_46_original_tags(self):
+        assert len(TAG_INVENTORY) == 46
+
+    def test_reduced_indices_cover_all_15_groups(self):
+        groups = {info.reduced_index for info in TAG_INVENTORY}
+        assert groups == set(range(N_REDUCED_TAGS))
+
+    def test_known_frequencies_from_table2(self):
+        by_tag = {info.ptb_tag: info.frequency for info in TAG_INVENTORY}
+        assert by_tag["NN"] == 13166
+        assert by_tag["IN"] == 9959
+        assert by_tag["UH"] == 3
+        assert by_tag["FW"] == 4
+
+    def test_reduced_names_length(self):
+        assert len(reduced_tag_names()) == N_REDUCED_TAGS
+
+    def test_noun_group_is_most_frequent(self):
+        freq = tag_frequency_vector()
+        assert int(np.argmax(freq)) == 0  # NOUN group
+
+    def test_frequency_vector_totals(self):
+        freq = tag_frequency_vector()
+        assert freq.sum() == sum(info.frequency for info in TAG_INVENTORY)
+
+    def test_skewed_long_tail(self):
+        # The paper notes that ~25% of tags account for ~85% of tokens.
+        freq = np.sort(tag_frequency_vector())[::-1]
+        top4_share = freq[:4].sum() / freq.sum()
+        assert top4_share > 0.7
+
+    def test_frequency_table_is_sorted(self):
+        table = tag_frequency_table()
+        counts = [count for _, count in table]
+        assert counts == sorted(counts, reverse=True)

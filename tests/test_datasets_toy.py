@@ -1,0 +1,91 @@
+"""Unit tests for the toy dataset generator (paper Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.toy import (
+    TOY_MEANS,
+    TOY_STARTPROB,
+    TOY_TRANSMAT,
+    generate_toy_dataset,
+    sigma_sweep_values,
+    toy_ground_truth_model,
+)
+from repro.exceptions import ValidationError
+
+
+class TestGroundTruthModel:
+    def test_paper_initial_distribution(self):
+        model = toy_ground_truth_model()
+        assert np.allclose(model.startprob, TOY_STARTPROB)
+        assert np.isclose(model.startprob.sum(), 1.0)
+
+    def test_transition_matrix_is_row_stochastic(self):
+        assert np.allclose(TOY_TRANSMAT.sum(axis=1), 1.0)
+
+    def test_emission_means_are_one_to_five(self):
+        model = toy_ground_truth_model()
+        assert np.allclose(model.emissions.means, TOY_MEANS)
+
+    def test_sigma_parameter_sets_variance(self):
+        model = toy_ground_truth_model(sigma=0.5)
+        assert np.allclose(model.emissions.variances, 0.25)
+
+    def test_rejects_non_positive_sigma(self):
+        with pytest.raises(ValidationError):
+            toy_ground_truth_model(sigma=0.0)
+
+    def test_transition_rows_are_diverse(self):
+        from repro.metrics.diversity import average_pairwise_bhattacharyya
+
+        assert average_pairwise_bhattacharyya(TOY_TRANSMAT) > 0.1
+
+
+class TestGenerateToyDataset:
+    def test_default_paper_dimensions(self):
+        data = generate_toy_dataset(seed=0)
+        assert data.n_sequences == 300
+        assert all(len(s) == 6 for s in data.observations)
+        assert all(len(s) == 6 for s in data.states)
+
+    def test_observations_cluster_near_state_means(self):
+        data = generate_toy_dataset(n_sequences=50, sigma=0.025, seed=1)
+        for states, obs in zip(data.states, data.observations):
+            assert np.all(np.abs(obs - TOY_MEANS[states]) < 0.5)
+
+    def test_reproducible_with_seed(self):
+        a = generate_toy_dataset(n_sequences=5, seed=7)
+        b = generate_toy_dataset(n_sequences=5, seed=7)
+        assert all(np.allclose(x, y) for x, y in zip(a.observations, b.observations))
+        assert all(np.array_equal(x, y) for x, y in zip(a.states, b.states))
+
+    def test_different_seeds_differ(self):
+        a = generate_toy_dataset(n_sequences=5, seed=1)
+        b = generate_toy_dataset(n_sequences=5, seed=2)
+        assert not np.allclose(a.observations[0], b.observations[0])
+
+    def test_rejects_invalid_sizes(self):
+        with pytest.raises(ValidationError):
+            generate_toy_dataset(n_sequences=0)
+        with pytest.raises(ValidationError):
+            generate_toy_dataset(sequence_length=0)
+
+    def test_flat_sigma_produces_overlapping_observations(self):
+        data = generate_toy_dataset(n_sequences=50, sigma=3.0, seed=2)
+        all_obs = np.concatenate(data.observations)
+        # With sigma=3 the clusters overlap heavily: the pooled standard
+        # deviation is far larger than the spread of the means alone.
+        assert all_obs.std() > 2.0
+
+
+class TestSigmaSweepValues:
+    def test_paper_grid(self):
+        values = sigma_sweep_values(50)
+        assert values.shape == (50,)
+        assert np.isclose(values[0], 0.025)
+        assert np.isclose(values[1], 0.125)
+        assert np.isclose(values[-1], 0.025 + 0.1 * 49)
+
+    def test_rejects_non_positive_points(self):
+        with pytest.raises(ValidationError):
+            sigma_sweep_values(0)

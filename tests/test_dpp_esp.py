@@ -1,0 +1,67 @@
+"""Unit tests for elementary symmetric polynomials."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dpp.esp import elementary_symmetric_polynomials, elementary_symmetric_table
+from repro.exceptions import ValidationError
+
+
+def brute_force_esp(values, k):
+    if k == 0:
+        return 1.0
+    return float(sum(np.prod(c) for c in itertools.combinations(values, k)))
+
+
+class TestElementarySymmetricPolynomials:
+    def test_small_example(self):
+        lam = np.array([1.0, 2.0, 3.0])
+        e = elementary_symmetric_polynomials(lam, 3)
+        assert np.isclose(e[0], 1.0)
+        assert np.isclose(e[1], 6.0)
+        assert np.isclose(e[2], 11.0)
+        assert np.isclose(e[3], 6.0)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        lam = rng.uniform(0.1, 2.0, size=6)
+        e = elementary_symmetric_polynomials(lam, 4)
+        for k in range(5):
+            assert np.isclose(e[k], brute_force_esp(lam, k), rtol=1e-10)
+
+    def test_order_beyond_length_is_zero(self):
+        e = elementary_symmetric_polynomials(np.array([1.0, 2.0]), 4)
+        assert e[3] == 0.0
+        assert e[4] == 0.0
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(ValidationError):
+            elementary_symmetric_polynomials(np.ones(3), -1)
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValidationError):
+            elementary_symmetric_polynomials(np.ones((2, 2)), 1)
+
+    @given(arrays(np.float64, (5,), elements=st.floats(0.0, 3.0)))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_polynomial_expansion(self, lam):
+        # prod(1 + lam_i) = sum_k e_k(lam)
+        e = elementary_symmetric_polynomials(lam, lam.size)
+        assert np.isclose(e.sum(), np.prod(1.0 + lam), rtol=1e-8)
+
+
+class TestElementarySymmetricTable:
+    def test_last_column_matches_vector_version(self):
+        lam = np.array([0.5, 1.5, 2.5, 3.5])
+        table = elementary_symmetric_table(lam, 3)
+        e = elementary_symmetric_polynomials(lam, 3)
+        assert np.allclose(table[:, -1], e)
+
+    def test_first_row_is_ones(self):
+        table = elementary_symmetric_table(np.array([1.0, 2.0]), 2)
+        assert np.allclose(table[0], 1.0)

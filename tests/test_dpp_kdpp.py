@@ -1,0 +1,79 @@
+"""Unit tests for the k-DPP distribution object."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.dpp.kdpp import KDPP
+from repro.exceptions import ValidationError
+
+
+def make_kernel(seed=0, n=5):
+    rng = np.random.default_rng(seed)
+    M = rng.normal(size=(n, n))
+    return M @ M.T + 0.5 * np.eye(n)
+
+
+class TestKDPP:
+    def test_probabilities_sum_to_one_over_all_subsets(self):
+        L = make_kernel(n=5)
+        k = 2
+        kdpp = KDPP(L, k)
+        total = sum(
+            np.exp(kdpp.log_probability(subset))
+            for subset in itertools.combinations(range(5), k)
+        )
+        assert np.isclose(total, 1.0, atol=1e-8)
+
+    def test_diverse_subsets_are_more_probable(self):
+        # Two nearly identical items and one orthogonal item.
+        base = np.array([[1.0, 0.99, 0.0], [0.99, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        kdpp = KDPP(base, 2)
+        similar_pair = kdpp.log_probability([0, 1])
+        diverse_pair = kdpp.log_probability([0, 2])
+        assert diverse_pair > similar_pair
+
+    def test_unnormalized_matches_logdet(self):
+        L = make_kernel(n=4)
+        kdpp = KDPP(L, 2)
+        subset = [1, 3]
+        sub = L[np.ix_(subset, subset)]
+        assert np.isclose(
+            kdpp.unnormalized_log_probability(subset), np.linalg.slogdet(sub)[1]
+        )
+
+    def test_log_normalizer_consistency(self):
+        L = make_kernel(n=4)
+        kdpp = KDPP(L, 2)
+        subset = [0, 1]
+        assert np.isclose(
+            kdpp.log_probability(subset),
+            kdpp.unnormalized_log_probability(subset) - kdpp.log_normalizer,
+        )
+
+    def test_rejects_wrong_subset_size(self):
+        kdpp = KDPP(make_kernel(), 2)
+        with pytest.raises(ValidationError):
+            kdpp.log_probability([0, 1, 2])
+
+    def test_rejects_duplicate_items(self):
+        kdpp = KDPP(make_kernel(), 2)
+        with pytest.raises(ValidationError):
+            kdpp.log_probability([1, 1])
+
+    def test_rejects_out_of_range_items(self):
+        kdpp = KDPP(make_kernel(n=3), 2)
+        with pytest.raises(ValidationError):
+            kdpp.log_probability([0, 7])
+
+    def test_rejects_asymmetric_kernel(self):
+        with pytest.raises(ValidationError):
+            KDPP(np.array([[1.0, 0.5], [0.0, 1.0]]), 1)
+
+    def test_rejects_invalid_k(self):
+        with pytest.raises(ValidationError):
+            KDPP(make_kernel(n=3), 4)
+
+    def test_ground_set_size(self):
+        assert KDPP(make_kernel(n=6), 3).ground_set_size == 6

@@ -1,0 +1,125 @@
+"""Unit tests for the probability product kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ValidationError
+from repro.dpp.kernels import (
+    normalized_probability_kernel,
+    probability_product_kernel,
+    transition_kernel_matrix,
+)
+
+
+class TestProbabilityProductKernel:
+    def test_rho_half_equals_bhattacharyya_coefficient(self):
+        p = np.array([0.2, 0.8])
+        q = np.array([0.5, 0.5])
+        expected = np.sum(np.sqrt(p * q))
+        assert np.isclose(probability_product_kernel(p, q, rho=0.5), expected)
+
+    def test_rho_one_equals_inner_product(self):
+        p = np.array([0.3, 0.7])
+        q = np.array([0.6, 0.4])
+        assert np.isclose(probability_product_kernel(p, q, rho=1.0), float(p @ q))
+
+    def test_symmetry(self):
+        p = np.array([0.1, 0.4, 0.5])
+        q = np.array([0.3, 0.3, 0.4])
+        assert np.isclose(
+            probability_product_kernel(p, q), probability_product_kernel(q, p)
+        )
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValidationError):
+            probability_product_kernel(np.ones(2) / 2, np.ones(3) / 3)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValidationError):
+            probability_product_kernel(np.array([-0.1, 1.1]), np.array([0.5, 0.5]))
+
+    def test_rejects_non_positive_rho(self):
+        with pytest.raises(ValidationError):
+            probability_product_kernel(np.ones(2) / 2, np.ones(2) / 2, rho=0.0)
+
+
+class TestNormalizedProbabilityKernel:
+    def test_self_similarity_is_one(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert np.isclose(normalized_probability_kernel(p, p), 1.0)
+
+    def test_bounded_by_one(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.1, 0.9])
+        value = normalized_probability_kernel(p, q)
+        assert 0.0 <= value <= 1.0
+
+    def test_orthogonal_distributions_give_zero(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert np.isclose(normalized_probability_kernel(p, q), 0.0)
+
+    def test_rejects_zero_distribution(self):
+        with pytest.raises(ValidationError):
+            normalized_probability_kernel(np.zeros(3), np.ones(3) / 3)
+
+    @given(
+        arrays(np.float64, (5,), elements=st.floats(0.01, 1.0)),
+        arrays(np.float64, (5,), elements=st.floats(0.01, 1.0)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_in_unit_interval(self, a, b):
+        p = a / a.sum()
+        q = b / b.sum()
+        value = normalized_probability_kernel(p, q)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestTransitionKernelMatrix:
+    def test_diagonal_is_one(self, random_transition_matrix):
+        K = transition_kernel_matrix(random_transition_matrix)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_symmetric(self, random_transition_matrix):
+        K = transition_kernel_matrix(random_transition_matrix)
+        assert np.allclose(K, K.T)
+
+    def test_positive_semidefinite(self, random_transition_matrix):
+        K = transition_kernel_matrix(random_transition_matrix)
+        eigenvalues = np.linalg.eigvalsh(K)
+        assert np.all(eigenvalues >= -1e-8)
+
+    def test_identical_rows_give_rank_deficient_kernel(self):
+        row = np.array([0.2, 0.3, 0.5])
+        A = np.tile(row, (3, 1))
+        K = transition_kernel_matrix(A)
+        assert np.allclose(K, 1.0)
+
+    def test_orthogonal_rows_give_identity(self):
+        A = np.eye(4)
+        K = transition_kernel_matrix(A)
+        assert np.allclose(K, np.eye(4), atol=1e-10)
+
+    def test_matches_pairwise_normalized_kernel(self, random_transition_matrix):
+        A = random_transition_matrix
+        K = transition_kernel_matrix(A, rho=0.5)
+        for i in range(A.shape[0]):
+            for j in range(A.shape[0]):
+                expected = normalized_probability_kernel(A[i], A[j], rho=0.5)
+                assert np.isclose(K[i, j], expected, atol=1e-10)
+
+    def test_jitter_added_to_diagonal(self):
+        A = np.tile(np.array([0.5, 0.5]), (2, 1))
+        K = transition_kernel_matrix(A, jitter=0.1)
+        assert np.allclose(np.diag(K), 1.1)
+
+    def test_rejects_negative_matrix(self):
+        with pytest.raises(ValidationError):
+            transition_kernel_matrix(np.array([[-0.5, 1.5], [0.5, 0.5]]))
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValidationError):
+            transition_kernel_matrix(np.eye(2), jitter=-1.0)

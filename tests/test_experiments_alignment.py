@@ -1,0 +1,85 @@
+"""Unit tests for state alignment between learned and reference models."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.toy import toy_ground_truth_model
+from repro.exceptions import ValidationError
+from repro.experiments.alignment import (
+    align_model_to_reference,
+    emission_alignment_permutation,
+    permute_model_parameters,
+    transition_alignment_permutation,
+)
+from repro.hmm.emissions import CategoricalEmission, GaussianEmission
+from repro.hmm.model import HMM
+
+
+class TestPermutations:
+    def test_emission_alignment_recovers_known_permutation(self):
+        reference = np.array([1.0, 2.0, 3.0, 4.0])
+        perm = np.array([2, 0, 3, 1])
+        learned = reference[perm]
+        recovered = emission_alignment_permutation(learned, reference)
+        assert np.array_equal(learned[recovered], reference)
+
+    def test_transition_alignment_recovers_known_permutation(self):
+        reference = toy_ground_truth_model().transmat
+        perm = np.array([4, 2, 0, 1, 3])
+        # A state relabeling permutes rows and columns simultaneously.
+        learned = reference[np.ix_(perm, perm)]
+        recovered = transition_alignment_permutation(learned, reference)
+        assert np.allclose(learned[np.ix_(recovered, recovered)], reference)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            emission_alignment_permutation(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValidationError):
+            transition_alignment_permutation(np.eye(3), np.eye(4))
+
+
+class TestPermuteModelParameters:
+    def test_gaussian_model_roundtrip(self):
+        model = toy_ground_truth_model()
+        perm = np.array([3, 1, 4, 0, 2])
+        permuted = permute_model_parameters(model, perm)
+        assert np.allclose(permuted.startprob, model.startprob[perm])
+        assert np.allclose(permuted.emissions.means, model.emissions.means[perm])
+        assert np.allclose(permuted.transmat, model.transmat[np.ix_(perm, perm)])
+
+    def test_categorical_model_permutation(self):
+        emissions = CategoricalEmission(np.array([[0.9, 0.1], [0.2, 0.8]]))
+        model = HMM(np.array([0.5, 0.5]), np.array([[0.7, 0.3], [0.4, 0.6]]), emissions)
+        permuted = permute_model_parameters(model, np.array([1, 0]))
+        assert np.allclose(permuted.emissions.emission_probs[0], [0.2, 0.8])
+
+    def test_invalid_permutation_raises(self):
+        model = toy_ground_truth_model()
+        with pytest.raises(ValidationError):
+            permute_model_parameters(model, np.array([0, 0, 1, 2, 3]))
+
+
+class TestAlignModelToReference:
+    def test_alignment_by_emissions_orders_means(self):
+        reference = toy_ground_truth_model()
+        shuffled = permute_model_parameters(reference, np.array([4, 3, 2, 1, 0]))
+        aligned = align_model_to_reference(shuffled, reference, by="emissions")
+        assert np.allclose(aligned.emissions.means, reference.emissions.means)
+        assert np.allclose(aligned.transmat, reference.transmat)
+
+    def test_alignment_by_transitions(self):
+        reference = toy_ground_truth_model()
+        shuffled = permute_model_parameters(reference, np.array([1, 2, 3, 4, 0]))
+        aligned = align_model_to_reference(shuffled, reference, by="transitions")
+        assert np.allclose(aligned.transmat, reference.transmat)
+
+    def test_unknown_criterion_raises(self):
+        reference = toy_ground_truth_model()
+        with pytest.raises(ValidationError):
+            align_model_to_reference(reference, reference, by="volume")
+
+    def test_emission_alignment_requires_gaussians(self):
+        emissions = CategoricalEmission(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        model = HMM(np.array([0.5, 0.5]), np.full((2, 2), 0.5), emissions)
+        with pytest.raises(ValidationError):
+            align_model_to_reference(model, model, by="emissions")

@@ -1,0 +1,86 @@
+"""Tests for the OCR experiment harnesses (Fig. 10-12)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BernoulliNaiveBayes
+from repro.datasets.ocr import LETTERS, N_LETTERS, N_PIXELS
+from repro.experiments.ocr import (
+    cross_validated_accuracy,
+    letter_diversity_profiles,
+    run_ocr_alpha_sweep,
+    run_ocr_classifier_comparison,
+)
+
+
+class TestCrossValidatedAccuracy:
+    def test_returns_mean_std_and_folds(self, tiny_ocr_dataset):
+        mean, std, folds = cross_validated_accuracy(
+            tiny_ocr_dataset,
+            lambda: BernoulliNaiveBayes(N_LETTERS, N_PIXELS),
+            n_folds=4,
+            seed=0,
+        )
+        assert folds.shape == (4,)
+        assert np.isclose(mean, folds.mean())
+        assert np.isclose(std, folds.std())
+        assert 0.0 <= mean <= 1.0
+
+
+class TestRunOcrAlphaSweep:
+    def test_sweep_structure(self, tiny_ocr_dataset):
+        sweep = run_ocr_alpha_sweep(
+            dataset=tiny_ocr_dataset, alphas=(0.0, 10.0), n_folds=3, seed=0
+        )
+        assert sweep.alphas.shape == (2,)
+        assert sweep.accuracies.shape == (2,)
+        assert np.all((sweep.accuracies >= 0) & (sweep.accuracies <= 1))
+        assert sweep.alpha_anchor == 1e5
+
+    def test_baseline_and_best_are_consistent(self, tiny_ocr_dataset):
+        sweep = run_ocr_alpha_sweep(
+            dataset=tiny_ocr_dataset, alphas=(0.0, 10.0), n_folds=3, seed=0
+        )
+        assert sweep.baseline_accuracy == sweep.accuracies[0]
+        assert sweep.best_accuracy >= sweep.baseline_accuracy - 1e-12
+
+
+class TestRunOcrClassifierComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, tiny_ocr_dataset):
+        return run_ocr_classifier_comparison(
+            dataset=tiny_ocr_dataset, alpha=10.0, n_folds=3, seed=0
+        )
+
+    def test_all_four_classifiers_present(self, comparison):
+        assert comparison.classifier_names == ["Naive Bayes", "HMM", "Optimized HMM", "dHMM"]
+        assert comparison.mean_accuracies.shape == (4,)
+        assert comparison.std_accuracies.shape == (4,)
+
+    def test_naive_bayes_is_not_the_best(self, comparison):
+        # The chain-structured models must beat (or at least match) the
+        # independent classifier, as in Fig. 11.
+        nb = comparison.mean_accuracies[0]
+        assert comparison.mean_accuracies[1:].max() >= nb - 0.02
+
+    def test_dhmm_at_least_matches_plain_hmm(self, comparison):
+        hmm_acc = comparison.mean_accuracies[1]
+        dhmm_acc = comparison.mean_accuracies[3]
+        assert dhmm_acc >= hmm_acc - 0.02
+
+    def test_as_rows_format(self, comparison):
+        rows = comparison.as_rows()
+        assert len(rows) == 4
+        assert all(len(row) == 3 for row in rows)
+
+
+class TestLetterDiversityProfiles:
+    def test_profiles_for_x_and_y(self, tiny_ocr_dataset):
+        profiles = letter_diversity_profiles(
+            dataset=tiny_ocr_dataset, letters=("x", "y"), alpha=10.0, seed=0
+        )
+        assert set(profiles) == {"x", "y"}
+        for letter_profiles in profiles.values():
+            assert letter_profiles["hmm"].shape == (len(LETTERS) - 1,)
+            assert letter_profiles["dhmm"].shape == (len(LETTERS) - 1,)
+            assert np.all(letter_profiles["dhmm"] >= 0)

@@ -1,0 +1,82 @@
+"""Tests for the PoS experiment harnesses (Table 2, Fig. 7-9)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.pos import (
+    corpus_statistics,
+    fit_pos_model,
+    run_pos_alpha_sweep,
+    tag_frequency_histograms,
+    transition_diversity_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep(tiny_pos_corpus):
+    return run_pos_alpha_sweep(
+        corpus=tiny_pos_corpus, alphas=(0.0, 10.0), max_em_iter=4, seed=0
+    )
+
+
+class TestRunPosAlphaSweep:
+    def test_sweep_covers_requested_alphas(self, tiny_sweep):
+        assert np.allclose(tiny_sweep.alphas, [0.0, 10.0])
+        assert tiny_sweep.accuracies.shape == (2,)
+        assert len(tiny_sweep.models) == 2
+
+    def test_accuracies_are_above_chance(self, tiny_sweep, tiny_pos_corpus):
+        chance = 1.0 / tiny_pos_corpus.n_tags
+        assert np.all(tiny_sweep.accuracies > chance)
+
+    def test_baseline_accuracy_is_alpha_zero_entry(self, tiny_sweep):
+        assert tiny_sweep.baseline_accuracy == tiny_sweep.accuracies[0]
+
+    def test_best_alpha_and_accuracy_consistent(self, tiny_sweep):
+        idx = int(np.argmax(tiny_sweep.accuracies))
+        assert tiny_sweep.best_alpha == tiny_sweep.alphas[idx]
+        assert tiny_sweep.best_accuracy == tiny_sweep.accuracies[idx]
+
+
+class TestDiversityAndHistograms:
+    def test_transition_diversity_profile_length(self, tiny_sweep, tiny_pos_corpus):
+        profile = transition_diversity_profile(tiny_sweep.models[-1], reference_tag=0)
+        assert profile.shape == (tiny_pos_corpus.n_tags - 1,)
+        assert np.all(profile >= 0)
+
+    def test_tag_frequency_histograms_cover_all_tokens(self, tiny_sweep, tiny_pos_corpus):
+        hmm_model, dhmm_model = tiny_sweep.models[0], tiny_sweep.models[-1]
+        histograms = tag_frequency_histograms(tiny_pos_corpus, hmm_model, dhmm_model)
+        total = tiny_pos_corpus.n_tokens
+        assert set(histograms) == {"ground_truth", "hmm", "dhmm"}
+        for counts in histograms.values():
+            assert counts.sum() == total
+
+    def test_ground_truth_histogram_is_skewed(self, tiny_sweep, tiny_pos_corpus):
+        histograms = tag_frequency_histograms(
+            tiny_pos_corpus, tiny_sweep.models[0], tiny_sweep.models[-1]
+        )
+        gt = np.sort(histograms["ground_truth"])[::-1]
+        assert gt[:4].sum() / gt.sum() > 0.5
+
+
+class TestCorpusStatistics:
+    def test_rows_are_sorted_by_frequency(self, tiny_pos_corpus):
+        rows = corpus_statistics(tiny_pos_corpus)
+        counts = [count for _, count, _ in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_fractions_sum_to_one(self, tiny_pos_corpus):
+        rows = corpus_statistics(tiny_pos_corpus)
+        assert np.isclose(sum(frac for _, _, frac in rows), 1.0)
+
+    def test_all_tags_listed(self, tiny_pos_corpus):
+        rows = corpus_statistics(tiny_pos_corpus)
+        assert len(rows) == tiny_pos_corpus.n_tags
+
+
+class TestFitPosModel:
+    def test_alpha_zero_model_is_plain_hmm(self, tiny_pos_corpus):
+        model = fit_pos_model(tiny_pos_corpus, alpha=0.0, max_em_iter=2, seed=0)
+        assert model.alpha == 0.0
+        assert model.transmat_.shape == (tiny_pos_corpus.n_tags, tiny_pos_corpus.n_tags)

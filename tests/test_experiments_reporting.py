@@ -1,0 +1,50 @@
+"""Tests for the plain-text reporting helpers and the ablation harnesses."""
+
+import numpy as np
+
+from repro.experiments.ablations import run_projection_ablation, run_rho_ablation
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["name", "value"], [["hmm", 0.5], ["dhmm", 0.75]])
+        assert "name" in text
+        assert "hmm" in text
+        assert "0.7500" in text
+
+    def test_column_alignment(self):
+        text = format_table(["a", "b"], [["x", 1.0]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[1].startswith("-")
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[0.123456]], float_format="{:.2f}")
+        assert "0.12" in text
+
+    def test_format_series(self):
+        text = format_series("accuracy vs alpha", [0, 1], [0.4, 0.5])
+        assert text.startswith("accuracy vs alpha")
+        assert "0.5000" in text
+
+
+class TestAblations:
+    def test_rho_ablation_rows(self):
+        rows = run_rho_ablation(
+            rhos=(0.5, 1.0), alpha=1.0, sigma=1.0, n_sequences=40, max_em_iter=4, seed=0
+        )
+        assert [row.name for row in rows] == ["rho=0.5", "rho=1.0"]
+        for row in rows:
+            assert 0.0 <= row.accuracy <= 1.0
+            assert row.diversity >= 0.0
+
+    def test_projection_ablation_rows(self):
+        rows = run_projection_ablation(
+            alpha=1.0, sigma=1.0, n_sequences=40, max_em_iter=4, seed=0
+        )
+        names = [row.name for row in rows]
+        assert names == ["simplex-projection", "renormalize"]
+        for row in rows:
+            assert np.isfinite(row.accuracy)
+            assert np.isfinite(row.diversity)

@@ -1,0 +1,71 @@
+"""Tests for the toy experiment harnesses (Fig. 2-5, Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.toy import run_sigma_sweep, run_toy_comparison
+
+
+@pytest.fixture(scope="module")
+def small_comparison():
+    return run_toy_comparison(
+        alpha=1.0, n_sequences=60, sequence_length=6, sigma=1.5, max_em_iter=8, seed=0
+    )
+
+
+class TestRunToyComparison:
+    def test_result_contains_both_models(self, small_comparison):
+        assert small_comparison.hmm.alpha == 0.0
+        assert small_comparison.dhmm.alpha == 1.0
+
+    def test_accuracies_in_unit_interval(self, small_comparison):
+        assert 0.0 <= small_comparison.hmm_accuracy <= 1.0
+        assert 0.0 <= small_comparison.dhmm_accuracy <= 1.0
+
+    def test_histograms_cover_all_observations(self, small_comparison):
+        total = small_comparison.dataset.n_sequences * 6
+        assert small_comparison.true_histogram.sum() == total
+        assert small_comparison.hmm_histogram.sum() == total
+        assert small_comparison.dhmm_histogram.sum() == total
+
+    def test_dhmm_diversity_not_below_hmm(self, small_comparison):
+        assert small_comparison.dhmm_diversity >= small_comparison.hmm_diversity - 0.05
+
+    def test_summary_rows_structure(self, small_comparison):
+        rows = small_comparison.summary_rows()
+        assert [row[0] for row in rows] == ["ground-truth", "HMM", "dHMM"]
+        assert rows[0][1] == 1.0
+
+    def test_easy_regime_reaches_high_accuracy(self):
+        result = run_toy_comparison(
+            alpha=1.0, n_sequences=60, sequence_length=6, sigma=0.025, max_em_iter=10, seed=0
+        )
+        assert result.hmm_accuracy > 0.6
+        assert result.dhmm_accuracy > 0.6
+
+
+class TestRunSigmaSweep:
+    def test_sweep_shapes_and_ranges(self):
+        sigmas = np.array([0.5, 2.0])
+        sweep = run_sigma_sweep(
+            sigmas=sigmas, alpha=1.0, n_runs=1, n_sequences=40, max_em_iter=5, seed=0
+        )
+        assert sweep.sigmas.shape == (2,)
+        assert sweep.hmm_diversity.shape == (2,)
+        assert sweep.dhmm_diversity.shape == (2,)
+        assert np.all(sweep.hmm_n_states >= 1)
+        assert np.all(sweep.dhmm_n_states <= 5)
+        assert np.all((sweep.hmm_accuracy >= 0) & (sweep.hmm_accuracy <= 1))
+
+    def test_dhmm_diversity_dominates_on_average(self):
+        sigmas = np.array([2.0])
+        sweep = run_sigma_sweep(
+            sigmas=sigmas, alpha=2.0, n_runs=2, n_sequences=50, max_em_iter=8, seed=1
+        )
+        assert sweep.dhmm_diversity[0] >= sweep.hmm_diversity[0] - 0.02
+
+    def test_true_diversity_is_positive_constant(self):
+        sweep = run_sigma_sweep(
+            sigmas=np.array([1.0]), alpha=1.0, n_runs=1, n_sequences=30, max_em_iter=3, seed=2
+        )
+        assert sweep.true_diversity > 0.0

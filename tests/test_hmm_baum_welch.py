@@ -1,0 +1,126 @@
+"""Unit tests for Baum-Welch EM training."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.hmm.baum_welch import BaumWelchTrainer
+from repro.hmm.emissions import CategoricalEmission, GaussianEmission
+from repro.hmm.model import HMM
+from repro.hmm.transition_updaters import MaximumLikelihoodTransitionUpdater
+
+
+def make_ground_truth_categorical():
+    startprob = np.array([0.7, 0.3])
+    transmat = np.array([[0.85, 0.15], [0.25, 0.75]])
+    emissions = CategoricalEmission(np.array([[0.9, 0.05, 0.05], [0.05, 0.05, 0.9]]))
+    return HMM(startprob, transmat, emissions)
+
+
+class TestBaumWelchTrainer:
+    def test_log_likelihood_is_monotone_non_decreasing(self):
+        truth = make_ground_truth_categorical()
+        _, observations = truth.sample_dataset(40, 15, seed=0)
+        model = HMM.random_init(CategoricalEmission.random_init(2, 3, seed=1), seed=1)
+        trainer = BaumWelchTrainer(max_iter=20, tol=0.0)
+        result = trainer.fit(model, observations)
+        diffs = np.diff(result.history)
+        assert np.all(diffs >= -1e-6)
+
+    def test_improves_over_random_initialization(self):
+        truth = make_ground_truth_categorical()
+        _, observations = truth.sample_dataset(40, 15, seed=2)
+        model = HMM.random_init(CategoricalEmission.random_init(2, 3, seed=3), seed=3)
+        before = model.score(observations)
+        trainer = BaumWelchTrainer(max_iter=25)
+        result = trainer.fit(model, observations)
+        assert result.log_likelihood > before
+
+    def test_recovers_separable_gaussian_means(self):
+        emissions = GaussianEmission(np.array([0.0, 50.0]), np.array([1.0, 1.0]))
+        truth = HMM(np.array([0.5, 0.5]), np.array([[0.8, 0.2], [0.3, 0.7]]), emissions)
+        _, observations = truth.sample_dataset(60, 10, seed=4)
+        start = GaussianEmission.random_init(2, observations, seed=5)
+        model = HMM.random_init(start, seed=5)
+        BaumWelchTrainer(max_iter=30).fit(model, observations)
+        learned = np.sort(model.emissions.means)
+        assert abs(learned[0] - 0.0) < 2.0
+        assert abs(learned[1] - 50.0) < 2.0
+
+    def test_frozen_blocks_are_not_updated(self):
+        truth = make_ground_truth_categorical()
+        _, observations = truth.sample_dataset(10, 8, seed=6)
+        model = HMM.random_init(CategoricalEmission.random_init(2, 3, seed=7), seed=7)
+        original_transmat = model.transmat.copy()
+        original_start = model.startprob.copy()
+        trainer = BaumWelchTrainer(
+            max_iter=3, update_transitions=False, update_startprob=False
+        )
+        trainer.fit(model, observations)
+        assert np.allclose(model.transmat, original_transmat)
+        assert np.allclose(model.startprob, original_start)
+
+    def test_convergence_flag_set_for_tight_model(self):
+        truth = make_ground_truth_categorical()
+        _, observations = truth.sample_dataset(20, 10, seed=8)
+        model = truth.copy()  # start at the ground truth: EM should stop fast
+        trainer = BaumWelchTrainer(max_iter=50, tol=1e-3)
+        result = trainer.fit(model, observations)
+        assert result.converged
+        assert result.n_iter < 50
+
+    def test_warns_when_not_converged(self):
+        truth = make_ground_truth_categorical()
+        _, observations = truth.sample_dataset(10, 10, seed=9)
+        model = HMM.random_init(CategoricalEmission.random_init(2, 3, seed=10), seed=10)
+        trainer = BaumWelchTrainer(max_iter=2, tol=0.0, warn_on_no_convergence=True)
+        with pytest.warns(ConvergenceWarning):
+            trainer.fit(model, observations)
+
+    def test_empty_sequences_raise(self):
+        model = HMM.random_init(CategoricalEmission.random_init(2, 3, seed=0), seed=0)
+        with pytest.raises(ValidationError):
+            BaumWelchTrainer().fit(model, [])
+
+    def test_invalid_hyperparameters_raise(self):
+        with pytest.raises(ValidationError):
+            BaumWelchTrainer(max_iter=0)
+        with pytest.raises(ValidationError):
+            BaumWelchTrainer(tol=-1.0)
+
+    def test_e_step_statistics_shapes(self):
+        truth = make_ground_truth_categorical()
+        _, observations = truth.sample_dataset(5, 6, seed=11)
+        trainer = BaumWelchTrainer()
+        stats = trainer.e_step(truth, observations)
+        assert stats.start_counts.shape == (2,)
+        assert stats.transition_counts.shape == (2, 2)
+        assert len(stats.posteriors) == 5
+        assert np.isclose(stats.start_counts.sum(), 5.0)
+        # Each sequence contributes T-1 expected transitions.
+        assert np.isclose(stats.transition_counts.sum(), 5 * 5.0)
+
+
+class TestMaximumLikelihoodTransitionUpdater:
+    def test_normalizes_counts(self):
+        updater = MaximumLikelihoodTransitionUpdater()
+        counts = np.array([[6.0, 2.0], [1.0, 3.0]])
+        out = updater.update(counts, np.full((2, 2), 0.5))
+        assert np.allclose(out, [[0.75, 0.25], [0.25, 0.75]])
+
+    def test_pseudocount_smooths_zero_rows(self):
+        updater = MaximumLikelihoodTransitionUpdater(pseudocount=1.0)
+        counts = np.array([[0.0, 0.0], [4.0, 0.0]])
+        out = updater.update(counts, np.full((2, 2), 0.5))
+        assert np.allclose(out[0], [0.5, 0.5])
+        assert np.allclose(out[1], [5.0 / 6.0, 1.0 / 6.0])
+
+    def test_negative_pseudocount_rejected(self):
+        with pytest.raises(ValueError):
+            MaximumLikelihoodTransitionUpdater(pseudocount=-0.5)
+
+    def test_objective_is_expected_log_likelihood(self):
+        updater = MaximumLikelihoodTransitionUpdater()
+        counts = np.array([[2.0, 1.0], [1.0, 2.0]])
+        A = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert np.isclose(updater.objective(counts, A), 6 * np.log(0.5))

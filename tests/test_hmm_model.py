@@ -1,0 +1,114 @@
+"""Unit tests for the HMM container class."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.hmm.emissions import CategoricalEmission, GaussianEmission
+from repro.hmm.model import HMM
+
+
+@pytest.fixture
+def gaussian_hmm():
+    emissions = GaussianEmission(np.array([0.0, 10.0]), np.array([1.0, 1.0]))
+    return HMM(np.array([0.5, 0.5]), np.array([[0.9, 0.1], [0.1, 0.9]]), emissions)
+
+
+class TestHMMConstruction:
+    def test_valid_construction(self, gaussian_hmm):
+        assert gaussian_hmm.n_states == 2
+
+    def test_rejects_non_square_transmat(self):
+        emissions = GaussianEmission(np.zeros(2), np.ones(2))
+        with pytest.raises(ValidationError):
+            HMM(np.array([0.5, 0.5]), np.array([[0.5, 0.5]]), emissions)
+
+    def test_rejects_mismatched_emission_states(self):
+        emissions = GaussianEmission(np.zeros(3), np.ones(3))
+        with pytest.raises(ValidationError):
+            HMM(np.array([0.5, 0.5]), np.full((2, 2), 0.5), emissions)
+
+    def test_rejects_non_stochastic_startprob(self):
+        emissions = GaussianEmission(np.zeros(2), np.ones(2))
+        with pytest.raises(ValidationError):
+            HMM(np.array([0.5, 0.6]), np.full((2, 2), 0.5), emissions)
+
+    def test_random_init_produces_valid_model(self):
+        emissions = CategoricalEmission.random_init(3, 5, seed=0)
+        model = HMM.random_init(emissions, seed=0)
+        assert np.isclose(model.startprob.sum(), 1.0)
+        assert np.allclose(model.transmat.sum(axis=1), 1.0)
+
+    def test_copy_is_deep(self, gaussian_hmm):
+        clone = gaussian_hmm.copy()
+        clone.transmat[0, 0] = 0.0
+        clone.emissions.means[0] = 99.0
+        assert gaussian_hmm.transmat[0, 0] == 0.9
+        assert gaussian_hmm.emissions.means[0] == 0.0
+
+
+class TestHMMInference:
+    def test_log_likelihood_is_finite_and_negative(self, gaussian_hmm):
+        seq = np.array([0.1, 0.2, 9.8])
+        ll = gaussian_hmm.log_likelihood(seq)
+        assert np.isfinite(ll)
+        assert ll < 0
+
+    def test_score_sums_over_sequences(self, gaussian_hmm):
+        seqs = [np.array([0.0, 0.1]), np.array([10.0, 9.9])]
+        total = gaussian_hmm.score(seqs)
+        parts = sum(gaussian_hmm.log_likelihood(s) for s in seqs)
+        assert np.isclose(total, parts)
+
+    def test_decode_separable_observations(self, gaussian_hmm):
+        seq = np.array([0.0, 0.2, 10.1, 9.7])
+        path = gaussian_hmm.decode(seq)
+        assert path.tolist() == [0, 0, 1, 1]
+
+    def test_predict_returns_one_path_per_sequence(self, gaussian_hmm):
+        paths = gaussian_hmm.predict([np.array([0.0]), np.array([10.0, 10.0])])
+        assert len(paths) == 2
+        assert paths[0].shape == (1,)
+        assert paths[1].shape == (2,)
+
+    def test_posteriors_prefer_closer_state(self, gaussian_hmm):
+        stats = gaussian_hmm.posteriors(np.array([0.0, 10.0]))
+        assert stats.gamma[0, 0] > 0.9
+        assert stats.gamma[1, 1] > 0.9
+
+
+class TestHMMSampling:
+    def test_sample_length_and_state_range(self, gaussian_hmm):
+        states, obs = gaussian_hmm.sample(20, seed=0)
+        assert states.shape == (20,)
+        assert len(obs) == 20
+        assert set(np.unique(states)) <= {0, 1}
+
+    def test_sample_respects_emission_means(self, gaussian_hmm):
+        states, obs = gaussian_hmm.sample(200, seed=1)
+        obs = np.asarray(obs)
+        assert abs(obs[states == 0].mean() - 0.0) < 0.5
+        assert abs(obs[states == 1].mean() - 10.0) < 0.5
+
+    def test_sample_dataset_shapes(self, gaussian_hmm):
+        states, observations = gaussian_hmm.sample_dataset(4, 7, seed=2)
+        assert len(states) == 4
+        assert all(s.shape == (7,) for s in states)
+        assert all(o.shape == (7,) for o in observations)
+
+    def test_sample_rejects_non_positive_length(self, gaussian_hmm):
+        with pytest.raises(ValidationError):
+            gaussian_hmm.sample(0)
+
+    def test_sample_is_reproducible(self, gaussian_hmm):
+        s1, o1 = gaussian_hmm.sample(10, seed=5)
+        s2, o2 = gaussian_hmm.sample(10, seed=5)
+        assert np.array_equal(s1, s2)
+        assert np.allclose(o1, o2)
+
+    def test_sticky_transitions_produce_long_runs(self):
+        emissions = GaussianEmission(np.array([0.0, 10.0]), np.array([1.0, 1.0]))
+        sticky = HMM(np.array([0.5, 0.5]), np.array([[0.99, 0.01], [0.01, 0.99]]), emissions)
+        states, _ = sticky.sample(300, seed=3)
+        switches = np.sum(states[1:] != states[:-1])
+        assert switches < 30

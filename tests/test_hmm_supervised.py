@@ -1,0 +1,66 @@
+"""Unit tests for supervised (counting) HMM parameter estimation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.hmm.supervised import count_transitions, estimate_supervised_parameters
+
+
+class TestCountTransitions:
+    def test_counts_simple_sequences(self):
+        labels = [np.array([0, 1, 1]), np.array([1, 0])]
+        counts = count_transitions(labels, 2)
+        assert np.allclose(counts.start_counts, [1.0, 1.0])
+        assert np.allclose(counts.transition_counts, [[0.0, 1.0], [1.0, 1.0]])
+        assert np.allclose(counts.state_counts, [2.0, 3.0])
+
+    def test_single_element_sequences_contribute_no_transitions(self):
+        counts = count_transitions([np.array([2])], 3)
+        assert counts.transition_counts.sum() == 0.0
+        assert counts.start_counts[2] == 1.0
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValidationError):
+            count_transitions([np.array([0, 5])], 3)
+
+    def test_rejects_non_positive_n_states(self):
+        with pytest.raises(ValidationError):
+            count_transitions([np.array([0])], 0)
+
+
+class TestEstimateSupervisedParameters:
+    def test_recovers_exact_frequencies(self):
+        labels = [np.array([0, 0, 1, 0]), np.array([0, 1, 1, 1])]
+        startprob, transmat = estimate_supervised_parameters(labels, 2)
+        assert np.allclose(startprob, [1.0, 0.0])
+        # transitions: 0->0 x1, 0->1 x2, 1->0 x1, 1->1 x2
+        assert np.allclose(transmat, [[1.0 / 3.0, 2.0 / 3.0], [1.0 / 3.0, 2.0 / 3.0]])
+
+    def test_pseudocount_avoids_zero_probabilities(self):
+        labels = [np.array([0, 0, 0])]
+        _, transmat = estimate_supervised_parameters(labels, 2, pseudocount=0.5)
+        assert np.all(transmat > 0)
+        assert np.allclose(transmat.sum(axis=1), 1.0)
+
+    def test_unseen_state_row_becomes_uniform(self):
+        labels = [np.array([0, 0])]
+        _, transmat = estimate_supervised_parameters(labels, 3, pseudocount=0.0)
+        assert np.allclose(transmat[1], 1.0 / 3.0)
+        assert np.allclose(transmat[2], 1.0 / 3.0)
+
+    def test_rejects_negative_pseudocount(self):
+        with pytest.raises(ValidationError):
+            estimate_supervised_parameters([np.array([0])], 2, pseudocount=-1.0)
+
+    def test_estimates_recover_generating_chain(self):
+        rng = np.random.default_rng(0)
+        true_A = np.array([[0.8, 0.2], [0.3, 0.7]])
+        labels = []
+        for _ in range(200):
+            seq = [int(rng.random() < 0.5)]
+            for _ in range(20):
+                seq.append(int(rng.random() < true_A[seq[-1], 1]))
+            labels.append(np.array(seq))
+        _, transmat = estimate_supervised_parameters(labels, 2)
+        assert np.allclose(transmat, true_A, atol=0.05)

@@ -1,0 +1,78 @@
+"""Unit tests for Viterbi decoding, checked against brute force."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.hmm.viterbi import viterbi_decode
+from repro.utils.maths import safe_log
+
+
+def brute_force_best_path(startprob, transmat, obs_probs):
+    T, K = obs_probs.shape
+    best_path, best_logp = None, -np.inf
+    for path in itertools.product(range(K), repeat=T):
+        logp = np.log(startprob[path[0]]) + np.log(obs_probs[0, path[0]])
+        for t in range(1, T):
+            logp += np.log(transmat[path[t - 1], path[t]]) + np.log(obs_probs[t, path[t]])
+        if logp > best_logp:
+            best_logp, best_path = logp, np.array(path)
+    return best_path, best_logp
+
+
+class TestViterbi:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            K, T = 3, 5
+            startprob = rng.dirichlet(np.ones(K))
+            transmat = rng.dirichlet(np.ones(K), size=K)
+            obs_probs = rng.dirichlet(np.ones(K), size=T)
+            path, logp = viterbi_decode(startprob, transmat, safe_log(obs_probs))
+            expected_path, expected_logp = brute_force_best_path(startprob, transmat, obs_probs)
+            assert np.isclose(logp, expected_logp)
+            assert np.array_equal(path, expected_path)
+
+    def test_deterministic_chain_follows_transitions(self):
+        # A chain that deterministically cycles 0 -> 1 -> 0 with perfect
+        # observations must be decoded exactly.
+        startprob = np.array([1.0, 0.0])
+        transmat = np.array([[0.0, 1.0], [1.0, 0.0]])
+        obs_probs = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0], [0.0, 1.0]])
+        path, _ = viterbi_decode(startprob, transmat, safe_log(obs_probs))
+        assert np.array_equal(path, [0, 1, 0, 1])
+
+    def test_transitions_can_override_weak_observations(self):
+        # Observations weakly prefer state 1 at t=1, but transitions from state 0
+        # strongly prefer staying, so the decoded path stays in state 0.
+        startprob = np.array([1.0, 0.0])
+        transmat = np.array([[0.99, 0.01], [0.5, 0.5]])
+        obs_probs = np.array([[1.0, 1e-12], [0.45, 0.55]])
+        path, _ = viterbi_decode(startprob, transmat, safe_log(obs_probs))
+        assert np.array_equal(path, [0, 0])
+
+    def test_single_observation(self):
+        startprob = np.array([0.2, 0.8])
+        transmat = np.full((2, 2), 0.5)
+        obs_probs = np.array([[0.9, 0.1]])
+        path, logp = viterbi_decode(startprob, transmat, safe_log(obs_probs))
+        assert path.tolist() == [0]
+        assert np.isclose(logp, np.log(0.2 * 0.9))
+
+    def test_path_log_probability_not_greater_than_data_likelihood(self):
+        from repro.hmm.forward_backward import sequence_log_likelihood
+
+        rng = np.random.default_rng(1)
+        startprob = rng.dirichlet(np.ones(4))
+        transmat = rng.dirichlet(np.ones(4), size=4)
+        log_obs = safe_log(rng.dirichlet(np.ones(4), size=8))
+        _, logp = viterbi_decode(startprob, transmat, log_obs)
+        assert logp <= sequence_log_likelihood(startprob, transmat, log_obs) + 1e-9
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            viterbi_decode(np.ones(3) / 3, np.full((2, 2), 0.5), np.zeros((4, 2)))
+        with pytest.raises(DimensionMismatchError):
+            viterbi_decode(np.ones(2) / 2, np.full((2, 2), 0.5), np.zeros(4))

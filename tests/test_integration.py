@@ -1,0 +1,116 @@
+"""End-to-end integration tests spanning multiple subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DHMMConfig,
+    DiversifiedHMM,
+    GaussianEmission,
+    HMM,
+    SupervisedDiversifiedHMM,
+)
+from repro.baselines import SupervisedHMMClassifier
+from repro.datasets.ocr import N_LETTERS, N_PIXELS
+from repro.datasets.splits import train_test_split_indices
+from repro.hmm.emissions import CategoricalEmission
+from repro.metrics.accuracy import one_to_one_accuracy, sequence_accuracy
+from repro.metrics.diversity import average_pairwise_bhattacharyya
+
+
+class TestUnsupervisedPipeline:
+    def test_generate_fit_decode_evaluate_gaussian(self, toy_data):
+        """The full unsupervised pipeline on the toy data recovers structure."""
+        emissions = GaussianEmission.random_init(5, toy_data.observations, seed=0)
+        model = DiversifiedHMM(emissions, DHMMConfig(alpha=1.0, max_em_iter=15), seed=0)
+        model.fit(toy_data.observations)
+        predictions = model.predict(toy_data.observations)
+        accuracy = one_to_one_accuracy(toy_data.states, predictions, n_states=5)
+        assert accuracy > 0.5
+        # Learned emissions should land near the true means 1..5 (up to order).
+        learned = np.sort(model.emissions_.means)
+        assert np.all(np.abs(learned - np.arange(1, 6)) < 1.0)
+
+    def test_generate_fit_decode_evaluate_categorical(self, tiny_pos_corpus):
+        """The categorical pipeline runs end to end and beats chance."""
+        corpus = tiny_pos_corpus
+        emissions = CategoricalEmission.random_init(corpus.n_tags, corpus.vocabulary_size, seed=1)
+        model = DiversifiedHMM(emissions, DHMMConfig(alpha=10.0, max_em_iter=6), seed=1)
+        model.fit(corpus.words)
+        predictions = model.predict(corpus.words)
+        accuracy = one_to_one_accuracy(corpus.tags, predictions, n_states=corpus.n_tags)
+        assert accuracy > 1.0 / corpus.n_tags
+
+    def test_dhmm_map_objective_beats_hmm_transition_prior_value(self, flat_toy_data):
+        """With the same init, the dHMM ends with a more diverse A than the HMM."""
+        seed = 4
+        emissions = GaussianEmission.random_init(5, flat_toy_data.observations, seed=seed)
+        hmm = DiversifiedHMM(emissions.copy(), DHMMConfig(alpha=0.0, max_em_iter=10), seed=seed)
+        dhmm = DiversifiedHMM(emissions.copy(), DHMMConfig(alpha=3.0, max_em_iter=10), seed=seed)
+        hmm.fit(flat_toy_data.observations)
+        dhmm.fit(flat_toy_data.observations)
+        assert average_pairwise_bhattacharyya(dhmm.transmat_) >= (
+            average_pairwise_bhattacharyya(hmm.transmat_) - 1e-6
+        )
+
+
+class TestSupervisedPipeline:
+    def test_train_test_generalization(self, tiny_ocr_dataset):
+        """Supervised dHMM generalizes from a train split to unseen words."""
+        data = tiny_ocr_dataset
+        train_idx, test_idx = train_test_split_indices(data.n_words, 0.25, seed=0)
+        train_x = [data.images[i] for i in train_idx]
+        train_y = [data.labels[i] for i in train_idx]
+        test_x = [data.images[i] for i in test_idx]
+        test_y = [data.labels[i] for i in test_idx]
+
+        dhmm = SupervisedDiversifiedHMM(
+            N_LETTERS, N_PIXELS, config=DHMMConfig(alpha=10.0, alpha_anchor=1e4)
+        ).fit(train_x, train_y)
+        hmm = SupervisedHMMClassifier(N_LETTERS, N_PIXELS).fit(train_x, train_y)
+
+        dhmm_acc = sequence_accuracy(test_y, dhmm.predict(test_x))
+        hmm_acc = sequence_accuracy(test_y, hmm.predict(test_x))
+        assert dhmm_acc > 0.3
+        assert dhmm_acc >= hmm_acc - 0.05
+
+    def test_sampled_data_roundtrip(self):
+        """Sampling from a known HMM and re-estimating it recovers parameters."""
+        emissions = CategoricalEmission(
+            np.array([[0.85, 0.1, 0.05], [0.05, 0.15, 0.8]])
+        )
+        truth = HMM(np.array([0.4, 0.6]), np.array([[0.9, 0.1], [0.2, 0.8]]), emissions)
+        states, observations = truth.sample_dataset(150, 20, seed=0)
+
+        from repro.hmm.supervised import estimate_supervised_parameters
+
+        startprob, transmat = estimate_supervised_parameters(states, 2)
+        assert np.allclose(transmat, truth.transmat, atol=0.05)
+        assert abs(startprob[0] - 0.4) < 0.15
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_docstring_flow(self, toy_data):
+        """The README/docstring quickstart snippet actually runs."""
+        from repro import DHMMConfig, DiversifiedHMM
+        from repro.hmm import GaussianEmission
+
+        model = DiversifiedHMM(
+            GaussianEmission.random_init(5, toy_data.observations, seed=1),
+            DHMMConfig(alpha=1.0, max_em_iter=3),
+            seed=1,
+        )
+        model.fit(toy_data.observations)
+        labels = model.predict(toy_data.observations)
+        assert len(labels) == toy_data.n_sequences

@@ -1,0 +1,102 @@
+"""Unit tests for the sequential-labeling accuracy measures."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.accuracy import (
+    align_labels_one_to_one,
+    many_to_one_accuracy,
+    one_to_one_accuracy,
+    remap_predictions,
+    sequence_accuracy,
+)
+
+
+class TestOneToOneAccuracy:
+    def test_perfect_permuted_labels_score_one(self):
+        true = [np.array([0, 1, 2, 0])]
+        pred = [np.array([2, 0, 1, 2])]  # a relabeling of the truth
+        assert one_to_one_accuracy(true, pred) == 1.0
+
+    def test_identity_labels_score_one(self):
+        true = [np.array([0, 1, 1])]
+        assert one_to_one_accuracy(true, true) == 1.0
+
+    def test_partial_agreement(self):
+        true = [np.array([0, 0, 1, 1])]
+        pred = [np.array([0, 0, 0, 1])]
+        assert np.isclose(one_to_one_accuracy(true, pred), 0.75)
+
+    def test_accepts_flat_arrays(self):
+        true = np.array([0, 1, 0, 1])
+        pred = np.array([1, 0, 1, 0])
+        assert one_to_one_accuracy(true, pred) == 1.0
+
+    def test_mapping_is_bijective(self):
+        # With a 1-to-1 constraint, two predicted states cannot both map to
+        # the same true state, so accuracy is capped accordingly.
+        true = [np.array([0, 0, 0, 0])]
+        pred = [np.array([0, 1, 0, 1])]
+        assert np.isclose(one_to_one_accuracy(true, pred, n_states=2), 0.5)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValidationError):
+            one_to_one_accuracy([np.array([0, 1])], [np.array([0])])
+
+
+class TestManyToOneAccuracy:
+    def test_many_to_one_can_exceed_one_to_one(self):
+        true = [np.array([0, 0, 0, 0])]
+        pred = [np.array([0, 1, 0, 1])]
+        assert many_to_one_accuracy(true, pred, n_states=2) == 1.0
+        assert one_to_one_accuracy(true, pred, n_states=2) == 0.5
+
+    def test_never_below_one_to_one(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            true = [rng.integers(0, 4, size=30)]
+            pred = [rng.integers(0, 4, size=30)]
+            assert many_to_one_accuracy(true, pred, 4) >= one_to_one_accuracy(true, pred, 4) - 1e-12
+
+
+class TestSequenceAccuracy:
+    def test_plain_fraction_of_matches(self):
+        true = [np.array([0, 1]), np.array([2])]
+        pred = [np.array([0, 0]), np.array([2])]
+        assert np.isclose(sequence_accuracy(true, pred), 2.0 / 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            sequence_accuracy([np.array([], dtype=int)], [np.array([], dtype=int)])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValidationError):
+            sequence_accuracy([np.array([0, 1])], [np.array([0])])
+
+
+class TestAlignAndRemap:
+    def test_alignment_maps_to_majority_partner(self):
+        true = [np.array([0, 0, 1, 1, 2, 2])]
+        pred = [np.array([2, 2, 0, 0, 1, 1])]
+        mapping = align_labels_one_to_one(true, pred)
+        assert mapping == {2: 0, 0: 1, 1: 2}
+
+    def test_remap_predictions_applies_mapping(self):
+        pred = [np.array([0, 1, 2])]
+        mapping = {0: 2, 1: 0, 2: 1}
+        out = remap_predictions(pred, mapping)
+        assert out[0].tolist() == [2, 0, 1]
+
+    def test_remap_keeps_unmapped_labels(self):
+        out = remap_predictions([np.array([5])], {0: 1})
+        assert out[0].tolist() == [5]
+
+    def test_alignment_then_remap_equals_one_to_one_accuracy(self):
+        rng = np.random.default_rng(1)
+        true = [rng.integers(0, 3, size=50)]
+        pred = [rng.integers(0, 3, size=50)]
+        mapping = align_labels_one_to_one(true, pred, n_states=3)
+        remapped = remap_predictions(pred, mapping)
+        direct = one_to_one_accuracy(true, pred, n_states=3)
+        assert np.isclose(sequence_accuracy(true, remapped), direct)

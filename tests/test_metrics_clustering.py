@@ -1,0 +1,51 @@
+"""Unit tests for the V-measure clustering metric."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.clustering import v_measure
+
+
+class TestVMeasure:
+    def test_perfect_labeling_scores_one(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert np.isclose(v_measure(labels, labels), 1.0)
+
+    def test_permuted_labeling_scores_one(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.array([1, 1, 0, 0])
+        assert np.isclose(v_measure(true, pred), 1.0)
+
+    def test_single_cluster_prediction_scores_low(self):
+        true = np.array([0, 0, 1, 1, 2, 2])
+        pred = np.zeros(6, dtype=int)
+        assert v_measure(true, pred) < 0.1
+
+    def test_matches_sklearn_formula_on_example(self):
+        # Hand-checked example: homogeneity/completeness formulas.
+        true = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 0, 1])
+        # Splitting both classes evenly carries no information: V = 0.
+        assert np.isclose(v_measure(true, pred), 0.0, atol=1e-10)
+
+    def test_accepts_lists_of_sequences(self):
+        true = [np.array([0, 0]), np.array([1, 1])]
+        pred = [np.array([1, 1]), np.array([0, 0])]
+        assert np.isclose(v_measure(true, pred), 1.0)
+
+    def test_value_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            true = rng.integers(0, 4, size=40)
+            pred = rng.integers(0, 4, size=40)
+            value = v_measure(true, pred)
+            assert -1e-9 <= value <= 1.0 + 1e-9
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValidationError):
+            v_measure(np.array([0, 1]), np.array([0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            v_measure(np.array([], dtype=int), np.array([], dtype=int))

@@ -1,0 +1,85 @@
+"""Unit tests for transition-row diversity measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ValidationError
+from repro.metrics.diversity import (
+    average_pairwise_bhattacharyya,
+    average_pairwise_cosine_distance,
+    pairwise_bhattacharyya_distances,
+    row_diversity_profile,
+)
+
+
+class TestPairwiseBhattacharyya:
+    def test_identical_rows_have_zero_distance(self):
+        A = np.tile(np.array([0.25, 0.25, 0.5]), (3, 1))
+        D = pairwise_bhattacharyya_distances(A)
+        assert np.allclose(D, 0.0, atol=1e-12)
+
+    def test_matrix_is_symmetric_with_zero_diagonal(self, random_transition_matrix):
+        D = pairwise_bhattacharyya_distances(random_transition_matrix)
+        assert np.allclose(D, D.T)
+        assert np.allclose(np.diag(D), 0.0)
+
+    def test_orthogonal_rows_have_large_distance(self):
+        A = np.eye(3)
+        D = pairwise_bhattacharyya_distances(A)
+        assert np.all(D[np.triu_indices(3, 1)] > 100.0)
+
+
+class TestAveragePairwiseDiversity:
+    def test_identity_is_more_diverse_than_uniform(self):
+        identity_like = np.eye(4) * 0.97 + 0.01
+        uniform = np.full((4, 4), 0.25)
+        assert average_pairwise_bhattacharyya(identity_like) > average_pairwise_bhattacharyya(
+            uniform
+        )
+
+    def test_uniform_matrix_has_zero_diversity(self):
+        assert np.isclose(average_pairwise_bhattacharyya(np.full((3, 3), 1 / 3)), 0.0, atol=1e-12)
+        assert np.isclose(average_pairwise_cosine_distance(np.full((3, 3), 1 / 3)), 0.0, atol=1e-12)
+
+    def test_cosine_distance_in_unit_interval(self, random_transition_matrix):
+        value = average_pairwise_cosine_distance(random_transition_matrix)
+        assert 0.0 <= value <= 1.0
+
+    def test_single_row_raises(self):
+        with pytest.raises(ValidationError):
+            average_pairwise_bhattacharyya(np.array([[0.5, 0.5]]))
+
+    def test_negative_entries_raise(self):
+        with pytest.raises(ValidationError):
+            average_pairwise_bhattacharyya(np.array([[1.5, -0.5], [0.5, 0.5]]))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_diversity_non_negative(self, seed):
+        A = np.random.default_rng(seed).dirichlet(np.ones(4), size=4)
+        assert average_pairwise_bhattacharyya(A) >= 0.0
+        assert average_pairwise_cosine_distance(A) >= -1e-12
+
+    def test_sharpening_rows_increases_diversity(self):
+        base = np.random.default_rng(3).dirichlet(np.ones(5), size=5)
+        sharpened = base**3
+        sharpened /= sharpened.sum(axis=1, keepdims=True)
+        assert average_pairwise_bhattacharyya(sharpened) >= average_pairwise_bhattacharyya(base)
+
+
+class TestRowDiversityProfile:
+    def test_profile_length_excludes_reference_row(self, random_transition_matrix):
+        profile = row_diversity_profile(random_transition_matrix, 2)
+        assert profile.shape == (4,)
+
+    def test_profile_matches_pairwise_matrix(self, random_transition_matrix):
+        D = pairwise_bhattacharyya_distances(random_transition_matrix)
+        profile = row_diversity_profile(random_transition_matrix, 0)
+        assert np.allclose(profile, D[0, 1:])
+
+    def test_out_of_range_row_raises(self, random_transition_matrix):
+        with pytest.raises(ValidationError):
+            row_diversity_profile(random_transition_matrix, 9)

@@ -1,0 +1,74 @@
+"""Unit tests for state-histogram statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.histograms import (
+    effective_state_count,
+    histogram_distance,
+    state_histogram,
+)
+
+
+class TestStateHistogram:
+    def test_counts_states_across_sequences(self):
+        labels = [np.array([0, 1, 1]), np.array([2, 2, 2])]
+        hist = state_histogram(labels, 3)
+        assert hist.tolist() == [1.0, 2.0, 3.0]
+
+    def test_unused_states_are_zero(self):
+        hist = state_histogram([np.array([0])], 4)
+        assert hist.tolist() == [1.0, 0.0, 0.0, 0.0]
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValidationError):
+            state_histogram([np.array([3])], 2)
+
+    def test_rejects_non_positive_n_states(self):
+        with pytest.raises(ValidationError):
+            state_histogram([np.array([0])], 0)
+
+
+class TestEffectiveStateCount:
+    def test_threshold_filters_rare_states(self):
+        labels = [np.concatenate([np.zeros(100, dtype=int), np.ones(10, dtype=int)])]
+        assert effective_state_count(labels, 2, threshold=50) == 1
+        assert effective_state_count(labels, 2, threshold=5) == 2
+
+    def test_paper_default_threshold(self):
+        labels = [np.repeat(np.arange(5), 60)]
+        assert effective_state_count(labels, 5) == 5
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValidationError):
+            effective_state_count([np.array([0])], 1, threshold=-1)
+
+
+class TestHistogramDistance:
+    def test_identical_histograms_have_zero_distance(self):
+        h = np.array([10.0, 20.0, 30.0])
+        assert histogram_distance(h, h) == 0.0
+
+    def test_disjoint_histograms_have_distance_one(self):
+        a = np.array([10.0, 0.0])
+        b = np.array([0.0, 7.0])
+        assert np.isclose(histogram_distance(a, b), 1.0)
+
+    def test_scale_invariance(self):
+        a = np.array([1.0, 3.0])
+        b = np.array([2.0, 2.0])
+        assert np.isclose(histogram_distance(a, b), histogram_distance(10 * a, 5 * b))
+
+    def test_symmetric(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([3.0, 2.0, 1.0])
+        assert np.isclose(histogram_distance(a, b), histogram_distance(b, a))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            histogram_distance(np.ones(2), np.ones(3))
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValidationError):
+            histogram_distance(np.zeros(2), np.ones(2))

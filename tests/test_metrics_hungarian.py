@@ -1,0 +1,89 @@
+"""Unit and property tests for the Hungarian algorithm (vs scipy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy.optimize import linear_sum_assignment
+
+from repro.exceptions import ValidationError
+from repro.metrics.hungarian import hungarian_assignment
+
+
+def total_cost(cost, rows, cols):
+    return float(cost[rows, cols].sum())
+
+
+class TestHungarianAssignment:
+    def test_identity_cost_matrix(self):
+        cost = 1.0 - np.eye(4)
+        rows, cols = hungarian_assignment(cost)
+        assert np.array_equal(rows, cols)
+
+    def test_simple_known_example(self):
+        cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+        rows, cols = hungarian_assignment(cost)
+        assert total_cost(cost, rows, cols) == 5.0  # 1 + 2 + 2
+
+    def test_matches_scipy_on_random_square_matrices(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = int(rng.integers(1, 9))
+            cost = rng.normal(size=(n, n)) * 10
+            rows, cols = hungarian_assignment(cost)
+            srows, scols = linear_sum_assignment(cost)
+            assert np.isclose(total_cost(cost, rows, cols), cost[srows, scols].sum())
+
+    def test_matches_scipy_on_rectangular_matrices(self):
+        rng = np.random.default_rng(1)
+        for shape in [(3, 6), (6, 3), (2, 5), (7, 4)]:
+            cost = rng.uniform(0, 10, size=shape)
+            rows, cols = hungarian_assignment(cost)
+            srows, scols = linear_sum_assignment(cost)
+            assert len(rows) == min(shape)
+            assert np.isclose(total_cost(cost, rows, cols), cost[srows, scols].sum())
+
+    def test_assignment_is_a_matching(self):
+        rng = np.random.default_rng(2)
+        cost = rng.normal(size=(6, 6))
+        rows, cols = hungarian_assignment(cost)
+        assert len(set(rows.tolist())) == 6
+        assert len(set(cols.tolist())) == 6
+
+    def test_empty_matrix(self):
+        rows, cols = hungarian_assignment(np.zeros((0, 0)))
+        assert rows.size == 0
+        assert cols.size == 0
+
+    def test_single_element(self):
+        rows, cols = hungarian_assignment(np.array([[3.0]]))
+        assert rows.tolist() == [0]
+        assert cols.tolist() == [0]
+
+    def test_rejects_non_finite_costs(self):
+        with pytest.raises(ValidationError):
+            hungarian_assignment(np.array([[np.inf, 1.0], [1.0, 2.0]]))
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValidationError):
+            hungarian_assignment(np.array([1.0, 2.0]))
+
+    @given(arrays(np.float64, (5, 5), elements=st.floats(-100, 100)))
+    @settings(max_examples=60, deadline=None)
+    def test_property_optimal_cost_matches_scipy(self, cost):
+        rows, cols = hungarian_assignment(cost)
+        srows, scols = linear_sum_assignment(cost)
+        assert np.isclose(total_cost(cost, rows, cols), cost[srows, scols].sum(), atol=1e-8)
+
+    @given(
+        st.integers(2, 6),
+        st.integers(2, 6),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_rectangular_matches_scipy(self, n_rows, n_cols, seed):
+        cost = np.random.default_rng(seed).uniform(-5, 5, size=(n_rows, n_cols))
+        rows, cols = hungarian_assignment(cost)
+        srows, scols = linear_sum_assignment(cost)
+        assert np.isclose(total_cost(cost, rows, cols), cost[srows, scols].sum(), atol=1e-8)

@@ -1,0 +1,48 @@
+"""Unit tests for the convergence monitor."""
+
+import pytest
+
+from repro.optim.convergence import ConvergenceMonitor
+
+
+class TestConvergenceMonitor:
+    def test_converges_on_small_improvement(self):
+        monitor = ConvergenceMonitor(tol=1e-3, max_iter=100)
+        assert not monitor.update(1.0)
+        assert monitor.update(1.0005)
+        assert monitor.converged
+
+    def test_does_not_converge_on_large_improvement(self):
+        monitor = ConvergenceMonitor(tol=1e-3, max_iter=100)
+        monitor.update(1.0)
+        assert not monitor.update(2.0)
+
+    def test_exhaustion_stops_iteration(self):
+        monitor = ConvergenceMonitor(tol=0.0, max_iter=3)
+        monitor.update(1.0)
+        monitor.update(2.0)
+        assert monitor.update(3.0)
+        assert monitor.exhausted
+        assert not monitor.converged
+
+    def test_n_iter_and_last(self):
+        monitor = ConvergenceMonitor()
+        monitor.update(5.0)
+        assert monitor.n_iter == 1
+        assert monitor.last == 5.0
+
+    def test_last_raises_when_empty(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor().last
+
+    def test_reset_clears_history(self):
+        monitor = ConvergenceMonitor()
+        monitor.update(1.0)
+        monitor.reset()
+        assert monitor.n_iter == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(tol=-1.0)
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(max_iter=0)

@@ -1,0 +1,65 @@
+"""Unit tests for projected gradient ascent over row-stochastic matrices."""
+
+import numpy as np
+
+from repro.optim.projected_gradient import maximize_rowwise_simplex
+from repro.utils.maths import safe_log
+
+
+class TestMaximizeRowwiseSimplex:
+    def test_recovers_normalized_counts_for_multinomial_likelihood(self):
+        # max sum counts * log A over the simplex has the closed-form solution
+        # A_ij = counts_ij / sum_j counts_ij.
+        counts = np.array([[30.0, 10.0, 10.0], [5.0, 20.0, 25.0]])
+        expected = counts / counts.sum(axis=1, keepdims=True)
+
+        objective = lambda A: float(np.sum(counts * safe_log(A)))
+        gradient = lambda A: counts / np.clip(A, 1e-12, None)
+        start = np.full((2, 3), 1.0 / 3.0)
+
+        result = maximize_rowwise_simplex(objective, gradient, start, max_iter=300, tol=1e-12)
+        assert np.allclose(result.solution, expected, atol=5e-3)
+
+    def test_objective_is_monotone_non_decreasing(self):
+        rng = np.random.default_rng(0)
+        counts = rng.uniform(1, 20, size=(4, 4))
+        objective = lambda A: float(np.sum(counts * safe_log(A)))
+        gradient = lambda A: counts / np.clip(A, 1e-12, None)
+        start = rng.dirichlet(np.ones(4), size=4)
+        result = maximize_rowwise_simplex(objective, gradient, start, max_iter=60)
+        diffs = np.diff(result.history)
+        assert np.all(diffs >= -1e-9)
+
+    def test_solution_stays_row_stochastic(self):
+        counts = np.array([[1.0, 5.0], [8.0, 2.0]])
+        objective = lambda A: float(np.sum(counts * safe_log(A)))
+        gradient = lambda A: counts / np.clip(A, 1e-12, None)
+        result = maximize_rowwise_simplex(objective, gradient, np.full((2, 2), 0.5))
+        assert np.allclose(result.solution.sum(axis=1), 1.0)
+        assert np.all(result.solution >= 0)
+
+    def test_zero_gradient_stops_immediately(self):
+        objective = lambda A: 0.0
+        gradient = lambda A: np.zeros_like(A)
+        start = np.full((3, 3), 1.0 / 3.0)
+        result = maximize_rowwise_simplex(objective, gradient, start)
+        assert result.converged
+        assert np.allclose(result.solution, start)
+
+    def test_min_value_floor_is_respected(self):
+        counts = np.array([[100.0, 0.0]])
+        objective = lambda A: float(np.sum(counts * safe_log(A)))
+        gradient = lambda A: counts / np.clip(A, 1e-12, None)
+        result = maximize_rowwise_simplex(
+            objective, gradient, np.array([[0.5, 0.5]]), min_value=1e-4, max_iter=200
+        )
+        assert result.solution[0, 1] >= 1e-5
+
+    def test_result_reports_iterations_and_objective(self):
+        counts = np.array([[3.0, 1.0], [1.0, 3.0]])
+        objective = lambda A: float(np.sum(counts * safe_log(A)))
+        gradient = lambda A: counts / np.clip(A, 1e-12, None)
+        result = maximize_rowwise_simplex(objective, gradient, np.full((2, 2), 0.5), max_iter=40)
+        assert result.n_iter >= 1
+        assert np.isclose(result.objective, objective(result.solution))
+        assert result.history[-1] == result.objective

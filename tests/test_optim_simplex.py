@@ -1,0 +1,112 @@
+"""Unit and property-based tests for the simplex projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ValidationError
+from repro.optim.simplex import project_rows_to_simplex, project_to_simplex
+
+
+class TestProjectToSimplex:
+    def test_point_already_on_simplex_unchanged(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert np.allclose(project_to_simplex(p), p)
+
+    def test_uniform_projection_of_constant_vector(self):
+        out = project_to_simplex(np.array([5.0, 5.0, 5.0, 5.0]))
+        assert np.allclose(out, 0.25)
+
+    def test_large_single_coordinate_becomes_vertex(self):
+        out = project_to_simplex(np.array([10.0, 0.0, 0.0]))
+        assert np.allclose(out, [1.0, 0.0, 0.0])
+
+    def test_negative_entries_get_clipped(self):
+        out = project_to_simplex(np.array([-1.0, 2.0]))
+        assert np.allclose(out, [0.0, 1.0])
+
+    def test_matches_scipy_qp_solution_on_example(self):
+        # Known example: projecting (0.5, 0.9, -0.1) onto the simplex.
+        v = np.array([0.5, 0.9, -0.1])
+        out = project_to_simplex(v)
+        # Optimality: out is feasible and no closer feasible point exists
+        # among a dense sample of candidates.
+        assert np.isclose(out.sum(), 1.0)
+        rng = np.random.default_rng(0)
+        candidates = rng.dirichlet(np.ones(3), size=2000)
+        best = candidates[np.argmin(np.linalg.norm(candidates - v, axis=1))]
+        assert np.linalg.norm(out - v) <= np.linalg.norm(best - v) + 1e-9
+
+    def test_radius_parameter(self):
+        out = project_to_simplex(np.array([1.0, 1.0]), radius=2.0)
+        assert np.isclose(out.sum(), 2.0)
+
+    def test_rejects_empty_vector(self):
+        with pytest.raises(ValidationError):
+            project_to_simplex(np.array([]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            project_to_simplex(np.array([np.nan, 0.0]))
+
+    def test_rejects_non_positive_radius(self):
+        with pytest.raises(ValidationError):
+            project_to_simplex(np.array([0.5, 0.5]), radius=0.0)
+
+    @given(arrays(np.float64, (6,), elements=st.floats(-100, 100)))
+    @settings(max_examples=100, deadline=None)
+    def test_projection_is_feasible(self, v):
+        out = project_to_simplex(v)
+        assert np.all(out >= -1e-12)
+        assert np.isclose(out.sum(), 1.0, atol=1e-9)
+
+    @given(arrays(np.float64, (5,), elements=st.floats(-20, 20)))
+    @settings(max_examples=100, deadline=None)
+    def test_projection_is_idempotent(self, v):
+        once = project_to_simplex(v)
+        twice = project_to_simplex(once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+    @given(
+        arrays(np.float64, (5,), elements=st.floats(-20, 20)),
+        arrays(np.float64, (5,), elements=st.floats(0.01, 1.0)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_projection_is_closest_among_random_feasible_points(self, v, w):
+        out = project_to_simplex(v)
+        feasible = w / w.sum()
+        assert np.linalg.norm(out - v) <= np.linalg.norm(feasible - v) + 1e-9
+
+
+class TestProjectRowsToSimplex:
+    def test_matches_per_row_projection(self):
+        rng = np.random.default_rng(1)
+        M = rng.normal(size=(8, 5)) * 3
+        rows = project_rows_to_simplex(M)
+        for i in range(M.shape[0]):
+            assert np.allclose(rows[i], project_to_simplex(M[i]), atol=1e-12)
+
+    def test_output_is_row_stochastic(self):
+        rng = np.random.default_rng(2)
+        out = project_rows_to_simplex(rng.normal(size=(4, 7)))
+        assert np.all(out >= 0)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValidationError):
+            project_rows_to_simplex(np.array([1.0, 2.0]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            project_rows_to_simplex(np.array([[np.nan, 1.0]]))
+
+    @given(arrays(np.float64, (4, 6), elements=st.floats(-50, 50)))
+    @settings(max_examples=60, deadline=None)
+    def test_property_feasible_and_matches_single(self, M):
+        out = project_rows_to_simplex(M)
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(out >= -1e-12)
+        for i in range(M.shape[0]):
+            assert np.allclose(out[i], project_to_simplex(M[i]), atol=1e-9)

@@ -1,0 +1,128 @@
+"""Property-based tests on cross-module invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dpp.kernels import transition_kernel_matrix
+from repro.dpp.log_det import dpp_log_prior
+from repro.hmm.emissions import CategoricalEmission
+from repro.hmm.forward_backward import compute_posteriors
+from repro.hmm.model import HMM
+from repro.hmm.viterbi import viterbi_decode
+from repro.metrics.accuracy import many_to_one_accuracy, one_to_one_accuracy
+from repro.metrics.diversity import average_pairwise_bhattacharyya
+from repro.optim.simplex import project_rows_to_simplex
+from repro.utils.maths import safe_log
+
+
+def random_hmm(seed, n_states=3, n_symbols=4):
+    rng = np.random.default_rng(seed)
+    emissions = CategoricalEmission(rng.dirichlet(np.ones(n_symbols), size=n_states))
+    startprob = rng.dirichlet(np.ones(n_states))
+    transmat = rng.dirichlet(np.ones(n_states), size=n_states)
+    return HMM(startprob, transmat, emissions)
+
+
+class TestHmmInvariants:
+    @given(st.integers(0, 10_000), st.integers(2, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_posteriors_normalize_and_likelihood_finite(self, seed, length):
+        model = random_hmm(seed)
+        _, obs = model.sample(length, seed=seed)
+        stats = model.posteriors(np.asarray(obs))
+        assert np.allclose(stats.gamma.sum(axis=1), 1.0, atol=1e-8)
+        assert np.isfinite(stats.log_likelihood)
+        assert stats.log_likelihood <= 0.0 + 1e-9
+
+    @given(st.integers(0, 10_000), st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_viterbi_path_probability_bounded_by_likelihood(self, seed, length):
+        model = random_hmm(seed)
+        _, obs = model.sample(length, seed=seed)
+        log_obs = model.emissions.log_likelihoods(np.asarray(obs))
+        path, logp = viterbi_decode(model.startprob, model.transmat, log_obs)
+        stats = compute_posteriors(model.startprob, model.transmat, log_obs)
+        assert logp <= stats.log_likelihood + 1e-9
+        assert path.shape == (length,)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_expected_transition_counts_are_consistent(self, seed):
+        model = random_hmm(seed)
+        _, obs = model.sample(12, seed=seed)
+        stats = model.posteriors(np.asarray(obs))
+        # Total expected transitions equal T - 1.
+        assert np.isclose(stats.xi_sum.sum(), 11.0, atol=1e-6)
+        assert np.all(stats.xi_sum >= -1e-12)
+
+
+class TestDppInvariants:
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_kernel_psd_and_prior_nonpositive(self, seed, k):
+        A = np.random.default_rng(seed).dirichlet(np.ones(k), size=k)
+        K = transition_kernel_matrix(A)
+        assert np.all(np.linalg.eigvalsh(K) >= -1e-8)
+        assert dpp_log_prior(A) <= 1e-9
+
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_collapsed_rows_never_beat_the_original_matrix(self, seed, k):
+        # Replacing every row by the common mean row (a fully collapsed
+        # transition matrix) can never have a higher diversity prior than
+        # the original matrix.
+        A = np.random.default_rng(seed).dirichlet(np.ones(k) * 0.8, size=k)
+        collapsed = np.tile(A.mean(axis=0), (k, 1))
+        assert dpp_log_prior(collapsed) <= dpp_log_prior(A) + 1e-9
+        assert average_pairwise_bhattacharyya(collapsed) <= average_pairwise_bhattacharyya(A) + 1e-9
+
+
+class TestMetricInvariants:
+    @given(st.integers(0, 10_000), st.integers(5, 40), st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_bounds_and_ordering(self, seed, length, k):
+        rng = np.random.default_rng(seed)
+        true = rng.integers(0, k, size=length)
+        pred = rng.integers(0, k, size=length)
+        one = one_to_one_accuracy(true, pred, n_states=k)
+        many = many_to_one_accuracy(true, pred, n_states=k)
+        assert 0.0 <= one <= 1.0
+        assert one <= many + 1e-12
+
+    @given(st.integers(0, 10_000), st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_one_to_one_accuracy_invariant_to_relabeling(self, seed, k):
+        rng = np.random.default_rng(seed)
+        true = rng.integers(0, k, size=30)
+        pred = rng.integers(0, k, size=30)
+        perm = rng.permutation(k)
+        relabeled = perm[pred]
+        assert np.isclose(
+            one_to_one_accuracy(true, pred, n_states=k),
+            one_to_one_accuracy(true, relabeled, n_states=k),
+        )
+
+
+class TestOptimInvariants:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_projection_preserves_points_already_on_simplex(self, seed):
+        A = np.random.default_rng(seed).dirichlet(np.ones(4), size=3)
+        assert np.allclose(project_rows_to_simplex(A), A, atol=1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_log_likelihood_of_uniform_observation_model(self, seed):
+        # If every state emits uniformly, the data log-likelihood equals
+        # T * log(1/V) regardless of transition structure.
+        rng = np.random.default_rng(seed)
+        n_states, n_symbols, length = 3, 4, 6
+        emissions = CategoricalEmission(np.full((n_states, n_symbols), 1.0 / n_symbols))
+        model = HMM(
+            rng.dirichlet(np.ones(n_states)),
+            rng.dirichlet(np.ones(n_states), size=n_states),
+            emissions,
+        )
+        obs = rng.integers(0, n_symbols, size=length)
+        assert np.isclose(model.log_likelihood(obs), length * np.log(1.0 / n_symbols), atol=1e-8)

@@ -1,0 +1,114 @@
+"""Unit tests for repro.utils.maths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.maths import (
+    bhattacharyya_coefficient,
+    bhattacharyya_distance,
+    logsumexp,
+    normalize_log_probabilities,
+    normalize_rows,
+    safe_log,
+)
+
+
+class TestSafeLog:
+    def test_matches_log_for_positive_values(self):
+        x = np.array([0.1, 1.0, 10.0])
+        assert np.allclose(safe_log(x), np.log(x))
+
+    def test_zero_maps_to_finite_value(self):
+        assert np.isfinite(safe_log(0.0))
+
+    def test_scalar_input(self):
+        assert np.isclose(safe_log(np.e), 1.0)
+
+
+class TestLogSumExp:
+    def test_matches_naive_computation(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.isclose(logsumexp(x), np.log(np.sum(np.exp(x))))
+
+    def test_matches_scipy(self):
+        from scipy.special import logsumexp as scipy_lse
+
+        x = np.random.default_rng(0).normal(size=(4, 6))
+        assert np.allclose(logsumexp(x, axis=1), scipy_lse(x, axis=1))
+        assert np.allclose(logsumexp(x, axis=0), scipy_lse(x, axis=0))
+        assert np.isclose(float(logsumexp(x)), float(scipy_lse(x)))
+
+    def test_handles_large_values_without_overflow(self):
+        x = np.array([1000.0, 1000.0])
+        assert np.isclose(logsumexp(x), 1000.0 + np.log(2.0))
+
+    def test_handles_all_minus_inf(self):
+        x = np.array([-np.inf, -np.inf])
+        assert logsumexp(x) == -np.inf
+
+    @given(arrays(np.float64, (5,), elements=st.floats(-50, 50)))
+    @settings(max_examples=50, deadline=None)
+    def test_always_at_least_max(self, x):
+        assert logsumexp(x) >= np.max(x) - 1e-12
+
+
+class TestNormalizeRows:
+    def test_rows_sum_to_one(self):
+        m = np.array([[1.0, 3.0], [2.0, 2.0]])
+        out = normalize_rows(m)
+        assert np.allclose(out.sum(axis=1), 1.0)
+        assert np.allclose(out[0], [0.25, 0.75])
+
+    def test_zero_row_becomes_uniform(self):
+        m = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 2.0]])
+        out = normalize_rows(m)
+        assert np.allclose(out[0], 1.0 / 3.0)
+
+    def test_pseudocount_smooths(self):
+        m = np.array([[0.0, 4.0]])
+        out = normalize_rows(m, pseudocount=1.0)
+        assert np.allclose(out, [[1.0 / 6.0, 5.0 / 6.0]])
+
+    def test_does_not_modify_input(self):
+        m = np.array([[1.0, 1.0]])
+        normalize_rows(m)
+        assert np.allclose(m, [[1.0, 1.0]])
+
+
+class TestNormalizeLogProbabilities:
+    def test_matches_direct_normalization(self):
+        logp = np.log(np.array([[0.2, 0.8], [0.5, 0.5]]))
+        out = normalize_log_probabilities(logp, axis=1)
+        assert np.allclose(out.sum(axis=1), 1.0)
+        assert np.allclose(out[0], [0.2, 0.8])
+
+
+class TestBhattacharyya:
+    def test_identical_distributions_have_zero_distance(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert np.isclose(bhattacharyya_coefficient(p, p), 1.0)
+        assert np.isclose(bhattacharyya_distance(p, p), 0.0, atol=1e-12)
+
+    def test_disjoint_distributions_have_large_distance(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert bhattacharyya_coefficient(p, q) == 0.0
+        assert bhattacharyya_distance(p, q) > 100.0
+
+    def test_symmetry(self):
+        p = np.array([0.1, 0.9])
+        q = np.array([0.6, 0.4])
+        assert np.isclose(bhattacharyya_distance(p, q), bhattacharyya_distance(q, p))
+
+    @given(
+        arrays(np.float64, (4,), elements=st.floats(0.01, 10.0)),
+        arrays(np.float64, (4,), elements=st.floats(0.01, 10.0)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_distance_non_negative_for_distributions(self, a, b):
+        p = a / a.sum()
+        q = b / b.sum()
+        assert bhattacharyya_distance(p, q) >= -1e-12

@@ -1,0 +1,44 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(7).random(3)
+        b = as_generator(7).random(3)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_generator(1).random(5), as_generator(2).random(5))
+
+
+class TestSpawnGenerators:
+    def test_count_and_independence(self):
+        gens = spawn_generators(0, 3)
+        assert len(gens) == 3
+        draws = [g.random(4) for g in gens]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_reproducible_from_seed(self):
+        a = [g.random(2) for g in spawn_generators(42, 2)]
+        b = [g.random(2) for g in spawn_generators(42, 2)]
+        assert np.allclose(a, b)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)

@@ -1,0 +1,123 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, ValidationError
+from repro.utils.validation import (
+    check_binary_sequences,
+    check_probability_matrix,
+    check_probability_vector,
+    check_real_sequences,
+    check_sequences,
+    check_square_matrix,
+)
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid_distribution(self):
+        out = check_probability_vector([0.2, 0.3, 0.5])
+        assert out.dtype == np.float64
+        assert np.isclose(out.sum(), 1.0)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValidationError, match="negative"):
+            check_probability_vector([-0.1, 1.1])
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            check_probability_vector([0.2, 0.2])
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValidationError, match="one-dimensional"):
+            check_probability_vector([[0.5, 0.5]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            check_probability_vector([np.nan, 1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            check_probability_vector([])
+
+
+class TestCheckProbabilityMatrix:
+    def test_accepts_row_stochastic(self):
+        m = np.array([[0.5, 0.5], [0.1, 0.9]])
+        assert np.allclose(check_probability_matrix(m), m)
+
+    def test_rejects_bad_row_sum(self):
+        with pytest.raises(ValidationError, match="row 1"):
+            check_probability_matrix([[0.5, 0.5], [0.2, 0.2]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="negative"):
+            check_probability_matrix([[1.2, -0.2], [0.5, 0.5]])
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValidationError, match="two-dimensional"):
+            check_probability_matrix(np.ones((2, 2, 2)) / 2)
+
+
+class TestCheckSquareMatrix:
+    def test_accepts_square(self):
+        m = np.eye(3)
+        assert check_square_matrix(m).shape == (3, 3)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(DimensionMismatchError):
+            check_square_matrix(np.ones((2, 3)))
+
+    def test_rejects_non_finite(self):
+        m = np.eye(2)
+        m[0, 0] = np.inf
+        with pytest.raises(ValidationError):
+            check_square_matrix(m)
+
+
+class TestCheckSequences:
+    def test_accepts_list_of_lists(self):
+        out = check_sequences([[0, 1, 2], [1, 1]])
+        assert len(out) == 2
+        assert out[0].dtype == np.int64
+
+    def test_rejects_out_of_range_symbols(self):
+        with pytest.raises(ValidationError, match="outside"):
+            check_sequences([[0, 5]], n_symbols=3)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValidationError, match="length"):
+            check_sequences([[1]], min_length=2)
+
+    def test_rejects_empty_collection(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            check_sequences([])
+
+    def test_rejects_2d_sequence(self):
+        with pytest.raises(ValidationError, match="one-dimensional"):
+            check_sequences([np.zeros((2, 2), dtype=int)])
+
+
+class TestCheckRealSequences:
+    def test_accepts_float_sequences(self):
+        out = check_real_sequences([[0.5, 1.5], [2.0]])
+        assert out[1][0] == 2.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            check_real_sequences([[np.nan]])
+
+
+class TestCheckBinarySequences:
+    def test_accepts_binary_matrices(self):
+        seq = np.array([[0.0, 1.0], [1.0, 1.0]])
+        out = check_binary_sequences([seq])
+        assert out[0].shape == (2, 2)
+
+    def test_rejects_non_binary_values(self):
+        with pytest.raises(ValidationError, match="0/1"):
+            check_binary_sequences([np.array([[0.5, 1.0]])])
+
+    def test_rejects_wrong_feature_count(self):
+        with pytest.raises(DimensionMismatchError):
+            check_binary_sequences([np.zeros((3, 4))], n_features=5)
