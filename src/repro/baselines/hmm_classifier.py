@@ -64,9 +64,9 @@ class SupervisedHMMClassifier:
         return self.model_
 
     def predict(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
-        """Viterbi-decode letter labels for every test word."""
+        """Viterbi-decode letter labels for every test word (batched)."""
         model = self._check_fitted()
-        return [model.decode(np.asarray(seq, dtype=np.float64)) for seq in sequences]
+        return model.predict([np.asarray(seq, dtype=np.float64) for seq in sequences])
 
     @property
     def transmat_(self) -> np.ndarray:

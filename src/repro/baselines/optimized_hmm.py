@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.baselines.hmm_classifier import SupervisedHMMClassifier
 from repro.exceptions import NotFittedError, ValidationError
-from repro.hmm.viterbi import viterbi_decode
 
 
 class OptimizedHMMClassifier(SupervisedHMMClassifier):
@@ -76,12 +75,15 @@ class OptimizedHMMClassifier(SupervisedHMMClassifier):
         log_1p = np.log1p(-probs)
         weights = self.pixel_weights_
 
-        predictions: list[np.ndarray] = []
+        log_obs_seqs: list[np.ndarray] = []
         for seq in sequences:
             obs = np.asarray(seq, dtype=np.float64)
             weighted_obs = obs * weights[None, :]
             weighted_neg = (1.0 - obs) * weights[None, :]
-            log_obs = self.emission_weight * (weighted_obs @ log_p.T + weighted_neg @ log_1p.T)
-            path, _ = viterbi_decode(model.startprob, model.transmat, log_obs)
-            predictions.append(path)
-        return predictions
+            log_obs_seqs.append(
+                self.emission_weight * (weighted_obs @ log_p.T + weighted_neg @ log_1p.T)
+            )
+        decoded = model.inference_engine.viterbi_batch(
+            model.startprob, model.transmat, log_obs_seqs
+        )
+        return [path for path, _ in decoded]

@@ -1,12 +1,22 @@
 """The paper's primary contribution: diversity-regularized HMMs."""
 
-from repro.core.config import DHMMConfig
+from repro.core.config import (
+    DHMMConfig,
+    InferenceConfig,
+    get_inference_config,
+    inference_backend,
+    set_inference_config,
+)
 from repro.core.transition_prior import DPPTransitionPrior, DiversityTransitionUpdater
 from repro.core.diversified_hmm import DiversifiedHMM
 from repro.core.supervised import SupervisedDiversifiedHMM
 
 __all__ = [
     "DHMMConfig",
+    "InferenceConfig",
+    "get_inference_config",
+    "set_inference_config",
+    "inference_backend",
     "DPPTransitionPrior",
     "DiversityTransitionUpdater",
     "DiversifiedHMM",

@@ -1,10 +1,94 @@
-"""Configuration objects for the diversified HMM models."""
+"""Configuration objects for the diversified HMM models and inference engine."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
 
 from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """Process-wide defaults for the HMM inference engine.
+
+    Attributes
+    ----------
+    backend:
+        Which numerical backend newly built engines use: ``"scaled"`` (the
+        batched Rabiner-scaled probability-domain engine, the default) or
+        ``"log"`` (the per-sequence log-domain reference recursions).
+    bucket_size:
+        Maximum number of sequences grouped into one padded length-bucket
+        by the scaled backend.
+    """
+
+    backend: str = "scaled"
+    bucket_size: int = 64
+
+    def __post_init__(self) -> None:
+        # Imported lazily: the backend registry lives in the hmm layer, and
+        # importing it at module scope would couple core.config's import to
+        # the whole hmm package.
+        from repro.hmm.backends import available_backends
+
+        if self.backend not in available_backends():
+            raise ValidationError(
+                f"backend must be one of {available_backends()}, got {self.backend!r}"
+            )
+        if self.bucket_size < 1:
+            raise ValidationError(
+                f"bucket_size must be at least 1, got {self.bucket_size}"
+            )
+
+
+# Created on first use so that importing this module does not pull in the
+# hmm package (InferenceConfig validation consults its backend registry).
+_inference_config: InferenceConfig | None = None
+
+
+def get_inference_config() -> InferenceConfig:
+    """The current process-wide inference configuration."""
+    global _inference_config
+    if _inference_config is None:
+        _inference_config = InferenceConfig()
+    return _inference_config
+
+
+def set_inference_config(config: InferenceConfig) -> InferenceConfig:
+    """Replace the process-wide inference configuration.
+
+    Returns the previous configuration so callers can restore it.
+    """
+    global _inference_config
+    if not isinstance(config, InferenceConfig):
+        raise ValidationError(
+            f"config must be an InferenceConfig, got {type(config).__name__}"
+        )
+    previous = get_inference_config()
+    _inference_config = config
+    return previous
+
+
+@contextmanager
+def inference_backend(
+    backend: str, bucket_size: int | None = None
+) -> Iterator[InferenceConfig]:
+    """Temporarily switch the default inference backend.
+
+    >>> from repro.core.config import inference_backend
+    >>> with inference_backend("log"):
+    ...     pass  # models built/used here run the log-domain reference
+    """
+    overrides = {"backend": backend}
+    if bucket_size is not None:
+        overrides["bucket_size"] = bucket_size
+    previous = set_inference_config(replace(get_inference_config(), **overrides))
+    try:
+        yield get_inference_config()
+    finally:
+        set_inference_config(previous)
 
 
 @dataclass(frozen=True)

@@ -171,9 +171,9 @@ class SupervisedDiversifiedHMM:
         return self._check_fitted().transmat
 
     def predict(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
-        """Viterbi-decode labels for unlabeled test sequences."""
+        """Viterbi-decode labels for unlabeled test sequences (batched)."""
         model = self._check_fitted()
-        return [model.decode(np.asarray(seq)) for seq in sequences]
+        return model.predict([np.asarray(seq) for seq in sequences])
 
     def score(self, sequences: Sequence[np.ndarray]) -> float:
         """Total marginal log-likelihood of test sequences."""

@@ -13,7 +13,9 @@ from repro.dpp.kernels import (
 )
 from repro.dpp.log_det import (
     log_det_psd,
+    psd_log_det_and_inverse,
     dpp_log_prior,
+    dpp_log_prior_and_gradient,
     dpp_log_prior_gradient,
 )
 from repro.dpp.esp import elementary_symmetric_polynomials
@@ -26,7 +28,9 @@ __all__ = [
     "normalized_probability_kernel",
     "transition_kernel_matrix",
     "log_det_psd",
+    "psd_log_det_and_inverse",
     "dpp_log_prior",
+    "dpp_log_prior_and_gradient",
     "dpp_log_prior_gradient",
     "elementary_symmetric_polynomials",
     "KDPP",

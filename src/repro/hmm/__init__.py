@@ -1,8 +1,9 @@
 """Hidden Markov Model substrate.
 
-Everything the paper's dHMM builds on: emission families, log-space
-forward-backward inference, Viterbi decoding, Baum-Welch EM training,
-supervised (counting) estimation and sequence sampling.
+Everything the paper's dHMM builds on: emission families, the batched
+scaled-domain inference engine (with the log-space recursions kept as a
+reference backend), Viterbi decoding, Baum-Welch EM training, supervised
+(counting) estimation and sequence sampling.
 """
 
 from repro.hmm.emissions import (
@@ -11,14 +12,23 @@ from repro.hmm.emissions import (
     EmissionModel,
     GaussianEmission,
 )
+from repro.hmm.backends import (
+    InferenceBackend,
+    LogDomainBackend,
+    ScaledBatchedBackend,
+    available_backends,
+    build_backend,
+)
+from repro.hmm.engine import InferenceEngine, build_engine
 from repro.hmm.forward_backward import (
     SequencePosteriors,
     log_backward,
     log_forward,
     compute_posteriors,
+    compute_posteriors_from_log,
     sequence_log_likelihood,
 )
-from repro.hmm.viterbi import viterbi_decode
+from repro.hmm.viterbi import viterbi_decode, viterbi_decode_from_log
 from repro.hmm.model import HMM
 from repro.hmm.baum_welch import BaumWelchTrainer, EStepStatistics, FitResult
 from repro.hmm.transition_updaters import (
@@ -32,12 +42,21 @@ __all__ = [
     "GaussianEmission",
     "CategoricalEmission",
     "BernoulliEmission",
+    "InferenceBackend",
+    "InferenceEngine",
+    "ScaledBatchedBackend",
+    "LogDomainBackend",
+    "available_backends",
+    "build_backend",
+    "build_engine",
     "SequencePosteriors",
     "log_forward",
     "log_backward",
     "compute_posteriors",
+    "compute_posteriors_from_log",
     "sequence_log_likelihood",
     "viterbi_decode",
+    "viterbi_decode_from_log",
     "HMM",
     "BaumWelchTrainer",
     "EStepStatistics",

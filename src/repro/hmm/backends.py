@@ -1,0 +1,471 @@
+"""Inference backends: batched scaled-domain and per-sequence log-domain.
+
+The engine (:mod:`repro.hmm.engine`) delegates all forward-backward, Viterbi
+and likelihood computations to an :class:`InferenceBackend`.  Two backends
+are provided:
+
+* :class:`ScaledBatchedBackend` — the default.  Runs the recursions in the
+  probability domain with Rabiner's per-timestep scaling, so no
+  ``logsumexp`` appears in any inner loop, and batches sequences into
+  padded length-buckets so every timestep is a single ``(B, K) @ (K, K)``
+  matmul over the whole bucket.  The pairwise posteriors ``xi_sum`` are
+  accumulated with one matmul per sequence instead of a Python loop over
+  ``T``.
+* :class:`LogDomainBackend` — the original per-sequence log-space
+  recursions, kept as a bit-identical reference so equivalence of the
+  scaled engine is testable (see ``tests/test_hmm_engine.py``).
+
+Scaling scheme
+--------------
+For each timestep the per-state observation log-likelihoods are shifted by
+their row maximum ``m_t = max_i log b_i(y_t)`` before exponentiation, so the
+probability-domain observation weights lie in ``[0, 1]``.  The forward
+messages are renormalized to sum to one after every step; the normalizers
+``c_t`` (together with the shifts ``m_t``) recover the exact log marginal
+likelihood as ``sum_t (log c_t + m_t)``.  The backward messages reuse the
+same ``c_t``, which makes ``gamma_t = alpha_hat_t * beta_hat_t`` and
+
+    xi_t[i, j] = alpha_hat_{t-1}[i] * A[i, j] * obs_t[j] * beta_hat_t[j] / c_t
+
+exactly normalized — identical (up to rounding) to the log-domain reference.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+from repro.hmm.forward_backward import (
+    SequencePosteriors,
+    compute_posteriors_from_log,
+    log_forward,
+)
+from repro.hmm.viterbi import viterbi_decode_from_log
+from repro.utils.maths import logsumexp, safe_log
+
+#: Smallest admissible scaling constant; prevents division by zero when an
+#: entire forward message underflows (mirrors ``LOG_EPS`` of the reference).
+_TINY = 1e-300
+
+
+def bucket_indices(lengths: Sequence[int], bucket_size: int) -> list[np.ndarray]:
+    """Group sequence indices into padded length-buckets.
+
+    Sequences are sorted by length (stable) and chunked into groups of at
+    most ``bucket_size``, so each bucket holds sequences of similar length
+    and the padding waste of processing the bucket as one dense
+    ``(B, L_max, K)`` tensor stays small.
+
+    Returns
+    -------
+    list of integer arrays, each an index set into the original ordering.
+    """
+    if bucket_size < 1:
+        raise ValueError(f"bucket_size must be positive, got {bucket_size}")
+    order = np.argsort(np.asarray(lengths), kind="stable")
+    return [order[i : i + bucket_size] for i in range(0, order.size, bucket_size)]
+
+
+class InferenceBackend(abc.ABC):
+    """Strategy object performing batched HMM inference primitives.
+
+    All methods take probability-domain parameters plus *precomputed*
+    log-likelihood tables (one ``(T_n, K)`` array per sequence) and return
+    per-sequence results in the original input order.  The caller (the
+    engine) is responsible for computing the emission tables once and for
+    caching derived parameters such as ``log(A)``.
+    """
+
+    name: str = "abstract"
+
+    #: Whether the backend consumes the engine's cached ``log(pi)``/``log(A)``
+    #: (passed via the ``log_startprob``/``log_transmat`` keywords).  Backends
+    #: that work in the probability domain leave this False so the engine
+    #: never derives logs it would not use.
+    wants_log_params: bool = False
+
+    @abc.abstractmethod
+    def forward_backward(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        log_obs_seqs: Sequence[np.ndarray],
+        log_startprob: np.ndarray | None = None,
+        log_transmat: np.ndarray | None = None,
+    ) -> list[SequencePosteriors]:
+        """Posterior statistics (gamma, xi_sum, log-likelihood) per sequence."""
+
+    @abc.abstractmethod
+    def viterbi(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        log_obs_seqs: Sequence[np.ndarray],
+        log_startprob: np.ndarray | None = None,
+        log_transmat: np.ndarray | None = None,
+    ) -> list[tuple[np.ndarray, float]]:
+        """Most likely state path and joint log-probability per sequence."""
+
+    @abc.abstractmethod
+    def log_likelihood(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        log_obs_seqs: Sequence[np.ndarray],
+        log_startprob: np.ndarray | None = None,
+        log_transmat: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Log marginal likelihood of every sequence (1-D array)."""
+
+
+def _check_params(startprob: np.ndarray, transmat: np.ndarray) -> None:
+    if startprob.ndim != 1:
+        raise DimensionMismatchError(
+            f"start distribution must be 1-D, got shape {startprob.shape}"
+        )
+    n_states = startprob.shape[0]
+    if transmat.shape != (n_states, n_states):
+        raise DimensionMismatchError(
+            f"transition matrix shape {transmat.shape} does not match "
+            f"{n_states} states"
+        )
+
+
+def _check_tables(n_states: int, log_obs_seqs: Sequence[np.ndarray]) -> None:
+    for log_obs in log_obs_seqs:
+        if log_obs.ndim != 2 or log_obs.shape[1] != n_states:
+            raise DimensionMismatchError(
+                f"observation log-likelihoods must have shape (T, {n_states}), "
+                f"got {log_obs.shape}"
+            )
+        if log_obs.shape[0] < 1:
+            raise DimensionMismatchError("sequences must have at least one timestep")
+
+
+class ScaledBatchedBackend(InferenceBackend):
+    """Rabiner-scaled probability-domain recursions over padded buckets.
+
+    Parameters
+    ----------
+    bucket_size:
+        Maximum number of sequences processed together in one padded
+        ``(B, L_max, K)`` tensor.  Sequences are sorted by length first, so
+        buckets are nearly rectangular.
+    """
+
+    name = "scaled"
+
+    def __init__(self, bucket_size: int = 64) -> None:
+        if bucket_size < 1:
+            raise ValueError(f"bucket_size must be positive, got {bucket_size}")
+        self.bucket_size = bucket_size
+
+    # -------------------------------------------------------------- #
+    # Packing helpers
+    # -------------------------------------------------------------- #
+    def _pack(
+        self, log_obs_seqs: Sequence[np.ndarray], idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stack the selected sequences into a zero-padded ``(B, L, K)`` tensor."""
+        lengths = np.array([log_obs_seqs[j].shape[0] for j in idx], dtype=np.int64)
+        n_states = log_obs_seqs[idx[0]].shape[1]
+        padded = np.zeros((idx.size, int(lengths.max()), n_states))
+        for row, j in enumerate(idx):
+            padded[row, : lengths[row]] = log_obs_seqs[j]
+        return padded, lengths
+
+    @staticmethod
+    def _obs_weights(log_b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-timestep max-shifted observation weights ``exp(log_b - m)``."""
+        shift = np.max(log_b, axis=2)
+        shift = np.where(np.isfinite(shift), shift, 0.0)
+        return np.exp(log_b - shift[:, :, None]), shift
+
+    # -------------------------------------------------------------- #
+    # Bucket kernels
+    # -------------------------------------------------------------- #
+    def _forward_bucket(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        log_b: np.ndarray,
+        lengths: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Scaled forward pass over one padded bucket.
+
+        Returns ``(alpha_hat, c, obs, shift, log_likelihoods, underflow)``
+        where ``alpha_hat[b, t]`` is the normalized forward message,
+        ``c[b, t]`` its normalizer (1 in the padded region), ``obs``/``shift``
+        the max-shifted observation weights, and ``underflow`` a boolean mask
+        of sequences whose forward message vanished in the probability
+        domain (their ``log_likelihoods`` entries are unreliable and must be
+        recomputed with the log-domain reference).
+        """
+        batch, max_len, _ = log_b.shape
+        obs, shift = self._obs_weights(log_b)
+
+        alpha_hat = np.empty_like(obs)
+        scale = np.ones((batch, max_len))
+
+        alpha = startprob[None, :] * obs[:, 0]
+        raw = alpha.sum(axis=1)
+        # A forward message summing to exactly zero means the probability
+        # domain underflowed (either a genuinely impossible sequence or an
+        # extreme >700-nat spread only the log domain can represent).  Such
+        # sequences are flagged and recomputed with the log-domain reference
+        # recursions, so the scaled backend never misreports them.
+        underflow = raw < _TINY
+        c0 = np.maximum(raw, _TINY)
+        alpha = alpha / c0[:, None]
+        alpha_hat[:, 0] = alpha
+        scale[:, 0] = c0
+
+        for t in range(1, max_len):
+            active = t < lengths
+            propagated = (alpha @ transmat) * obs[:, t]
+            raw = propagated.sum(axis=1)
+            underflow |= active & (raw < _TINY)
+            c_t = np.where(active, np.maximum(raw, _TINY), 1.0)
+            alpha = np.where(active[:, None], propagated / c_t[:, None], alpha)
+            alpha_hat[:, t] = alpha
+            scale[:, t] = c_t
+
+        mask = np.arange(max_len)[None, :] < lengths[:, None]
+        log_likelihoods = (np.log(scale) + np.where(mask, shift, 0.0)).sum(axis=1)
+        return alpha_hat, scale, obs, shift, log_likelihoods, underflow
+
+    def _forward_backward_bucket(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        log_b: np.ndarray,
+        lengths: np.ndarray,
+    ) -> list[SequencePosteriors]:
+        batch, max_len, n_states = log_b.shape
+        alpha_hat, scale, obs, _, log_likelihoods, underflow = self._forward_bucket(
+            startprob, transmat, log_b, lengths
+        )
+
+        beta_hat = np.empty_like(obs)
+        beta = np.ones((batch, n_states))
+        beta_hat[:, max_len - 1] = beta
+        for t in range(max_len - 2, -1, -1):
+            update = (t + 1) < lengths
+            weighted = obs[:, t + 1] * beta
+            propagated = (weighted @ transmat.T) / scale[:, t + 1, None]
+            beta = np.where(update[:, None], propagated, beta)
+            beta_hat[:, t] = beta
+
+        gamma = alpha_hat * beta_hat
+        gamma /= np.maximum(gamma.sum(axis=2, keepdims=True), _TINY)
+        # xi weight w[b, t, j] = obs * beta_hat / c_t; xi_sum is then a single
+        # (K, T-1) @ (T-1, K) matmul per sequence, elementwise-scaled by A.
+        xi_weight = obs * beta_hat / scale[:, :, None]
+
+        results: list[SequencePosteriors] = []
+        for b in range(batch):
+            length = int(lengths[b])
+            if length > 1:
+                xi_sum = transmat * (
+                    alpha_hat[b, : length - 1].T @ xi_weight[b, 1:length]
+                )
+            else:
+                xi_sum = np.zeros((n_states, n_states))
+            results.append(
+                SequencePosteriors(
+                    gamma=gamma[b, :length].copy(),
+                    xi_sum=xi_sum,
+                    log_likelihood=float(log_likelihoods[b]),
+                )
+            )
+        if underflow.any():
+            log_pi, log_A = safe_log(startprob), safe_log(transmat)
+            for b in np.flatnonzero(underflow):
+                results[b] = compute_posteriors_from_log(
+                    log_pi, log_A, log_b[b, : lengths[b]]
+                )
+        return results
+
+    def _viterbi_bucket(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        log_b: np.ndarray,
+        lengths: np.ndarray,
+    ) -> list[tuple[np.ndarray, float]]:
+        batch, max_len, n_states = log_b.shape
+        obs, shift = self._obs_weights(log_b)
+        rows = np.arange(batch)
+
+        delta = startprob[None, :] * obs[:, 0]
+        raw_peak = delta.max(axis=1)
+        # Underflowed sequences (no representable path probability) are
+        # recomputed with the log-domain reference below.
+        underflow = raw_peak < _TINY
+        peak = np.maximum(raw_peak, _TINY)
+        delta = delta / peak[:, None]
+        log_joint = np.log(peak) + shift[:, 0]
+
+        backpointers = np.zeros((batch, max_len, n_states), dtype=np.int64)
+        for t in range(1, max_len):
+            active = t < lengths
+            scores = delta[:, :, None] * transmat[None, :, :]
+            arg = scores.argmax(axis=1)
+            best = np.take_along_axis(scores, arg[:, None, :], axis=1)[:, 0, :]
+            propagated = best * obs[:, t]
+            raw_peak = propagated.max(axis=1)
+            underflow |= active & (raw_peak < _TINY)
+            peak = np.where(active, np.maximum(raw_peak, _TINY), 1.0)
+            delta = np.where(active[:, None], propagated / peak[:, None], delta)
+            log_joint = log_joint + np.where(active, np.log(peak) + shift[:, t], 0.0)
+            backpointers[:, t] = arg
+
+        final_state = delta.argmax(axis=1)
+        log_joint = log_joint + np.log(
+            np.maximum(delta[rows, final_state], _TINY)
+        )
+
+        paths = np.zeros((batch, max_len), dtype=np.int64)
+        paths[rows, lengths - 1] = final_state
+        for t in range(max_len - 2, -1, -1):
+            within = (t + 1) < lengths
+            follow = backpointers[rows, t + 1, paths[:, t + 1]]
+            paths[:, t] = np.where(within, follow, paths[:, t])
+
+        results = [
+            (paths[b, : lengths[b]].copy(), float(log_joint[b])) for b in range(batch)
+        ]
+        if underflow.any():
+            log_pi, log_A = safe_log(startprob), safe_log(transmat)
+            for b in np.flatnonzero(underflow):
+                results[b] = viterbi_decode_from_log(
+                    log_pi, log_A, log_b[b, : lengths[b]]
+                )
+        return results
+
+    # -------------------------------------------------------------- #
+    # Public batched entry points
+    # -------------------------------------------------------------- #
+    def _run_buckets(self, startprob, transmat, log_obs_seqs, kernel):
+        startprob = np.asarray(startprob, dtype=np.float64)
+        transmat = np.asarray(transmat, dtype=np.float64)
+        log_obs_seqs = [np.asarray(lo, dtype=np.float64) for lo in log_obs_seqs]
+        _check_params(startprob, transmat)
+        if not log_obs_seqs:
+            return []
+        _check_tables(startprob.shape[0], log_obs_seqs)
+        lengths = [lo.shape[0] for lo in log_obs_seqs]
+        results: list = [None] * len(log_obs_seqs)
+        for idx in bucket_indices(lengths, self.bucket_size):
+            padded, bucket_lengths = self._pack(log_obs_seqs, idx)
+            bucket_results = kernel(startprob, transmat, padded, bucket_lengths)
+            for j, res in zip(idx, bucket_results):
+                results[j] = res
+        return results
+
+    def forward_backward(
+        self, startprob, transmat, log_obs_seqs, log_startprob=None, log_transmat=None
+    ) -> list[SequencePosteriors]:
+        return self._run_buckets(
+            startprob, transmat, log_obs_seqs, self._forward_backward_bucket
+        )
+
+    def viterbi(
+        self, startprob, transmat, log_obs_seqs, log_startprob=None, log_transmat=None
+    ) -> list[tuple[np.ndarray, float]]:
+        return self._run_buckets(startprob, transmat, log_obs_seqs, self._viterbi_bucket)
+
+    def log_likelihood(
+        self, startprob, transmat, log_obs_seqs, log_startprob=None, log_transmat=None
+    ) -> np.ndarray:
+        def kernel(pi, A, padded, lengths):
+            _, _, _, _, lls, underflow = self._forward_bucket(pi, A, padded, lengths)
+            out = [float(ll) for ll in lls]
+            if underflow.any():
+                log_pi, log_A = safe_log(pi), safe_log(A)
+                for b in np.flatnonzero(underflow):
+                    log_alpha = log_forward(log_pi, log_A, padded[b, : lengths[b]])
+                    out[b] = float(logsumexp(log_alpha[-1]))
+            return out
+
+        return np.array(self._run_buckets(startprob, transmat, log_obs_seqs, kernel))
+
+
+class LogDomainBackend(InferenceBackend):
+    """Reference backend: the original per-sequence log-space recursions.
+
+    Numerically identical to calling
+    :func:`repro.hmm.forward_backward.compute_posteriors` /
+    :func:`repro.hmm.viterbi.viterbi_decode` sequence by sequence; the only
+    difference is that ``log(pi)`` / ``log(A)`` are taken once per call
+    (the engine caches them across calls) instead of once per sequence.
+    """
+
+    name = "log"
+    wants_log_params = True
+
+    def _prepare(self, startprob, transmat, log_startprob, log_transmat):
+        if log_startprob is None:
+            log_startprob = safe_log(np.asarray(startprob, dtype=np.float64))
+        if log_transmat is None:
+            log_transmat = safe_log(np.asarray(transmat, dtype=np.float64))
+        return log_startprob, log_transmat
+
+    def forward_backward(
+        self, startprob, transmat, log_obs_seqs, log_startprob=None, log_transmat=None
+    ) -> list[SequencePosteriors]:
+        log_pi, log_A = self._prepare(startprob, transmat, log_startprob, log_transmat)
+        return [
+            compute_posteriors_from_log(
+                log_pi, log_A, np.asarray(log_obs, dtype=np.float64)
+            )
+            for log_obs in log_obs_seqs
+        ]
+
+    def viterbi(
+        self, startprob, transmat, log_obs_seqs, log_startprob=None, log_transmat=None
+    ) -> list[tuple[np.ndarray, float]]:
+        log_pi, log_A = self._prepare(startprob, transmat, log_startprob, log_transmat)
+        return [
+            viterbi_decode_from_log(log_pi, log_A, np.asarray(log_obs, dtype=np.float64))
+            for log_obs in log_obs_seqs
+        ]
+
+    def log_likelihood(
+        self, startprob, transmat, log_obs_seqs, log_startprob=None, log_transmat=None
+    ) -> np.ndarray:
+        log_pi, log_A = self._prepare(startprob, transmat, log_startprob, log_transmat)
+        out = np.empty(len(log_obs_seqs))
+        for n, log_obs in enumerate(log_obs_seqs):
+            log_alpha = log_forward(
+                log_pi, log_A, np.asarray(log_obs, dtype=np.float64)
+            )
+            out[n] = float(logsumexp(log_alpha[-1]))
+        return out
+
+
+_BACKENDS = {
+    ScaledBatchedBackend.name: ScaledBatchedBackend,
+    LogDomainBackend.name: LogDomainBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the registered inference backends."""
+    return tuple(sorted(_BACKENDS))
+
+
+def build_backend(name: str, bucket_size: int = 64) -> InferenceBackend:
+    """Instantiate a backend by name (``"scaled"`` or ``"log"``)."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown inference backend {name!r}; available: {available_backends()}"
+        ) from None
+    if cls is ScaledBatchedBackend:
+        return cls(bucket_size=bucket_size)
+    return cls()

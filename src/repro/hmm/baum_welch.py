@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.hmm.engine import InferenceEngine
 from repro.hmm.model import HMM
 from repro.hmm.transition_updaters import (
     MaximumLikelihoodTransitionUpdater,
@@ -74,6 +75,10 @@ class BaumWelchTrainer:
     warn_on_no_convergence:
         Emit a :class:`~repro.exceptions.ConvergenceWarning` if EM stops
         because the iteration budget ran out.
+    engine:
+        Optional :class:`~repro.hmm.engine.InferenceEngine` used for the
+        E-step; when omitted, the model's own engine (and therefore the
+        process-wide backend configuration) is used.
     """
 
     def __init__(
@@ -85,6 +90,7 @@ class BaumWelchTrainer:
         update_emissions: bool = True,
         update_transitions: bool = True,
         warn_on_no_convergence: bool = False,
+        engine: "InferenceEngine | None" = None,
     ) -> None:
         if max_iter < 1:
             raise ValidationError(f"max_iter must be at least 1, got {max_iter}")
@@ -97,17 +103,27 @@ class BaumWelchTrainer:
         self.update_emissions = update_emissions
         self.update_transitions = update_transitions
         self.warn_on_no_convergence = warn_on_no_convergence
+        self.engine = engine
 
     # ------------------------------------------------------------------ #
     def e_step(self, model: HMM, sequences: Sequence[np.ndarray]) -> EStepStatistics:
-        """Run forward-backward over every sequence and accumulate statistics."""
+        """Run batched forward-backward over all sequences and accumulate statistics.
+
+        The emission log-likelihood tables are computed once per iteration
+        and handed to the inference engine, which groups the sequences into
+        padded length-buckets so every timestep of the recursions is one
+        matmul over a whole bucket.
+        """
+        engine = self.engine if self.engine is not None else model.inference_engine
+        log_obs_seqs = [model.emissions.log_likelihoods(seq) for seq in sequences]
+        all_stats = engine.posteriors_batch(model.startprob, model.transmat, log_obs_seqs)
+
         k = model.n_states
         start_counts = np.zeros(k)
         transition_counts = np.zeros((k, k))
         posteriors: list[np.ndarray] = []
         total_ll = 0.0
-        for seq in sequences:
-            stats = model.posteriors(seq)
+        for stats in all_stats:
             start_counts += stats.gamma[0]
             transition_counts += stats.xi_sum
             posteriors.append(stats.gamma)

@@ -1,0 +1,192 @@
+"""Batched HMM inference engine with pluggable numerical backends.
+
+:class:`InferenceEngine` is the single entry point through which the model
+(:class:`~repro.hmm.model.HMM`), the EM trainer
+(:class:`~repro.hmm.baum_welch.BaumWelchTrainer`) and the supervised
+classifiers run forward-backward, Viterbi decoding and likelihood scoring.
+It adds two things on top of the raw backends in
+:mod:`repro.hmm.backends`:
+
+* **Batching** — every public method accepts a whole collection of
+  per-sequence emission log-likelihood tables, so the backend can group
+  sequences into padded length-buckets and run each timestep as one
+  ``(B, K) @ (K, K)`` matmul over the bucket.
+* **Parameter caching** — derived parameters (``log(pi)``, ``log(A)`` and
+  float64 copies of ``pi`` / ``A``) are computed once and reused across
+  calls as long as the model parameters are unchanged, so repeated decodes
+  between EM iterations do not re-derive them per sequence.
+
+Backend selection defaults to the process-wide
+:class:`repro.core.config.InferenceConfig` (see
+:func:`repro.core.config.set_inference_config` and the
+:func:`repro.core.config.inference_backend` context manager); pass
+``backend="log"`` explicitly to force the per-sequence log-domain
+reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.hmm.backends import InferenceBackend, build_backend
+from repro.hmm.forward_backward import SequencePosteriors
+from repro.utils.maths import safe_log
+
+
+class _CachedParams:
+    """Float64 parameter views plus lazily derived logs, validity-checked.
+
+    The cache is validated with :func:`numpy.array_equal` against stored
+    copies — an ``O(K^2)`` comparison that is negligible next to any
+    inference call — so in-place mutation of the model parameters is
+    detected, not just rebinding.
+    """
+
+    __slots__ = ("startprob", "transmat", "_log_pi", "_log_A")
+
+    def __init__(self, startprob: np.ndarray, transmat: np.ndarray) -> None:
+        self.startprob = np.array(startprob, dtype=np.float64)
+        self.transmat = np.array(transmat, dtype=np.float64)
+        self._log_pi: np.ndarray | None = None
+        self._log_A: np.ndarray | None = None
+
+    def matches(self, startprob: np.ndarray, transmat: np.ndarray) -> bool:
+        return np.array_equal(startprob, self.startprob) and np.array_equal(
+            transmat, self.transmat
+        )
+
+    @property
+    def log_startprob(self) -> np.ndarray:
+        if self._log_pi is None:
+            self._log_pi = safe_log(self.startprob)
+        return self._log_pi
+
+    @property
+    def log_transmat(self) -> np.ndarray:
+        if self._log_A is None:
+            self._log_A = safe_log(self.transmat)
+        return self._log_A
+
+
+class InferenceEngine:
+    """Facade running batched HMM inference through a numerical backend.
+
+    Parameters
+    ----------
+    backend:
+        A backend name (``"scaled"`` / ``"log"``), a ready
+        :class:`~repro.hmm.backends.InferenceBackend` instance, or ``None``
+        to follow the process-wide default from
+        :func:`repro.core.config.get_inference_config`.
+    bucket_size:
+        Maximum sequences per padded length-bucket (scaled backend only);
+        ``None`` follows the process-wide default.
+    """
+
+    def __init__(
+        self,
+        backend: str | InferenceBackend | None = None,
+        bucket_size: int | None = None,
+    ) -> None:
+        if isinstance(backend, InferenceBackend):
+            if bucket_size is not None:
+                raise ValueError(
+                    "bucket_size cannot be combined with a ready backend "
+                    "instance; configure the backend directly"
+                )
+            self.backend = backend
+        else:
+            if backend is None or bucket_size is None:
+                # Imported lazily: repro.core imports the hmm layer, so a
+                # top-level import here would be circular.
+                from repro.core.config import get_inference_config
+
+                cfg = get_inference_config()
+                backend = backend if backend is not None else cfg.backend
+                bucket_size = bucket_size if bucket_size is not None else cfg.bucket_size
+            self.backend = build_backend(backend, bucket_size=bucket_size)
+        self._params: _CachedParams | None = None
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active backend (``"scaled"`` or ``"log"``)."""
+        return self.backend.name
+
+    # -------------------------------------------------------------- #
+    def _cached(self, startprob: np.ndarray, transmat: np.ndarray) -> _CachedParams:
+        params = self._params
+        if params is None or not params.matches(startprob, transmat):
+            params = _CachedParams(startprob, transmat)
+            self._params = params
+        return params
+
+    # -------------------------------------------------------------- #
+    # Batched primitives
+    # -------------------------------------------------------------- #
+    def _dispatch(self, method_name, startprob, transmat, log_obs_seqs):
+        p = self._cached(startprob, transmat)
+        wants_logs = self.backend.wants_log_params
+        return getattr(self.backend, method_name)(
+            p.startprob,
+            p.transmat,
+            log_obs_seqs,
+            log_startprob=p.log_startprob if wants_logs else None,
+            log_transmat=p.log_transmat if wants_logs else None,
+        )
+
+    def posteriors_batch(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        log_obs_seqs: Sequence[np.ndarray],
+    ) -> list[SequencePosteriors]:
+        """Forward-backward posteriors for every emission table, in order."""
+        return self._dispatch("forward_backward", startprob, transmat, log_obs_seqs)
+
+    def viterbi_batch(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        log_obs_seqs: Sequence[np.ndarray],
+    ) -> list[tuple[np.ndarray, float]]:
+        """Most likely state path and joint log-probability per table."""
+        return self._dispatch("viterbi", startprob, transmat, log_obs_seqs)
+
+    def log_likelihood_batch(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        log_obs_seqs: Sequence[np.ndarray],
+    ) -> np.ndarray:
+        """Log marginal likelihood of every emission table (1-D array)."""
+        return self._dispatch("log_likelihood", startprob, transmat, log_obs_seqs)
+
+    # -------------------------------------------------------------- #
+    # Single-sequence conveniences
+    # -------------------------------------------------------------- #
+    def posteriors(
+        self, startprob: np.ndarray, transmat: np.ndarray, log_obs: np.ndarray
+    ) -> SequencePosteriors:
+        """Forward-backward posteriors of one sequence."""
+        return self.posteriors_batch(startprob, transmat, [log_obs])[0]
+
+    def viterbi(
+        self, startprob: np.ndarray, transmat: np.ndarray, log_obs: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Viterbi path and joint log-probability of one sequence."""
+        return self.viterbi_batch(startprob, transmat, [log_obs])[0]
+
+    def log_likelihood(
+        self, startprob: np.ndarray, transmat: np.ndarray, log_obs: np.ndarray
+    ) -> float:
+        """Log marginal likelihood of one sequence."""
+        return float(self.log_likelihood_batch(startprob, transmat, [log_obs])[0])
+
+
+def build_engine(
+    backend: str | InferenceBackend | None = None, bucket_size: int | None = None
+) -> InferenceEngine:
+    """Construct an :class:`InferenceEngine` (thin convenience wrapper)."""
+    return InferenceEngine(backend=backend, bucket_size=bucket_size)

@@ -37,18 +37,27 @@ class SequencePosteriors:
 
 
 def _validate_inputs(
-    log_startprob: np.ndarray, log_transmat: np.ndarray, log_obs: np.ndarray
+    log_transmat: np.ndarray, log_obs: np.ndarray, log_startprob: np.ndarray | None = None
 ) -> None:
-    n_states = log_startprob.shape[0]
+    """Shared shape validation for the forward/backward recursions.
+
+    The number of states is keyed off the observation table; the transition
+    matrix (and, when given, the start distribution) must agree with it.
+    """
+    if log_obs.ndim != 2:
+        raise DimensionMismatchError(
+            f"observation log-likelihoods must be 2-D (T, K), got shape {log_obs.shape}"
+        )
+    n_states = log_obs.shape[1]
     if log_transmat.shape != (n_states, n_states):
         raise DimensionMismatchError(
             f"transition matrix shape {log_transmat.shape} does not match "
             f"{n_states} states"
         )
-    if log_obs.ndim != 2 or log_obs.shape[1] != n_states:
+    if log_startprob is not None and log_startprob.shape != (n_states,):
         raise DimensionMismatchError(
-            f"observation log-likelihoods must have shape (T, {n_states}), "
-            f"got {log_obs.shape}"
+            f"start distribution shape {log_startprob.shape} does not match "
+            f"{n_states} states"
         )
 
 
@@ -56,7 +65,7 @@ def log_forward(
     log_startprob: np.ndarray, log_transmat: np.ndarray, log_obs: np.ndarray
 ) -> np.ndarray:
     """Forward messages ``log alpha[t, i] = log P(y_1..t, x_t = i)``."""
-    _validate_inputs(log_startprob, log_transmat, log_obs)
+    _validate_inputs(log_transmat, log_obs, log_startprob=log_startprob)
     T, n_states = log_obs.shape
     log_alpha = np.full((T, n_states), -np.inf)
     log_alpha[0] = log_startprob + log_obs[0]
@@ -69,12 +78,8 @@ def log_forward(
 
 def log_backward(log_transmat: np.ndarray, log_obs: np.ndarray) -> np.ndarray:
     """Backward messages ``log beta[t, i] = log P(y_{t+1}..T | x_t = i)``."""
+    _validate_inputs(log_transmat, log_obs)
     T, n_states = log_obs.shape
-    if log_transmat.shape != (n_states, n_states):
-        raise DimensionMismatchError(
-            f"transition matrix shape {log_transmat.shape} does not match "
-            f"{n_states} states"
-        )
     log_beta = np.zeros((T, n_states))
     for t in range(T - 2, -1, -1):
         log_beta[t] = logsumexp(
@@ -105,10 +110,23 @@ def compute_posteriors(
     """
     log_pi = safe_log(np.asarray(startprob, dtype=np.float64))
     log_A = safe_log(np.asarray(transmat, dtype=np.float64))
-    log_obs = np.asarray(log_obs, dtype=np.float64)
+    return compute_posteriors_from_log(
+        log_pi, log_A, np.asarray(log_obs, dtype=np.float64)
+    )
 
-    log_alpha = log_forward(log_pi, log_A, log_obs)
-    log_beta = log_backward(log_A, log_obs)
+
+def compute_posteriors_from_log(
+    log_startprob: np.ndarray, log_transmat: np.ndarray, log_obs: np.ndarray
+) -> SequencePosteriors:
+    """Forward-backward posteriors from *log-domain* parameters.
+
+    Identical to :func:`compute_posteriors` but takes ``log(pi)`` and
+    ``log(A)`` directly, so callers that decode many sequences (e.g. the
+    inference engine's log-domain reference backend) can precompute the
+    logs once instead of once per sequence.
+    """
+    log_alpha = log_forward(log_startprob, log_transmat, log_obs)
+    log_beta = log_backward(log_transmat, log_obs)
     log_likelihood = float(logsumexp(log_alpha[-1]))
 
     log_gamma = log_alpha + log_beta - log_likelihood
@@ -120,7 +138,7 @@ def compute_posteriors(
     for t in range(1, T):
         log_xi = (
             log_alpha[t - 1][:, None]
-            + log_A
+            + log_transmat
             + (log_obs[t] + log_beta[t])[None, :]
             - log_likelihood
         )

@@ -22,12 +22,8 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.hmm.emissions.base import EmissionModel
-from repro.hmm.forward_backward import (
-    SequencePosteriors,
-    compute_posteriors,
-    sequence_log_likelihood,
-)
-from repro.hmm.viterbi import viterbi_decode
+from repro.hmm.engine import InferenceEngine
+from repro.hmm.forward_backward import SequencePosteriors
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_probability_matrix, check_probability_vector
 
@@ -43,10 +39,19 @@ class HMM:
         Row-stochastic ``K x K`` transition matrix ``A``.
     emissions:
         Emission model ``B`` covering the same ``K`` states.
+    engine:
+        Optional :class:`~repro.hmm.engine.InferenceEngine` running all
+        inference for this model.  When omitted, an engine following the
+        process-wide :class:`~repro.core.config.InferenceConfig` is built
+        lazily (and rebuilt if the configuration changes).
     """
 
     def __init__(
-        self, startprob: np.ndarray, transmat: np.ndarray, emissions: EmissionModel
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        emissions: EmissionModel,
+        engine: InferenceEngine | None = None,
     ) -> None:
         self.startprob = check_probability_vector(startprob, "startprob")
         self.transmat = check_probability_matrix(transmat, "transmat")
@@ -57,6 +62,9 @@ class HMM:
         if emissions.n_states != self.startprob.shape[0]:
             raise ValidationError("emission model covers a different number of states")
         self.emissions = emissions
+        self._engine = engine
+        self._auto_engine: InferenceEngine | None = None
+        self._auto_engine_config = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -85,35 +93,84 @@ class HMM:
         return self.startprob.shape[0]
 
     def copy(self) -> "HMM":
-        """Deep copy of the model (parameters and emissions)."""
-        return HMM(self.startprob.copy(), self.transmat.copy(), self.emissions.copy())
+        """Deep copy of the model (parameters and emissions).
+
+        An explicitly supplied inference engine is shared with the copy;
+        auto-configured engines are rebuilt lazily.
+        """
+        return HMM(
+            self.startprob.copy(),
+            self.transmat.copy(),
+            self.emissions.copy(),
+            engine=self._engine,
+        )
 
     # ------------------------------------------------------------------ #
     # Inference
     # ------------------------------------------------------------------ #
+    @property
+    def inference_engine(self) -> InferenceEngine:
+        """The engine running inference for this model.
+
+        An explicitly supplied engine wins; otherwise one is built from the
+        process-wide :class:`~repro.core.config.InferenceConfig` and kept
+        until that configuration changes.
+        """
+        if self._engine is not None:
+            return self._engine
+        from repro.core.config import get_inference_config
+
+        config = get_inference_config()
+        if self._auto_engine is None or self._auto_engine_config != config:
+            self._auto_engine = InferenceEngine(
+                backend=config.backend, bucket_size=config.bucket_size
+            )
+            self._auto_engine_config = config
+        return self._auto_engine
+
     def log_likelihood(self, sequence: np.ndarray) -> float:
         """Log marginal likelihood ``log P(Y | lambda)`` of one sequence."""
         log_obs = self.emissions.log_likelihoods(sequence)
-        return sequence_log_likelihood(self.startprob, self.transmat, log_obs)
+        return self.inference_engine.log_likelihood(self.startprob, self.transmat, log_obs)
 
     def score(self, sequences: Sequence[np.ndarray]) -> float:
-        """Total log-likelihood of a collection of sequences."""
-        return float(sum(self.log_likelihood(seq) for seq in sequences))
+        """Total log-likelihood of a collection of sequences (batched)."""
+        log_obs_seqs = [self.emissions.log_likelihoods(seq) for seq in sequences]
+        return float(
+            self.inference_engine.log_likelihood_batch(
+                self.startprob, self.transmat, log_obs_seqs
+            ).sum()
+        )
 
     def posteriors(self, sequence: np.ndarray) -> SequencePosteriors:
         """Forward-backward posteriors for one sequence."""
         log_obs = self.emissions.log_likelihoods(sequence)
-        return compute_posteriors(self.startprob, self.transmat, log_obs)
+        return self.inference_engine.posteriors(self.startprob, self.transmat, log_obs)
+
+    def posteriors_batch(
+        self, sequences: Sequence[np.ndarray]
+    ) -> list[SequencePosteriors]:
+        """Forward-backward posteriors for a collection of sequences (batched)."""
+        log_obs_seqs = [self.emissions.log_likelihoods(seq) for seq in sequences]
+        return self.inference_engine.posteriors_batch(
+            self.startprob, self.transmat, log_obs_seqs
+        )
 
     def decode(self, sequence: np.ndarray) -> np.ndarray:
         """Most likely hidden state path (Viterbi) for one sequence."""
         log_obs = self.emissions.log_likelihoods(sequence)
-        path, _ = viterbi_decode(self.startprob, self.transmat, log_obs)
+        path, _ = self.inference_engine.viterbi(self.startprob, self.transmat, log_obs)
         return path
 
     def predict(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
-        """Viterbi paths for a collection of sequences."""
-        return [self.decode(seq) for seq in sequences]
+        """Viterbi paths for a collection of sequences (batched decode)."""
+        log_obs_seqs = [self.emissions.log_likelihoods(seq) for seq in sequences]
+        return [
+            path
+            for path, _ in self.inference_engine.viterbi_batch(
+                self.startprob, self.transmat, log_obs_seqs
+            )
+        ]
 
     # ------------------------------------------------------------------ #
     # Generation

@@ -31,22 +31,34 @@ def viterbi_decode(
         the log-probability of the decoded path together with the
         observations.
     """
+    log_pi = safe_log(np.asarray(startprob, dtype=np.float64))
+    log_A = safe_log(np.asarray(transmat, dtype=np.float64))
+    return viterbi_decode_from_log(log_pi, log_A, log_obs)
+
+
+def viterbi_decode_from_log(
+    log_startprob: np.ndarray, log_transmat: np.ndarray, log_obs: np.ndarray
+) -> tuple[np.ndarray, float]:
+    """Viterbi decoding from *log-domain* parameters.
+
+    Identical to :func:`viterbi_decode` but takes ``log(pi)`` and ``log(A)``
+    directly, so callers decoding many sequences can precompute the logs
+    once (the inference engine caches them across decode calls).
+    """
     log_obs = np.asarray(log_obs, dtype=np.float64)
     if log_obs.ndim != 2:
         raise DimensionMismatchError(f"log_obs must be 2-D, got shape {log_obs.shape}")
     T, n_states = log_obs.shape
-    log_pi = safe_log(np.asarray(startprob, dtype=np.float64))
-    log_A = safe_log(np.asarray(transmat, dtype=np.float64))
-    if log_pi.shape[0] != n_states or log_A.shape != (n_states, n_states):
+    if log_startprob.shape[0] != n_states or log_transmat.shape != (n_states, n_states):
         raise DimensionMismatchError(
             "startprob/transmat dimensions do not match observation likelihoods"
         )
 
     delta = np.full((T, n_states), -np.inf)
     backpointers = np.zeros((T, n_states), dtype=np.int64)
-    delta[0] = log_pi + log_obs[0]
+    delta[0] = log_startprob + log_obs[0]
     for t in range(1, T):
-        scores = delta[t - 1][:, None] + log_A
+        scores = delta[t - 1][:, None] + log_transmat
         backpointers[t] = np.argmax(scores, axis=0)
         delta[t] = scores[backpointers[t], np.arange(n_states)] + log_obs[t]
 

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import DHMMConfig, SupervisedDiversifiedHMM
 from repro.datasets.ocr import N_LETTERS, N_PIXELS
+from repro.dpp.log_det import dpp_log_prior
 from repro.exceptions import NotFittedError, ValidationError
 from repro.metrics.accuracy import sequence_accuracy
 from repro.metrics.diversity import average_pairwise_bhattacharyya
@@ -26,9 +27,18 @@ class TestSupervisedDiversifiedHMM:
         assert np.all(fitted_dhmm.transmat_ >= 0)
 
     def test_refined_matrix_is_at_least_as_diverse_as_counts(self, fitted_dhmm):
+        # The likelihood and anchor terms of Eq. (8) are both maximized
+        # exactly at A0, so any ascent of the MAP objective must increase
+        # the DPP log-det prior — the paper's own diversity measure.
+        assert dpp_log_prior(fitted_dhmm.transmat_) >= dpp_log_prior(
+            fitted_dhmm.base_transmat_
+        ) - 1e-9
+        # The average pairwise Bhattacharyya distance is only a proxy (the
+        # log-det can grow while the mean pairwise distance dips slightly),
+        # so it gets a looser bound.
         base_div = average_pairwise_bhattacharyya(fitted_dhmm.base_transmat_)
         refined_div = average_pairwise_bhattacharyya(fitted_dhmm.transmat_)
-        assert refined_div >= base_div - 1e-6
+        assert refined_div >= base_div - 0.01
 
     def test_anchor_keeps_refinement_close_to_counts(self, tiny_ocr_dataset):
         model = SupervisedDiversifiedHMM(

@@ -8,9 +8,11 @@ from hypothesis.extra.numpy import arrays
 
 from repro.dpp.log_det import (
     dpp_log_prior,
+    dpp_log_prior_and_gradient,
     dpp_log_prior_gradient,
     log_det_psd,
     paper_closed_form_gradient,
+    psd_log_det_and_inverse,
 )
 from repro.exceptions import ValidationError
 from repro.optim.simplex import project_rows_to_simplex
@@ -51,6 +53,41 @@ class TestLogDetPsd:
     def test_rejects_non_square(self):
         with pytest.raises(ValidationError):
             log_det_psd(np.ones((2, 3)))
+
+
+class TestPsdLogDetAndInverse:
+    def test_single_factorization_matches_separate_computations(self):
+        rng = np.random.default_rng(1)
+        M = rng.normal(size=(6, 6))
+        K = M @ M.T + np.eye(6)
+        log_det, inverse = psd_log_det_and_inverse(K)
+        assert np.isclose(log_det, np.linalg.slogdet(K)[1])
+        assert np.allclose(inverse, np.linalg.inv(K), atol=1e-10)
+        # Cholesky-derived inverse of an SPD matrix is symmetric.
+        assert np.allclose(inverse, inverse.T)
+
+    def test_semidefinite_fallback_is_finite(self):
+        log_det, inverse = psd_log_det_and_inverse(np.ones((3, 3)))
+        assert np.isfinite(log_det)
+        assert np.all(np.isfinite(inverse))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            psd_log_det_and_inverse(np.ones((2, 3)))
+
+    def test_combined_prior_matches_separate_prior_and_gradient(self):
+        rng = np.random.default_rng(2)
+        A = rng.dirichlet(np.ones(5) * 2.0, size=5)
+        value, grad = dpp_log_prior_and_gradient(A, rho=0.5)
+        assert np.isclose(value, dpp_log_prior(A, rho=0.5))
+        assert np.allclose(grad, dpp_log_prior_gradient(A, rho=0.5))
+
+    def test_combined_prior_consistent_with_exact_zero_entries(self):
+        # Both entry points floor A identically, so a matrix containing
+        # exact zeros yields the same prior value either way.
+        A = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.2, 0.3, 0.5]])
+        value, _ = dpp_log_prior_and_gradient(A, rho=0.5)
+        assert np.isclose(value, dpp_log_prior(A, rho=0.5))
 
 
 class TestDppLogPrior:
