@@ -1,0 +1,141 @@
+"""Benchmark: micro-batched TaggingService vs sequential per-request decode.
+
+Simulates a tagging API at PoS scale: every sentence of the benchmark
+corpus is one client request.  The *sequential* baseline decodes each
+request the moment it arrives (one engine call per sequence — what any
+caller without the service would do); the *service* run submits the same
+requests concurrently and lets the micro-batcher coalesce them into
+engine length-buckets.  Also reports the fixed-lag streaming decoder's
+single-token-latency path for reference.  Results are written to
+``BENCH_serving.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import print_header
+from repro.core.config import ServingConfig
+from repro.hmm import CategoricalEmission, HMM
+from repro.serving import StreamingDecoder, TaggingService
+
+#: Acceptance floor for the service-vs-sequential throughput ratio (the
+#: ISSUE-2 gate is 3x; an idle machine measures well above that).
+MIN_SERVICE_SPEEDUP = float(os.environ.get("BENCH_MIN_SERVICE_SPEEDUP", "3.0"))
+
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+
+def _build_model(corpus) -> HMM:
+    rng = np.random.default_rng(1)
+    emissions = CategoricalEmission.random_init(
+        corpus.n_tags, corpus.vocabulary_size, seed=1
+    )
+    return HMM(
+        rng.dirichlet(np.ones(corpus.n_tags)),
+        rng.dirichlet(np.ones(corpus.n_tags), size=corpus.n_tags),
+        emissions,
+    )
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time in seconds (one warm-up call first)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_micro_batched_service_speedup(benchmark, pos_corpus):
+    model = _build_model(pos_corpus)
+    sequences = pos_corpus.words
+    n_tokens = sum(len(seq) for seq in sequences)
+    # Coalescing several engine buckets' worth of requests per micro-batch
+    # lets the engine sort them into near-rectangular length-buckets; a
+    # micro-batch of exactly bucket_size arrival-ordered sequences pads the
+    # whole bucket to its longest member.
+    config = ServingConfig(max_batch_size=256, max_wait_ms=2.0)
+
+    # Correctness gate: served paths must match direct batch decoding.
+    with TaggingService(model, config=config) as service:
+        served = service.tag_many(sequences)
+    expected = model.predict(sequences)
+    mismatched = sum(
+        0 if np.array_equal(got, want) else 1 for got, want in zip(served, expected)
+    )
+    assert mismatched == 0
+
+    def sequential():
+        for seq in sequences:
+            model.decode(seq)
+
+    sequential_seconds = _time(sequential)
+
+    def micro_batched():
+        with TaggingService(model, config=config) as service:
+            service.tag_many(sequences)
+
+    service_seconds = _time(micro_batched)
+
+    # Service occupancy stats from one instrumented run.
+    with TaggingService(model, config=config) as service:
+        service.tag_many(sequences)
+        stats = service.stats.snapshot()
+
+    # Reference: the per-token streaming path (latency-optimized, not
+    # throughput-optimized) on a subset, scaled to tokens/second.
+    stream_subset = sequences[:100]
+    start = time.perf_counter()
+    for seq in stream_subset:
+        decoder = StreamingDecoder(model, lag=8)
+        decoder.push_many(seq)
+        decoder.finish()
+    stream_seconds = time.perf_counter() - start
+    stream_tokens = sum(len(s) for s in stream_subset)
+
+    speedup = sequential_seconds / service_seconds
+    results = {
+        "workload": {
+            "n_requests": len(sequences),
+            "n_tokens": n_tokens,
+            "n_states": pos_corpus.n_tags,
+            "vocabulary_size": pos_corpus.vocabulary_size,
+        },
+        "config": {
+            "max_batch_size": config.max_batch_size,
+            "max_wait_ms": config.max_wait_ms,
+        },
+        "sequential_seconds": sequential_seconds,
+        "service_seconds": service_seconds,
+        "service_speedup": speedup,
+        "sequential_tokens_per_second": n_tokens / sequential_seconds,
+        "service_tokens_per_second": n_tokens / service_seconds,
+        "streaming_tokens_per_second": stream_tokens / stream_seconds,
+        "mean_batch_size": stats["mean_batch_size"],
+        "max_batch_size_observed": stats["max_batch_size"],
+    }
+    _RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    print_header("Serving - micro-batched TaggingService vs sequential decode")
+    print(f"sequential : {sequential_seconds * 1e3:8.1f} ms "
+          f"({results['sequential_tokens_per_second']:9.0f} tok/s)")
+    print(f"service    : {service_seconds * 1e3:8.1f} ms "
+          f"({results['service_tokens_per_second']:9.0f} tok/s) | {speedup:5.1f}x")
+    print(f"streaming  : {results['streaming_tokens_per_second']:9.0f} tok/s "
+          f"(fixed-lag 8, per-token latency path)")
+    print(f"mean batch occupancy: {stats['mean_batch_size']:.1f} "
+          f"(max {stats['max_batch_size']})")
+    print(f"results written to {_RESULT_PATH.name}")
+
+    benchmark.extra_info.update(service_speedup=speedup)
+    benchmark.pedantic(micro_batched, rounds=1, iterations=1)
+
+    assert speedup >= MIN_SERVICE_SPEEDUP

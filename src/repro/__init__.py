@@ -41,6 +41,13 @@ from repro.hmm import (
     CategoricalEmission,
     GaussianEmission,
 )
+from repro.serving import (
+    ModelRegistry,
+    StreamingDecoder,
+    TaggingService,
+    load_model,
+    save_model,
+)
 
 __version__ = "1.0.0"
 
@@ -55,6 +62,11 @@ __all__ = [
     "GaussianEmission",
     "CategoricalEmission",
     "BernoulliEmission",
+    "ModelRegistry",
+    "TaggingService",
+    "StreamingDecoder",
+    "save_model",
+    "load_model",
     "ReproError",
     "ValidationError",
     "NotFittedError",

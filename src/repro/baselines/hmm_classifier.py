@@ -72,3 +72,27 @@ class SupervisedHMMClassifier:
     def transmat_(self) -> np.ndarray:
         """The count-estimated transition matrix ``A0``."""
         return self._check_fitted().transmat
+
+    # ------------------------------------------------------------------ #
+    def to_state_dict(self) -> dict:
+        """Serializable snapshot: hyper-parameters plus the fitted model."""
+        return {
+            "n_states": self.n_states,
+            "n_features": self.n_features,
+            "transition_pseudocount": self.transition_pseudocount,
+            "emission_pseudocount": self.emission_pseudocount,
+            "model": self.model_.to_state_dict() if self.model_ is not None else None,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "SupervisedHMMClassifier":
+        """Rebuild a (possibly fitted) classifier from :meth:`to_state_dict`."""
+        classifier = cls(
+            int(state["n_states"]),
+            int(state["n_features"]),
+            transition_pseudocount=float(state["transition_pseudocount"]),
+            emission_pseudocount=float(state["emission_pseudocount"]),
+        )
+        if state.get("model") is not None:
+            classifier.model_ = HMM.from_state_dict(state["model"])
+        return classifier

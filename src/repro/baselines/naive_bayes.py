@@ -88,3 +88,36 @@ class BernoulliNaiveBayes:
     def predict(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
         """Predict letter labels for every sequence, position by position."""
         return [self.predict_items(np.asarray(seq, dtype=np.float64)) for seq in sequences]
+
+    # ------------------------------------------------------------------ #
+    def to_state_dict(self) -> dict:
+        """Serializable snapshot: hyper-parameters plus fitted tables."""
+        return {
+            "n_classes": self.n_classes,
+            "n_features": self.n_features,
+            "pseudocount": self.pseudocount,
+            "class_log_prior": (
+                self.class_log_prior_.copy() if self.class_log_prior_ is not None else None
+            ),
+            "feature_probs": (
+                self.feature_probs_.copy() if self.feature_probs_ is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "BernoulliNaiveBayes":
+        """Rebuild a (possibly fitted) classifier from :meth:`to_state_dict`."""
+        classifier = cls(
+            int(state["n_classes"]),
+            int(state["n_features"]),
+            pseudocount=float(state["pseudocount"]),
+        )
+        if state.get("class_log_prior") is not None:
+            classifier.class_log_prior_ = np.asarray(
+                state["class_log_prior"], dtype=np.float64
+            )
+        if state.get("feature_probs") is not None:
+            classifier.feature_probs_ = np.asarray(
+                state["feature_probs"], dtype=np.float64
+            )
+        return classifier

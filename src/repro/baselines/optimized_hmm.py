@@ -87,3 +87,34 @@ class OptimizedHMMClassifier(SupervisedHMMClassifier):
             model.startprob, model.transmat, log_obs_seqs
         )
         return [path for path, _ in decoded]
+
+    # ------------------------------------------------------------------ #
+    def to_state_dict(self) -> dict:
+        """Serializable snapshot including the decoding-trick parameters."""
+        state = super().to_state_dict()
+        state["emission_weight"] = self.emission_weight
+        state["informative_pixel_floor"] = self.informative_pixel_floor
+        state["pixel_weights"] = (
+            self.pixel_weights_.copy() if self.pixel_weights_ is not None else None
+        )
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "OptimizedHMMClassifier":
+        classifier = cls(
+            int(state["n_states"]),
+            int(state["n_features"]),
+            transition_pseudocount=float(state["transition_pseudocount"]),
+            emission_pseudocount=float(state["emission_pseudocount"]),
+            emission_weight=float(state["emission_weight"]),
+            informative_pixel_floor=float(state["informative_pixel_floor"]),
+        )
+        if state.get("model") is not None:
+            from repro.hmm.model import HMM
+
+            classifier.model_ = HMM.from_state_dict(state["model"])
+        if state.get("pixel_weights") is not None:
+            classifier.pixel_weights_ = np.asarray(
+                state["pixel_weights"], dtype=np.float64
+            )
+        return classifier

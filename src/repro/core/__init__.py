@@ -3,9 +3,12 @@
 from repro.core.config import (
     DHMMConfig,
     InferenceConfig,
+    ServingConfig,
     get_inference_config,
+    get_serving_config,
     inference_backend,
     set_inference_config,
+    set_serving_config,
 )
 from repro.core.transition_prior import DPPTransitionPrior, DiversityTransitionUpdater
 from repro.core.diversified_hmm import DiversifiedHMM
@@ -14,8 +17,11 @@ from repro.core.supervised import SupervisedDiversifiedHMM
 __all__ = [
     "DHMMConfig",
     "InferenceConfig",
+    "ServingConfig",
     "get_inference_config",
     "set_inference_config",
+    "get_serving_config",
+    "set_serving_config",
     "inference_backend",
     "DPPTransitionPrior",
     "DiversityTransitionUpdater",

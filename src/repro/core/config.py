@@ -92,6 +92,66 @@ def inference_backend(
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Process-wide defaults for the serving subsystem (:mod:`repro.serving`).
+
+    Attributes
+    ----------
+    max_batch_size:
+        Largest number of queued requests the :class:`~repro.serving.TaggingService`
+        coalesces into one engine call.  Aligning it with the engine's
+        ``bucket_size`` keeps every micro-batch a single padded bucket.
+    max_wait_ms:
+        How long the service batcher waits for more requests after the
+        first one arrives before dispatching a partial batch.  ``0`` means
+        "drain whatever is queued right now" (lowest latency, smallest
+        batches).
+    streaming_lag:
+        Default fixed lag (in tokens) of the sliding-window Viterbi used by
+        :class:`~repro.serving.StreamingDecoder`; ``None`` defers all labels
+        to the end of the stream (exact full-sequence Viterbi).
+    """
+
+    max_batch_size: int = 64
+    max_wait_ms: float = 2.0
+    streaming_lag: int | None = 32
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValidationError(
+                f"max_batch_size must be at least 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_ms < 0:
+            raise ValidationError(
+                f"max_wait_ms must be non-negative, got {self.max_wait_ms}"
+            )
+        if self.streaming_lag is not None and self.streaming_lag < 1:
+            raise ValidationError(
+                f"streaming_lag must be at least 1 or None, got {self.streaming_lag}"
+            )
+
+
+_serving_config = ServingConfig()
+
+
+def get_serving_config() -> ServingConfig:
+    """The current process-wide serving configuration."""
+    return _serving_config
+
+
+def set_serving_config(config: ServingConfig) -> ServingConfig:
+    """Replace the process-wide serving configuration; returns the previous one."""
+    global _serving_config
+    if not isinstance(config, ServingConfig):
+        raise ValidationError(
+            f"config must be a ServingConfig, got {type(config).__name__}"
+        )
+    previous = _serving_config
+    _serving_config = config
+    return previous
+
+
+@dataclass(frozen=True)
 class DHMMConfig:
     """Hyper-parameters of the dHMM (both unsupervised and supervised).
 

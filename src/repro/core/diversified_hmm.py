@@ -10,6 +10,7 @@ Baum-Welch HMM exactly, which is how the paper's "HMM" baseline is run.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Sequence
 
 import numpy as np
@@ -147,6 +148,39 @@ class DiversifiedHMM:
     def score(self, sequences: Sequence[np.ndarray]) -> float:
         """Total data log-likelihood under the learned parameters."""
         return self._check_fitted().score(sequences)
+
+    # ------------------------------------------------------------------ #
+    def to_state_dict(self) -> dict:
+        """Serializable snapshot: training config, emissions, fitted params.
+
+        The EM trace (``fit_result_``) is transient and not persisted; the
+        learned ``(pi, A, B)`` round-trip exactly, so a loaded estimator
+        predicts and scores identically to the fitted one.  Integer seeds
+        round-trip too (so a refit is reproducible); generator objects
+        cannot be serialized and degrade to ``None``.
+        """
+        return {
+            "config": asdict(self.config),
+            "reinitialize_emissions": self.reinitialize_emissions,
+            "seed": int(self.seed) if isinstance(self.seed, (int, np.integer)) else None,
+            "emissions": self.emissions.to_state_dict(),
+            "model": self.model_.to_state_dict() if self.model_ is not None else None,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "DiversifiedHMM":
+        """Rebuild a (possibly fitted) estimator from :meth:`to_state_dict`."""
+        from repro.hmm.emissions.base import EmissionModel
+
+        estimator = cls(
+            EmissionModel.from_state_dict(state["emissions"]),
+            config=DHMMConfig(**state["config"]),
+            seed=state.get("seed"),
+            reinitialize_emissions=bool(state["reinitialize_emissions"]),
+        )
+        if state.get("model") is not None:
+            estimator.model_ = HMM.from_state_dict(state["model"])
+        return estimator
 
     def log_posterior_objective(self, sequences: Sequence[np.ndarray]) -> float:
         """Likelihood plus the weighted DPP prior (the MAP objective, Eq. 7)."""

@@ -12,6 +12,7 @@ unlabeled test sequences uses Viterbi with the refined ``A``.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Sequence
 
 import numpy as np
@@ -178,3 +179,48 @@ class SupervisedDiversifiedHMM:
     def score(self, sequences: Sequence[np.ndarray]) -> float:
         """Total marginal log-likelihood of test sequences."""
         return self._check_fitted().score(sequences)
+
+    # ------------------------------------------------------------------ #
+    def to_state_dict(self) -> dict:
+        """Serializable snapshot: hyper-parameters, fitted model, ``A0``.
+
+        The projected-gradient trace (``refinement_result_``) is transient
+        and not persisted.
+        """
+        return {
+            "n_states": self.n_states,
+            "n_features": self.n_features,
+            "config": asdict(self.config),
+            "transition_pseudocount": self.transition_pseudocount,
+            "emission_pseudocount": self.emission_pseudocount,
+            "emissions_template": (
+                self.emissions.to_state_dict() if self.emissions is not None else None
+            ),
+            "model": self.model_.to_state_dict() if self.model_ is not None else None,
+            "base_transmat": (
+                self.base_transmat_.copy() if self.base_transmat_ is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "SupervisedDiversifiedHMM":
+        """Rebuild a (possibly fitted) classifier from :meth:`to_state_dict`."""
+        n_features = state["n_features"]
+        template = state.get("emissions_template")
+        classifier = cls(
+            int(state["n_states"]),
+            n_features=None if n_features is None else int(n_features),
+            config=DHMMConfig(**state["config"]),
+            emissions=(
+                EmissionModel.from_state_dict(template) if template is not None else None
+            ),
+            transition_pseudocount=float(state["transition_pseudocount"]),
+            emission_pseudocount=float(state["emission_pseudocount"]),
+        )
+        if state.get("model") is not None:
+            classifier.model_ = HMM.from_state_dict(state["model"])
+        if state.get("base_transmat") is not None:
+            classifier.base_transmat_ = np.asarray(
+                state["base_transmat"], dtype=np.float64
+            )
+        return classifier

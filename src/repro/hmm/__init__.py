@@ -16,6 +16,8 @@ from repro.hmm.backends import (
     InferenceBackend,
     LogDomainBackend,
     ScaledBatchedBackend,
+    StreamingSession,
+    StreamStep,
     available_backends,
     build_backend,
 )
@@ -46,6 +48,8 @@ __all__ = [
     "InferenceEngine",
     "ScaledBatchedBackend",
     "LogDomainBackend",
+    "StreamingSession",
+    "StreamStep",
     "available_backends",
     "build_backend",
     "build_engine",

@@ -33,11 +33,13 @@ exactly normalized — identical (up to rounding) to the log-domain reference.
 from __future__ import annotations
 
 import abc
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
-from repro.exceptions import DimensionMismatchError
+from repro.exceptions import DimensionMismatchError, ValidationError
 from repro.hmm.forward_backward import (
     SequencePosteriors,
     compute_posteriors_from_log,
@@ -445,6 +447,170 @@ class LogDomainBackend(InferenceBackend):
             )
             out[n] = float(logsumexp(log_alpha[-1]))
         return out
+
+
+# ------------------------------------------------------------------ #
+# Streaming (incremental) inference
+# ------------------------------------------------------------------ #
+@dataclass
+class StreamStep:
+    """Result of pushing one observation into a :class:`StreamingSession`.
+
+    Attributes
+    ----------
+    t:
+        Zero-based index of the timestep just consumed.
+    filtering:
+        Filtering posterior ``p(x_t | y_1..t)`` of length ``K``.
+    log_likelihood:
+        Running log marginal likelihood ``log P(y_1..t)``.
+    finalized:
+        Newly finalized ``(position, state)`` pairs from the fixed-lag
+        Viterbi window (empty until the window exceeds the lag).
+    """
+
+    t: int
+    filtering: np.ndarray
+    log_likelihood: float
+    finalized: list[tuple[int, int]] = field(default_factory=list)
+
+
+class StreamingSession:
+    """Incremental single-sequence inference: filtering + fixed-lag Viterbi.
+
+    The session consumes one emission log-likelihood row per call to
+    :meth:`step` and maintains two recursions in the log domain:
+
+    * the forward (filtering) recursion, yielding the posterior
+      ``p(x_t | y_1..t)`` and the running log marginal likelihood after
+      every step — the quantities an online tagger shows per token;
+    * the Viterbi recursion over a sliding window of ``lag`` backpointer
+      columns.  Once ``lag`` further observations have arrived, the label
+      of a position is *finalized* by backtracking from the current best
+      state; :meth:`finish` flushes the remaining window with a full
+      backtrack.
+
+    With ``lag >= T`` (or ``lag=None``, the "infinite lag" default) no
+    label is finalized before :meth:`finish`, and the emitted path is
+    bit-identical to :func:`~repro.hmm.viterbi.viterbi_decode_from_log` on
+    the whole sequence — the recursion and tie-breaking are the same ops.
+
+    The per-step cost is ``O(K^2)``; sessions are deliberately
+    single-sequence (online arrivals cannot be length-bucketed), which is
+    why the batched backends are unaffected.
+    """
+
+    def __init__(
+        self,
+        log_startprob: np.ndarray,
+        log_transmat: np.ndarray,
+        lag: int | None = None,
+    ) -> None:
+        if lag is not None and lag < 1:
+            raise ValidationError(f"lag must be at least 1, got {lag}")
+        self._log_pi = np.asarray(log_startprob, dtype=np.float64)
+        self._log_A = np.asarray(log_transmat, dtype=np.float64)
+        n_states = self._log_pi.shape[0]
+        if self._log_A.shape != (n_states, n_states):
+            raise DimensionMismatchError(
+                f"transition matrix shape {self._log_A.shape} does not match "
+                f"{n_states} states"
+            )
+        self.n_states = n_states
+        self.lag = lag
+        self._log_alpha: np.ndarray | None = None
+        self._log_delta: np.ndarray | None = None
+        #: backpointer columns for times (next_emit, t]; _bp[i] belongs to
+        #: time _next_emit + 1 + i.
+        self._bp: deque[np.ndarray] = deque()
+        self._t = -1
+        self._next_emit = 0
+        self._finished = False
+
+    @property
+    def t(self) -> int:
+        """Index of the last consumed timestep (-1 before the first step)."""
+        return self._t
+
+    def _backtrack(self, down_to: int) -> list[tuple[int, int]]:
+        """States of positions ``down_to .. t`` on the current best path."""
+        assert self._log_delta is not None
+        state = int(np.argmax(self._log_delta))
+        states = [state]
+        # self._bp holds columns for times (next_emit, t]; walk back from t.
+        for tau in range(self._t, down_to, -1):
+            state = int(self._bp[tau - self._next_emit - 1][state])
+            states.append(state)
+        states.reverse()
+        return list(zip(range(down_to, self._t + 1), states))
+
+    def step(self, log_obs_t: np.ndarray) -> StreamStep:
+        """Consume one ``(K,)`` emission log-likelihood row."""
+        if self._finished:
+            raise ValidationError("cannot step a finished StreamingSession")
+        row = np.asarray(log_obs_t, dtype=np.float64).reshape(-1)
+        if row.shape[0] != self.n_states:
+            raise DimensionMismatchError(
+                f"expected a log-likelihood row of length {self.n_states}, "
+                f"got shape {np.asarray(log_obs_t).shape}"
+            )
+        self._t += 1
+        if self._t == 0:
+            self._log_alpha = self._log_pi + row
+            self._log_delta = self._log_pi + row
+        else:
+            self._log_alpha = row + logsumexp(
+                self._log_alpha[:, None] + self._log_A, axis=0
+            )
+            scores = self._log_delta[:, None] + self._log_A
+            backpointer = np.argmax(scores, axis=0)
+            self._log_delta = (
+                scores[backpointer, np.arange(self.n_states)] + row
+            )
+            self._bp.append(backpointer)
+
+        log_likelihood = float(logsumexp(self._log_alpha))
+        filtering = np.exp(self._log_alpha - log_likelihood)
+        filtering /= filtering.sum()
+
+        finalized: list[tuple[int, int]] = []
+        if self.lag is not None and self._t - self._next_emit >= self.lag:
+            last = self._t - self.lag  # newest position leaving the window
+            finalized = self._backtrack(self._next_emit)[: last - self._next_emit + 1]
+            self._next_emit = last + 1
+            while len(self._bp) > self._t - self._next_emit:
+                self._bp.popleft()
+        return StreamStep(
+            t=self._t,
+            filtering=filtering,
+            log_likelihood=log_likelihood,
+            finalized=finalized,
+        )
+
+    def finish(self) -> list[tuple[int, int]]:
+        """Finalize the remaining window; returns ``(position, state)`` pairs.
+
+        After ``finish`` the session rejects further :meth:`step` calls.
+        When no label was finalized early (``lag >= T`` or ``lag=None``) the
+        concatenation of all finalized pairs is exactly the full-sequence
+        Viterbi path.
+        """
+        if self._finished:
+            return []
+        self._finished = True
+        if self._t < 0:
+            return []
+        remaining = self._backtrack(self._next_emit)
+        self._bp.clear()
+        self._next_emit = self._t + 1
+        return remaining
+
+    @property
+    def log_joint(self) -> float:
+        """Joint log-probability of the current best (Viterbi) path."""
+        if self._log_delta is None:
+            raise ValidationError("no observations consumed yet")
+        return float(np.max(self._log_delta))
 
 
 _BACKENDS = {

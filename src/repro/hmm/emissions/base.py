@@ -28,6 +28,53 @@ class EmissionModel(abc.ABC):
     #: number of hidden states the emission model covers
     n_states: int
 
+    #: short identifier written into persisted state dicts; concrete
+    #: families override it and register themselves in ``_FAMILY_REGISTRY``.
+    family: str = "abstract"
+
+    _FAMILY_REGISTRY: dict[str, type["EmissionModel"]] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.family != "abstract":
+            EmissionModel._FAMILY_REGISTRY[cls.family] = cls
+
+    @abc.abstractmethod
+    def to_state_dict(self) -> dict:
+        """Serializable parameter snapshot (JSON scalars + numpy arrays).
+
+        The dict must carry ``"family": self.family`` so
+        :meth:`from_state_dict` can dispatch to the right subclass.
+        """
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "EmissionModel":
+        """Rebuild an emission model from :meth:`to_state_dict` output.
+
+        Called on :class:`EmissionModel` it dispatches on ``state["family"]``;
+        called on a concrete subclass it rebuilds that family directly.
+        """
+        family = state.get("family")
+        if cls is EmissionModel:
+            try:
+                target = cls._FAMILY_REGISTRY[family]
+            except KeyError:
+                raise ValueError(
+                    f"unknown emission family {family!r}; known: "
+                    f"{sorted(cls._FAMILY_REGISTRY)}"
+                ) from None
+            return target.from_state_dict(state)
+        if family != cls.family:
+            raise ValueError(
+                f"state dict holds family {family!r}, not {cls.family!r}"
+            )
+        return cls._from_state_dict(state)
+
+    @classmethod
+    @abc.abstractmethod
+    def _from_state_dict(cls, state: dict) -> "EmissionModel":
+        """Family-specific reconstruction (``state["family"]`` already checked)."""
+
     @abc.abstractmethod
     def log_likelihoods(self, sequence: np.ndarray) -> np.ndarray:
         """Log-likelihood of every observation under every state.
@@ -43,6 +90,16 @@ class EmissionModel(abc.ABC):
             Array of shape ``(T, n_states)`` with entries
             ``log P(y_t | x_t = i)``.
         """
+
+    def log_likelihoods_batch(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Emission tables for a whole collection of sequences.
+
+        Equivalent to ``[self.log_likelihoods(s) for s in sequences]``;
+        families whose scoring is an indexing or matmul operation override
+        this to score all sequences in one vectorized call (the batched
+        engine and the tagging service hand over whole micro-batches).
+        """
+        return [self.log_likelihoods(sequence) for sequence in sequences]
 
     @abc.abstractmethod
     def m_step(

@@ -29,6 +29,8 @@ class BernoulliEmission(EmissionModel):
         away from 0/1 so log-likelihoods stay finite.
     """
 
+    family = "bernoulli"
+
     def __init__(self, pixel_probs: np.ndarray) -> None:
         P = np.asarray(pixel_probs, dtype=np.float64)
         if P.ndim != 2:
@@ -58,6 +60,21 @@ class BernoulliEmission(EmissionModel):
         log_1p = np.log1p(-self.pixel_probs)
         return obs @ log_p.T + (1.0 - obs) @ log_1p.T
 
+    def log_likelihoods_batch(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Score the vertically stacked corpus in one call, then split."""
+        arrays = [np.asarray(seq, dtype=np.float64) for seq in sequences]
+        for obs in arrays:
+            if obs.ndim != 2 or obs.shape[1] != self.n_features:
+                raise ValidationError(
+                    f"Bernoulli emissions expect sequences of shape "
+                    f"(T, {self.n_features}), got {obs.shape}"
+                )
+        if not arrays:
+            return []
+        flat = np.vstack(arrays) if len(arrays) > 1 else arrays[0]
+        bounds = np.cumsum([a.shape[0] for a in arrays])[:-1]
+        return np.split(self.log_likelihoods(flat), bounds)
+
     def m_step(
         self, sequences: Sequence[np.ndarray], posteriors: Sequence[np.ndarray]
     ) -> None:
@@ -79,6 +96,13 @@ class BernoulliEmission(EmissionModel):
 
     def copy(self) -> "BernoulliEmission":
         return BernoulliEmission(self.pixel_probs.copy())
+
+    def to_state_dict(self) -> dict:
+        return {"family": self.family, "pixel_probs": self.pixel_probs.copy()}
+
+    @classmethod
+    def _from_state_dict(cls, state: dict) -> "BernoulliEmission":
+        return cls(state["pixel_probs"])
 
     def fit_supervised(
         self,

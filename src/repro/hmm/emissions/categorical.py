@@ -22,6 +22,8 @@ class CategoricalEmission(EmissionModel):
         ``B[i, v] = P(y_t = v | x_t = i)``.
     """
 
+    family = "categorical"
+
     def __init__(self, emission_probs: np.ndarray) -> None:
         B = np.asarray(emission_probs, dtype=np.float64)
         if B.ndim != 2:
@@ -51,6 +53,20 @@ class CategoricalEmission(EmissionModel):
             raise ValidationError("observation symbol out of range")
         return safe_log(self.emission_probs[:, obs].T)
 
+    def log_likelihoods_batch(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Score the concatenated corpus in one call, then split per sequence."""
+        arrays = [np.asarray(seq) for seq in sequences]
+        for obs in arrays:
+            if obs.ndim != 1:
+                raise ValidationError(
+                    f"Categorical emissions expect 1-D sequences, got {obs.shape}"
+                )
+        if not arrays:
+            return []
+        flat = np.concatenate(arrays) if len(arrays) > 1 else arrays[0]
+        bounds = np.cumsum([a.shape[0] for a in arrays])[:-1]
+        return np.split(self.log_likelihoods(flat), bounds)
+
     def m_step(
         self, sequences: Sequence[np.ndarray], posteriors: Sequence[np.ndarray]
     ) -> None:
@@ -69,6 +85,13 @@ class CategoricalEmission(EmissionModel):
 
     def copy(self) -> "CategoricalEmission":
         return CategoricalEmission(self.emission_probs.copy())
+
+    def to_state_dict(self) -> dict:
+        return {"family": self.family, "emission_probs": self.emission_probs.copy()}
+
+    @classmethod
+    def _from_state_dict(cls, state: dict) -> "CategoricalEmission":
+        return cls(state["emission_probs"])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"CategoricalEmission(n_states={self.n_states}, n_symbols={self.n_symbols})"

@@ -17,6 +17,9 @@ _MIN_VARIANCE = 1e-6
 class GaussianEmission(EmissionModel):
     """One univariate Gaussian per hidden state.
 
+    Serialization: :meth:`to_state_dict` / :meth:`from_state_dict` snapshot
+    the per-state means and variances.
+
     Parameters
     ----------
     means:
@@ -26,6 +29,8 @@ class GaussianEmission(EmissionModel):
         small constant so degenerate states cannot produce infinite
         likelihoods during EM.
     """
+
+    family = "gaussian"
 
     def __init__(self, means: np.ndarray, variances: np.ndarray) -> None:
         means = np.asarray(means, dtype=np.float64)
@@ -105,6 +110,17 @@ class GaussianEmission(EmissionModel):
 
     def copy(self) -> "GaussianEmission":
         return GaussianEmission(self.means.copy(), self.variances.copy())
+
+    def to_state_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "means": self.means.copy(),
+            "variances": self.variances.copy(),
+        }
+
+    @classmethod
+    def _from_state_dict(cls, state: dict) -> "GaussianEmission":
+        return cls(state["means"], state["variances"])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"GaussianEmission(n_states={self.n_states})"

@@ -30,7 +30,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.hmm.backends import InferenceBackend, build_backend
+from repro.hmm.backends import (
+    InferenceBackend,
+    StreamingSession,
+    build_backend,
+)
 from repro.hmm.forward_backward import SequencePosteriors
 from repro.utils.maths import safe_log
 
@@ -183,6 +187,34 @@ class InferenceEngine:
     ) -> float:
         """Log marginal likelihood of one sequence."""
         return float(self.log_likelihood_batch(startprob, transmat, [log_obs])[0])
+
+    # -------------------------------------------------------------- #
+    # Streaming
+    # -------------------------------------------------------------- #
+    def start_stream(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        lag: int | None = None,
+    ) -> StreamingSession:
+        """Open an incremental inference session for one online sequence.
+
+        The session consumes one emission log-likelihood row at a time and
+        exposes per-step filtering posteriors plus fixed-lag Viterbi labels
+        (see :class:`~repro.hmm.backends.StreamingSession`).  ``log(pi)`` /
+        ``log(A)`` come from the engine's parameter cache, so opening many
+        sessions against the same model re-derives nothing.
+
+        Parameters
+        ----------
+        startprob, transmat:
+            Probability-domain model parameters.
+        lag:
+            Fixed lag of the sliding Viterbi window; ``None`` defers all
+            labels to ``finish()`` (exact full-sequence Viterbi).
+        """
+        p = self._cached(startprob, transmat)
+        return StreamingSession(p.log_startprob, p.log_transmat, lag=lag)
 
 
 def build_engine(

@@ -135,7 +135,7 @@ class HMM:
 
     def score(self, sequences: Sequence[np.ndarray]) -> float:
         """Total log-likelihood of a collection of sequences (batched)."""
-        log_obs_seqs = [self.emissions.log_likelihoods(seq) for seq in sequences]
+        log_obs_seqs = self.emissions.log_likelihoods_batch(sequences)
         return float(
             self.inference_engine.log_likelihood_batch(
                 self.startprob, self.transmat, log_obs_seqs
@@ -151,7 +151,7 @@ class HMM:
         self, sequences: Sequence[np.ndarray]
     ) -> list[SequencePosteriors]:
         """Forward-backward posteriors for a collection of sequences (batched)."""
-        log_obs_seqs = [self.emissions.log_likelihoods(seq) for seq in sequences]
+        log_obs_seqs = self.emissions.log_likelihoods_batch(sequences)
         return self.inference_engine.posteriors_batch(
             self.startprob, self.transmat, log_obs_seqs
         )
@@ -164,13 +164,42 @@ class HMM:
 
     def predict(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
         """Viterbi paths for a collection of sequences (batched decode)."""
-        log_obs_seqs = [self.emissions.log_likelihoods(seq) for seq in sequences]
+        log_obs_seqs = self.emissions.log_likelihoods_batch(sequences)
         return [
             path
             for path, _ in self.inference_engine.viterbi_batch(
                 self.startprob, self.transmat, log_obs_seqs
             )
         ]
+
+    def stream(self, lag: int | None = None):
+        """Open a :class:`~repro.hmm.backends.StreamingSession` on this model.
+
+        The caller feeds emission log-likelihood rows; for a higher-level
+        tokens-in/labels-out interface see
+        :class:`repro.serving.StreamingDecoder`.
+        """
+        return self.inference_engine.start_stream(self.startprob, self.transmat, lag=lag)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_state_dict(self) -> dict:
+        """Serializable snapshot of ``(pi, A, B)`` (arrays + JSON scalars)."""
+        return {
+            "startprob": self.startprob.copy(),
+            "transmat": self.transmat.copy(),
+            "emissions": self.emissions.to_state_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "HMM":
+        """Rebuild an :class:`HMM` from :meth:`to_state_dict` output."""
+        return cls(
+            np.asarray(state["startprob"], dtype=np.float64),
+            np.asarray(state["transmat"], dtype=np.float64),
+            EmissionModel.from_state_dict(state["emissions"]),
+        )
 
     # ------------------------------------------------------------------ #
     # Generation

@@ -81,5 +81,8 @@ def estimate_supervised_parameters(
     start = counts.start_counts + pseudocount
     total = start.sum()
     startprob = start / total if total > 0 else np.full(n_states, 1.0 / n_states)
+    # normalize_rows maps all-zero rows (states with no outgoing transition
+    # observed and pseudocount=0) to uniform, so the estimate is always a
+    # valid row-stochastic matrix rather than a degenerate NaN/zero row.
     transmat = normalize_rows(counts.transition_counts, pseudocount=pseudocount)
     return startprob, transmat

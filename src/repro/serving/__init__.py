@@ -1,0 +1,45 @@
+"""Serving subsystem: persistence, registry, streaming decode, tagging service.
+
+Turns a trained (d)HMM into something deployable:
+
+* :mod:`repro.serving.persistence` — versioned save/load of models as
+  ``.npz``-plus-JSON-manifest artifact directories;
+* :mod:`repro.serving.registry` — a named, versioned on-disk
+  :class:`ModelRegistry` over those artifacts;
+* :mod:`repro.serving.streaming` — :class:`StreamingDecoder`, tagging tokens
+  as they arrive (per-step filtering posteriors + fixed-lag Viterbi);
+* :mod:`repro.serving.service` — :class:`TaggingService`, a micro-batching
+  front end coalescing concurrent requests into engine length-buckets;
+* :mod:`repro.serving.cli` — the ``repro-serve`` console entry point.
+"""
+
+from repro.serving.persistence import (
+    MODEL_TYPES,
+    SCHEMA_VERSION,
+    load_artifact,
+    load_model,
+    read_manifest,
+    resolve_hmm,
+    save_artifact,
+    save_model,
+)
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import ServiceStats, TaggingService
+from repro.serving.streaming import StreamingDecoder, StreamResult, stream_decode
+
+__all__ = [
+    "MODEL_TYPES",
+    "SCHEMA_VERSION",
+    "save_artifact",
+    "load_artifact",
+    "save_model",
+    "load_model",
+    "read_manifest",
+    "resolve_hmm",
+    "ModelRegistry",
+    "TaggingService",
+    "ServiceStats",
+    "StreamingDecoder",
+    "StreamResult",
+    "stream_decode",
+]

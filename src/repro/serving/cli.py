@@ -1,0 +1,329 @@
+"""``repro-serve`` — fit, persist, and serve dHMM taggers from the shell.
+
+Subcommands
+-----------
+``fit``
+    Train a model on one of the bundled synthetic datasets (``toy``/``pos``/
+    ``ocr``) and store it, either into a registry (``--registry``/``--name``)
+    or as a bare artifact directory (``--out``).  ``--alpha 0`` trains the
+    plain-HMM baseline, positive values the diversity-regularized dHMM.
+``save``
+    Import an existing artifact directory into a registry as a new version.
+``tag``
+    Load a registered model and tag sequences read from a JSON-lines file
+    (one JSON array per line), through the micro-batching service or — with
+    ``--streaming`` — token by token with the fixed-lag decoder.
+``bench``
+    Measure micro-batched service throughput against sequential per-request
+    decoding on model-sampled sequences.
+
+Examples
+--------
+::
+
+    repro-serve fit --dataset pos --registry ./registry --name pos-tagger \
+        --sample-out ./sample.jsonl
+    repro-serve tag --registry ./registry --name pos-tagger --input ./sample.jsonl
+    repro-serve bench --registry ./registry --name pos-tagger --requests 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import DHMMConfig, ServingConfig
+from repro.core.diversified_hmm import DiversifiedHMM
+from repro.core.supervised import SupervisedDiversifiedHMM
+from repro.datasets.ocr import N_PIXELS, generate_ocr_dataset
+from repro.datasets.pos import generate_wsj_like_corpus
+from repro.datasets.toy import generate_toy_dataset
+from repro.exceptions import ReproError
+from repro.hmm.emissions.categorical import CategoricalEmission
+from repro.hmm.emissions.gaussian import GaussianEmission
+from repro.serving.persistence import load_artifact, resolve_hmm, save_artifact
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import TaggingService
+from repro.serving.streaming import StreamingDecoder
+
+
+def _log(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+# ------------------------------------------------------------------ #
+# fit
+# ------------------------------------------------------------------ #
+def _fit_model(args: argparse.Namespace):
+    """Train the canonical model for the chosen dataset; returns (model, sequences, metadata)."""
+    config = DHMMConfig(alpha=args.alpha, max_em_iter=args.max_em_iter)
+    if args.dataset == "toy":
+        data = generate_toy_dataset(
+            n_sequences=args.n_sequences, sequence_length=6, seed=args.seed
+        )
+        model = DiversifiedHMM(
+            GaussianEmission.random_init(5, data.observations, seed=args.seed),
+            config=config,
+            seed=args.seed,
+        )
+        model.fit(data.observations)
+        sequences = data.observations
+    elif args.dataset == "pos":
+        corpus = generate_wsj_like_corpus(
+            n_sentences=args.n_sequences,
+            vocabulary_size=args.vocabulary_size,
+            mean_length=8,
+            max_length=30,
+            seed=args.seed,
+        )
+        model = SupervisedDiversifiedHMM(
+            n_states=corpus.n_tags,
+            config=config,
+            emissions=CategoricalEmission.random_init(
+                corpus.n_tags, corpus.vocabulary_size, seed=0
+            ),
+        )
+        model.fit(corpus.words, corpus.tags)
+        sequences = corpus.words
+    else:  # ocr
+        data = generate_ocr_dataset(n_words=args.n_sequences, seed=args.seed)
+        model = SupervisedDiversifiedHMM(
+            n_states=26, n_features=N_PIXELS, config=config
+        )
+        model.fit(data.images, data.labels)
+        sequences = data.images
+    metadata = {
+        "dataset": args.dataset,
+        "alpha": args.alpha,
+        "n_sequences": args.n_sequences,
+        "seed": args.seed,
+    }
+    return model, sequences, metadata
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    model, sequences, metadata = _fit_model(args)
+    if args.registry:
+        registry = ModelRegistry(args.registry)
+        version = registry.save(args.name, model, metadata=metadata)
+        _log(f"saved {args.name} v{version} to registry {args.registry}")
+    if args.out:
+        save_artifact(model, args.out, metadata=metadata)
+        _log(f"saved artifact to {args.out}")
+    if args.sample_out:
+        count = min(args.sample_count, len(sequences))
+        with Path(args.sample_out).open("w") as fh:
+            for seq in sequences[:count]:
+                fh.write(json.dumps(np.asarray(seq).tolist()) + "\n")
+        _log(f"wrote {count} sample sequences to {args.sample_out}")
+    return 0
+
+
+# ------------------------------------------------------------------ #
+# save / model loading
+# ------------------------------------------------------------------ #
+def _cmd_save(args: argparse.Namespace) -> int:
+    model = load_artifact(args.artifact)
+    version = ModelRegistry(args.registry).save(args.name, model)
+    _log(f"imported {args.artifact} as {args.name} v{version} in {args.registry}")
+    return 0
+
+
+def _load_registered(args: argparse.Namespace):
+    registry = ModelRegistry(args.registry)
+    return registry.load(args.name, version=args.version)
+
+
+# ------------------------------------------------------------------ #
+# tag
+# ------------------------------------------------------------------ #
+def _read_sequences(path: str, family: str) -> list[np.ndarray]:
+    """Parse a JSON-lines file into per-family observation arrays."""
+    dtype = np.int64 if family == "categorical" else np.float64
+    sequences = []
+    source = sys.stdin if path == "-" else Path(path).open()
+    try:
+        for line_no, line in enumerate(source, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                values = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"{path}:{line_no}: invalid JSON: {exc}") from None
+            sequences.append(np.asarray(values, dtype=dtype))
+    finally:
+        if source is not sys.stdin:
+            source.close()
+    return sequences
+
+
+def _cmd_tag(args: argparse.Namespace) -> int:
+    model = _load_registered(args)
+    hmm = resolve_hmm(model)
+    sequences = _read_sequences(args.input, hmm.emissions.family)
+    if not sequences:
+        _log("no input sequences")
+        return 1
+
+    started = time.perf_counter()
+    if args.streaming:
+        paths = []
+        lag = None
+        for seq in sequences:
+            # No --lag -> the decoder falls back to ServingConfig.streaming_lag.
+            decoder = (
+                StreamingDecoder(hmm)
+                if args.lag is None
+                else StreamingDecoder(hmm, lag=args.lag)
+            )
+            lag = decoder._session.lag
+            decoder.push_many(seq)
+            paths.append(decoder.finish().path)
+        mode = f"streaming (lag={lag})"
+    else:
+        config = ServingConfig(
+            max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms
+        )
+        with TaggingService(hmm, config=config) as service:
+            paths = service.tag_many(sequences)
+            occupancy = service.stats.snapshot()["mean_batch_size"]
+        mode = f"micro-batched (mean batch {occupancy:.1f})"
+    elapsed = time.perf_counter() - started
+
+    out = sys.stdout if args.output is None else Path(args.output).open("w")
+    try:
+        for path in paths:
+            out.write(" ".join(str(int(s)) for s in path) + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    n_tokens = sum(len(seq) for seq in sequences)
+    _log(
+        f"tagged {len(sequences)} sequences / {n_tokens} tokens in "
+        f"{elapsed * 1e3:.1f} ms via {mode}"
+    )
+    return 0
+
+
+# ------------------------------------------------------------------ #
+# bench
+# ------------------------------------------------------------------ #
+def _cmd_bench(args: argparse.Namespace) -> int:
+    model = _load_registered(args)
+    hmm = resolve_hmm(model)
+    _, sequences = hmm.sample_dataset(args.requests, args.length, seed=args.seed)
+
+    started = time.perf_counter()
+    sequential = [hmm.decode(seq) for seq in sequences]
+    sequential_seconds = time.perf_counter() - started
+
+    config = ServingConfig(max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms)
+    with TaggingService(hmm, config=config) as service:
+        started = time.perf_counter()
+        batched = service.tag_many(sequences)
+        batched_seconds = time.perf_counter() - started
+        stats = service.stats.snapshot()
+
+    mismatches = sum(
+        0 if np.array_equal(a, b) else 1 for a, b in zip(sequential, batched)
+    )
+    n_tokens = sum(len(seq) for seq in sequences)
+    report = {
+        "requests": args.requests,
+        "tokens": n_tokens,
+        "sequential_seconds": sequential_seconds,
+        "service_seconds": batched_seconds,
+        "speedup": sequential_seconds / max(batched_seconds, 1e-12),
+        "sequential_tokens_per_second": n_tokens / max(sequential_seconds, 1e-12),
+        "service_tokens_per_second": n_tokens / max(batched_seconds, 1e-12),
+        "mean_batch_size": stats["mean_batch_size"],
+        "max_batch_size": stats["max_batch_size"],
+        "path_mismatches": mismatches,
+    }
+    text = json.dumps(report, indent=2)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        _log(f"wrote benchmark report to {args.out}")
+    print(text)
+    return 0
+
+
+# ------------------------------------------------------------------ #
+# Argument parsing
+# ------------------------------------------------------------------ #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Fit, persist and serve diversified-HMM taggers.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fit = sub.add_parser("fit", help="train a model on a bundled synthetic dataset")
+    fit.add_argument("--dataset", choices=("toy", "pos", "ocr"), required=True)
+    fit.add_argument("--alpha", type=float, default=0.0, help="diversity prior weight (0 = plain HMM)")
+    fit.add_argument("--n-sequences", type=int, default=120)
+    fit.add_argument("--vocabulary-size", type=int, default=300, help="pos dataset only")
+    fit.add_argument("--max-em-iter", type=int, default=10)
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument("--registry", help="registry root to save into")
+    fit.add_argument("--name", help="model name inside the registry")
+    fit.add_argument("--out", help="bare artifact directory to save into")
+    fit.add_argument("--sample-out", help="write sample input sequences (JSON lines) here")
+    fit.add_argument("--sample-count", type=int, default=8)
+    fit.set_defaults(func=_cmd_fit)
+
+    save = sub.add_parser("save", help="import an artifact directory into a registry")
+    save.add_argument("--artifact", required=True)
+    save.add_argument("--registry", required=True)
+    save.add_argument("--name", required=True)
+    save.set_defaults(func=_cmd_save)
+
+    tag = sub.add_parser("tag", help="tag JSON-lines sequences with a registered model")
+    tag.add_argument("--registry", required=True)
+    tag.add_argument("--name", required=True)
+    tag.add_argument("--version", type=int, default=None)
+    tag.add_argument("--input", required=True, help="JSON-lines file of sequences ('-' = stdin)")
+    tag.add_argument("--output", help="write tag lines here instead of stdout")
+    serving_defaults = ServingConfig()
+    tag.add_argument("--streaming", action="store_true", help="decode token-by-token")
+    tag.add_argument("--lag", type=int, default=None, help="fixed lag for --streaming")
+    tag.add_argument("--max-batch-size", type=int, default=serving_defaults.max_batch_size)
+    tag.add_argument("--max-wait-ms", type=float, default=serving_defaults.max_wait_ms)
+    tag.set_defaults(func=_cmd_tag)
+
+    bench = sub.add_parser("bench", help="micro-batched service vs sequential decode")
+    bench.add_argument("--registry", required=True)
+    bench.add_argument("--name", required=True)
+    bench.add_argument("--version", type=int, default=None)
+    bench.add_argument("--requests", type=int, default=200)
+    bench.add_argument("--length", type=int, default=12)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--max-batch-size", type=int, default=serving_defaults.max_batch_size)
+    bench.add_argument("--max-wait-ms", type=float, default=serving_defaults.max_wait_ms)
+    bench.add_argument("--out", help="also write the JSON report to this path")
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "fit" and not (args.registry or args.out):
+        parser.error("fit requires --registry/--name or --out")
+    if args.command == "fit" and args.registry and not args.name:
+        parser.error("--registry requires --name")
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        _log(f"error: {exc}")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

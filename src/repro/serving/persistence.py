@@ -1,0 +1,204 @@
+"""Versioned model persistence: ``.npz`` arrays plus a JSON manifest.
+
+An *artifact* is a directory holding two files:
+
+* ``manifest.json`` — the schema version, the model type, user metadata and
+  the (nested) state-dict structure with every numpy array replaced by a
+  ``{"__ndarray__": <key>}`` placeholder;
+* ``arrays.npz`` — the arrays themselves, keyed by the dotted path of the
+  placeholder that references them.
+
+Splitting structure from payload keeps the manifest human-readable (and
+diff-able in a registry) while the parameters stay in numpy's native
+binary format.  The schema is versioned so future layout changes can keep
+loading old artifacts — :func:`load_artifact` refuses schema versions newer
+than it understands instead of misreading them.
+
+Every model class that participates implements ``to_state_dict`` /
+``from_state_dict``; the mapping between class and the ``model_type``
+string recorded in the manifest lives here, in :data:`MODEL_TYPES`, so the
+model layers stay unaware of the serving subsystem.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.baselines.hmm_classifier import SupervisedHMMClassifier
+from repro.baselines.naive_bayes import BernoulliNaiveBayes
+from repro.baselines.optimized_hmm import OptimizedHMMClassifier
+from repro.core.diversified_hmm import DiversifiedHMM
+from repro.core.supervised import SupervisedDiversifiedHMM
+from repro.exceptions import ValidationError
+from repro.hmm.model import HMM
+
+#: Current artifact layout version.  Bump on breaking layout changes and
+#: keep a loader branch for every older version still supported.
+SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+#: ``model_type`` manifest string <-> persistable class.  Exact types only:
+#: ``OptimizedHMMClassifier`` subclasses ``SupervisedHMMClassifier`` but has
+#: its own entry (and extra state).
+MODEL_TYPES: dict[str, type] = {
+    "hmm": HMM,
+    "diversified_hmm": DiversifiedHMM,
+    "supervised_diversified_hmm": SupervisedDiversifiedHMM,
+    "supervised_hmm_classifier": SupervisedHMMClassifier,
+    "optimized_hmm_classifier": OptimizedHMMClassifier,
+    "bernoulli_naive_bayes": BernoulliNaiveBayes,
+}
+
+_TYPE_NAMES = {cls: name for name, cls in MODEL_TYPES.items()}
+
+
+def model_type_name(model: Any) -> str:
+    """The manifest ``model_type`` string for a persistable model instance."""
+    try:
+        return _TYPE_NAMES[type(model)]
+    except KeyError:
+        raise ValidationError(
+            f"{type(model).__name__} is not a persistable model type; "
+            f"supported: {sorted(MODEL_TYPES)}"
+        ) from None
+
+
+def resolve_hmm(model: Any) -> HMM:
+    """The underlying :class:`HMM` of a model or fitted estimator wrapper.
+
+    Accepts a plain :class:`HMM` or any estimator exposing a fitted
+    ``model_`` attribute (``DiversifiedHMM``, the supervised classifiers).
+    """
+    if isinstance(model, HMM):
+        return model
+    inner = getattr(model, "model_", None)
+    if isinstance(inner, HMM):
+        return inner
+    raise ValidationError(
+        f"cannot resolve an HMM from {type(model).__name__}: "
+        "pass an HMM or a *fitted* estimator wrapper"
+    )
+
+
+# ------------------------------------------------------------------ #
+# State-dict <-> manifest conversion
+# ------------------------------------------------------------------ #
+def _flatten(node: Any, prefix: str, arrays: dict[str, np.ndarray]) -> Any:
+    """Replace numpy arrays in a nested state dict by npz-key placeholders."""
+    if isinstance(node, np.ndarray):
+        arrays[prefix] = node
+        return {"__ndarray__": prefix}
+    if isinstance(node, dict):
+        return {
+            str(key): _flatten(value, f"{prefix}.{key}" if prefix else str(key), arrays)
+            for key, value in node.items()
+        }
+    if isinstance(node, (list, tuple)):
+        return [
+            _flatten(value, f"{prefix}.{i}", arrays) for i, value in enumerate(node)
+        ]
+    if isinstance(node, (np.integer,)):
+        return int(node)
+    if isinstance(node, (np.floating,)):
+        return float(node)
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    raise ValidationError(
+        f"state dict value at {prefix!r} is not serializable: {type(node).__name__}"
+    )
+
+
+def _unflatten(node: Any, arrays: dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`_flatten`: resolve placeholders back to arrays."""
+    if isinstance(node, dict):
+        if set(node.keys()) == {"__ndarray__"}:
+            return arrays[node["__ndarray__"]]
+        return {key: _unflatten(value, arrays) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_unflatten(value, arrays) for value in node]
+    return node
+
+
+# ------------------------------------------------------------------ #
+# Artifact I/O
+# ------------------------------------------------------------------ #
+def save_artifact(model: Any, path: str | Path, metadata: dict | None = None) -> Path:
+    """Persist a model (or fitted estimator) as an artifact directory.
+
+    Parameters
+    ----------
+    model:
+        Any instance of a class in :data:`MODEL_TYPES`.
+    path:
+        Target directory; created (parents included) if missing.
+    metadata:
+        Optional JSON-serializable user metadata stored verbatim in the
+        manifest (dataset name, training notes, metrics, ...).
+
+    Returns the artifact directory path.
+    """
+    type_name = model_type_name(model)
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    state = _flatten(model.to_state_dict(), "", arrays)
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "model_type": type_name,
+        "metadata": metadata or {},
+        "state": state,
+    }
+    with (path / ARRAYS_NAME).open("wb") as fh:
+        np.savez(fh, **arrays)
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    return path
+
+
+def read_manifest(path: str | Path) -> dict:
+    """Load and schema-check an artifact's manifest (no array I/O)."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValidationError(f"no artifact manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    version = manifest.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        raise ValidationError(f"artifact at {path} has invalid schema_version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise ValidationError(
+            f"artifact at {path} uses schema version {version}, newer than the "
+            f"supported {SCHEMA_VERSION}; upgrade the library to load it"
+        )
+    if manifest.get("model_type") not in MODEL_TYPES:
+        raise ValidationError(
+            f"artifact at {path} has unknown model_type "
+            f"{manifest.get('model_type')!r}; supported: {sorted(MODEL_TYPES)}"
+        )
+    return manifest
+
+
+def load_artifact(path: str | Path) -> Any:
+    """Load an artifact directory back into a model instance."""
+    path = Path(path)
+    manifest = read_manifest(path)
+    with np.load(path / ARRAYS_NAME) as npz:
+        arrays = {key: npz[key] for key in npz.files}
+    state = _unflatten(manifest["state"], arrays)
+    cls = MODEL_TYPES[manifest["model_type"]]
+    return cls.from_state_dict(state)
+
+
+def save_model(model: Any, path: str | Path, metadata: dict | None = None) -> Path:
+    """Alias of :func:`save_artifact` (symmetric with :func:`load_model`)."""
+    return save_artifact(model, path, metadata=metadata)
+
+
+def load_model(path: str | Path) -> Any:
+    """Alias of :func:`load_artifact`."""
+    return load_artifact(path)

@@ -1,0 +1,139 @@
+"""On-disk registry of named, versioned model artifacts.
+
+Layout (all paths relative to the registry root)::
+
+    <root>/
+        <name>/
+            v0001/  manifest.json  arrays.npz
+            v0002/  ...
+
+Versions are monotonically increasing integers assigned at save time; the
+latest version is simply the largest one present.  The registry is a thin
+convention over :mod:`repro.serving.persistence` — each version directory
+is a plain artifact, loadable with :func:`~repro.serving.persistence.load_artifact`
+even without going through the registry.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ValidationError
+from repro.serving.persistence import (
+    MANIFEST_NAME,
+    load_artifact,
+    read_manifest,
+    save_artifact,
+)
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_RE = re.compile(r"^v(\d{4,})$")
+
+
+def _version_dirname(version: int) -> str:
+    return f"v{version:04d}"
+
+
+class ModelRegistry:
+    """Named, versioned model artifacts under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Registry root directory; created lazily on the first save.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -------------------------------------------------------------- #
+    def _model_dir(self, name: str) -> Path:
+        if not _NAME_RE.match(name):
+            raise ValidationError(
+                f"invalid model name {name!r}: use letters, digits, '.', '_', '-' "
+                "and start with a letter or digit"
+            )
+        return self.root / name
+
+    def list_models(self) -> list[str]:
+        """Registered model names (sorted).
+
+        Entries that are not valid model names (stray hidden directories,
+        editor leftovers) are skipped, not rejected.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and _NAME_RE.match(entry.name) and self.versions(entry.name)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        """All stored versions of a model (sorted ascending)."""
+        model_dir = self._model_dir(name)
+        if not model_dir.is_dir():
+            return []
+        found = []
+        for entry in model_dir.iterdir():
+            match = _VERSION_RE.match(entry.name)
+            if match and (entry / MANIFEST_NAME).is_file():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self, name: str) -> int:
+        """The newest stored version of a model."""
+        versions = self.versions(name)
+        if not versions:
+            raise ValidationError(f"no versions of model {name!r} in {self.root}")
+        return versions[-1]
+
+    def artifact_path(self, name: str, version: int | None = None) -> Path:
+        """Directory of one stored artifact (latest version by default)."""
+        if version is None:
+            version = self.latest_version(name)
+        path = self._model_dir(name) / _version_dirname(version)
+        if not (path / MANIFEST_NAME).is_file():
+            raise ValidationError(f"no artifact for {name!r} version {version} in {self.root}")
+        return path
+
+    # -------------------------------------------------------------- #
+    def save(self, name: str, model: Any, metadata: dict | None = None) -> int:
+        """Store a model as the next version of ``name``; returns the version.
+
+        The version directory is created with ``exist_ok=False`` and the
+        number retried on collision, so concurrent savers to the same name
+        get distinct versions instead of silently overwriting each other.
+        """
+        model_dir = self._model_dir(name)
+        existing = self.versions(name)
+        version = (existing[-1] + 1) if existing else 1
+        while True:
+            target = model_dir / _version_dirname(version)
+            try:
+                target.mkdir(parents=True, exist_ok=False)
+                break
+            except FileExistsError:
+                version += 1
+        save_artifact(model, target, metadata=metadata)
+        return version
+
+    def load(self, name: str, version: int | None = None) -> Any:
+        """Load a stored model (latest version by default)."""
+        return load_artifact(self.artifact_path(name, version))
+
+    def describe(self, name: str, version: int | None = None) -> dict:
+        """Manifest header of one artifact: model type, schema, metadata."""
+        manifest = read_manifest(self.artifact_path(name, version))
+        return {
+            "name": name,
+            "version": version if version is not None else self.latest_version(name),
+            "model_type": manifest["model_type"],
+            "schema_version": manifest["schema_version"],
+            "metadata": manifest.get("metadata", {}),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ModelRegistry(root={str(self.root)!r})"

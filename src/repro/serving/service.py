@@ -1,0 +1,310 @@
+"""Micro-batching tagging service: concurrent requests, coalesced decodes.
+
+:class:`TaggingService` turns the batched :class:`~repro.hmm.engine.InferenceEngine`
+from an offline trick into a serving primitive.  Clients submit individual
+tag (Viterbi) or score (log-likelihood) requests and get
+:class:`concurrent.futures.Future` handles back; a single dispatcher thread
+drains the queue, coalesces up to ``max_batch_size`` requests (waiting at
+most ``max_wait_ms`` for stragglers after the first arrival) and runs each
+micro-batch through one engine call, where the length-bucketed backend does
+the heavy lifting.  Per-request decoding pays the engine's per-call Python
+overhead on every sequence; micro-batching amortizes it across the batch —
+that gap is measured by ``benchmarks/test_bench_serving.py``.
+
+The dispatcher is a single thread, so the engine and its parameter cache
+are used from one thread only; submission is thread-safe and can come from
+any number of client threads.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.config import ServingConfig, get_serving_config
+from repro.exceptions import ValidationError
+from repro.serving.persistence import resolve_hmm
+
+_TAG = "tag"
+_SCORE = "score"
+
+
+@dataclass
+class _Request:
+    kind: str
+    sequence: np.ndarray
+    future: Future
+
+
+class ServiceStats:
+    """Running throughput / batch-occupancy counters (thread-safe snapshots)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.perf_counter()
+        self.n_requests = 0
+        self.n_batches = 0
+        self.n_tokens = 0
+        self.max_batch_size = 0
+        self.busy_seconds = 0.0
+
+    def record_batch(self, n_requests: int, n_tokens: int, seconds: float) -> None:
+        with self._lock:
+            self.n_requests += n_requests
+            self.n_batches += 1
+            self.n_tokens += n_tokens
+            self.max_batch_size = max(self.max_batch_size, n_requests)
+            self.busy_seconds += seconds
+
+    def snapshot(self) -> dict:
+        """Point-in-time stats dict (safe to call from any thread)."""
+        with self._lock:
+            wall = time.perf_counter() - self.started_at
+            batches = max(self.n_batches, 1)
+            busy = max(self.busy_seconds, 1e-12)
+            return {
+                "n_requests": self.n_requests,
+                "n_batches": self.n_batches,
+                "n_tokens": self.n_tokens,
+                "mean_batch_size": self.n_requests / batches,
+                "max_batch_size": self.max_batch_size,
+                "busy_seconds": self.busy_seconds,
+                "wall_seconds": wall,
+                "tokens_per_busy_second": self.n_tokens / busy,
+            }
+
+
+class TaggingService:
+    """Queue-and-coalesce front end over one model's inference engine.
+
+    Parameters
+    ----------
+    model:
+        An :class:`~repro.hmm.model.HMM` or a fitted estimator wrapper.
+    config:
+        Batching knobs (``max_batch_size``, ``max_wait_ms``); defaults to
+        the process-wide :func:`~repro.core.config.get_serving_config`.
+
+    Use as a context manager (or call :meth:`close`) so the dispatcher
+    thread is joined deterministically; queued requests are still served
+    during shutdown.
+    """
+
+    def __init__(self, model: Any, config: ServingConfig | None = None) -> None:
+        self._hmm = resolve_hmm(model)
+        self._engine = self._hmm.inference_engine
+        self.config = config or get_serving_config()
+        self.stats = ServiceStats()
+        # SimpleQueue: C-implemented put/get, noticeably cheaper per request
+        # than queue.Queue (no task-tracking locks) on the submit hot path.
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = False
+        # Guards the closed-check-then-enqueue in _submit against close():
+        # without it a request could land behind the shutdown sentinel and
+        # its future would never resolve.
+        self._lifecycle_lock = threading.Lock()
+        self._dispatcher = threading.Thread(
+            target=self._run, name="repro-tagging-service", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -------------------------------------------------------------- #
+    # Client API
+    # -------------------------------------------------------------- #
+    def _submit(self, kind: str, sequence: np.ndarray) -> Future:
+        seq = np.asarray(sequence)
+        if seq.ndim < 1 or seq.shape[0] < 1:
+            raise ValidationError(
+                "requests must be sequences with at least one timestep, got "
+                f"shape {seq.shape}"
+            )
+        future: Future = Future()
+        with self._lifecycle_lock:
+            if self._closed:
+                raise ValidationError("TaggingService is closed")
+            self._queue.put(_Request(kind=kind, sequence=seq, future=future))
+        return future
+
+    def submit_tag(self, sequence: np.ndarray) -> Future:
+        """Enqueue a Viterbi tagging request; resolves to the label array."""
+        return self._submit(_TAG, sequence)
+
+    def submit_score(self, sequence: np.ndarray) -> Future:
+        """Enqueue a scoring request; resolves to the log-likelihood float."""
+        return self._submit(_SCORE, sequence)
+
+    def tag(self, sequence: np.ndarray) -> np.ndarray:
+        """Synchronous tag: submit and wait."""
+        return self.submit_tag(sequence).result()
+
+    def score(self, sequence: np.ndarray) -> float:
+        """Synchronous score: submit and wait."""
+        return self.submit_score(sequence).result()
+
+    def tag_many(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Submit many tagging requests at once and gather all results.
+
+        This is the high-throughput client pattern: all requests hit the
+        queue immediately, so the dispatcher drains them in near-full
+        micro-batches.
+        """
+        futures = [self.submit_tag(seq) for seq in sequences]
+        return [future.result() for future in futures]
+
+    def score_many(self, sequences: Sequence[np.ndarray]) -> list[float]:
+        """Submit many scoring requests at once and gather all results."""
+        futures = [self.submit_score(seq) for seq in sequences]
+        return [future.result() for future in futures]
+
+    # -------------------------------------------------------------- #
+    # Dispatcher
+    # -------------------------------------------------------------- #
+    def _gather_batch(self, first: _Request) -> tuple[list[_Request], bool]:
+        """Coalesce up to ``max_batch_size`` requests around ``first``.
+
+        Returns the batch plus a flag signalling that the shutdown sentinel
+        was consumed while gathering.
+        """
+        batch = [first]
+        saw_sentinel = False
+        deadline: float | None = None  # set lazily on the first empty poll
+        while len(batch) < self.config.max_batch_size:
+            try:
+                # Fast path: drain whatever is already queued without
+                # touching the clock — under burst load this fills the
+                # whole batch with no timed waits at all.
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                if deadline is None:
+                    deadline = time.perf_counter() + self.config.max_wait_ms / 1000.0
+                timeout = deadline - time.perf_counter()
+                if timeout <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=timeout)
+                except queue.Empty:
+                    break
+            if item is None:
+                saw_sentinel = True
+                break
+            batch.append(item)
+        return batch, saw_sentinel
+
+    def _process(self, batch: list[_Request]) -> None:
+        started = time.perf_counter()
+        try:
+            outcomes = self._compute_coalesced(batch)
+        except BaseException:
+            # The batched call failed somewhere (typically one malformed
+            # sequence poisoning the shared emission-table call).  Re-run
+            # each request on its own so only the offending ones fail.
+            outcomes = self._compute_individually(batch)
+        # Record stats before resolving the futures: a client unblocked by
+        # its result may snapshot the stats immediately, and the batch that
+        # produced that result must already be counted.
+        self.stats.record_batch(
+            n_requests=len(batch),
+            n_tokens=int(sum(r.sequence.shape[0] for r in batch)),
+            seconds=time.perf_counter() - started,
+        )
+        for request, (ok, value) in zip(batch, outcomes):
+            future = request.future
+            # A client may have cancelled while the request was queued;
+            # resolving a cancelled future raises InvalidStateError, which
+            # would kill the dispatcher thread — skip those requests.
+            if not future.set_running_or_notify_cancel():
+                continue
+            if ok:
+                future.set_result(value)
+            else:
+                future.set_exception(value)
+
+    def _compute_coalesced(self, batch: list[_Request]) -> list[tuple[bool, Any]]:
+        """One engine call per request kind; results in batch order."""
+        tables = self._hmm.emissions.log_likelihoods_batch(
+            [request.sequence for request in batch]
+        )
+        tag_idx = [i for i, r in enumerate(batch) if r.kind == _TAG]
+        score_idx = [i for i, r in enumerate(batch) if r.kind == _SCORE]
+        outcomes: list[tuple[bool, Any]] = [(True, None)] * len(batch)
+        if tag_idx:
+            decoded = self._engine.viterbi_batch(
+                self._hmm.startprob, self._hmm.transmat, [tables[i] for i in tag_idx]
+            )
+            for i, (path, _) in zip(tag_idx, decoded):
+                outcomes[i] = (True, path)
+        if score_idx:
+            scores = self._engine.log_likelihood_batch(
+                self._hmm.startprob, self._hmm.transmat, [tables[i] for i in score_idx]
+            )
+            for i, value in zip(score_idx, scores):
+                outcomes[i] = (True, float(value))
+        return outcomes
+
+    def _compute_individually(self, batch: list[_Request]) -> list[tuple[bool, Any]]:
+        """Slow path: isolate failures to the requests that caused them."""
+        outcomes: list[tuple[bool, Any]] = []
+        for request in batch:
+            try:
+                table = self._hmm.emissions.log_likelihoods(request.sequence)
+                if request.kind == _TAG:
+                    path, _ = self._engine.viterbi(
+                        self._hmm.startprob, self._hmm.transmat, table
+                    )
+                    outcomes.append((True, path))
+                else:
+                    outcomes.append(
+                        (
+                            True,
+                            self._engine.log_likelihood(
+                                self._hmm.startprob, self._hmm.transmat, table
+                            ),
+                        )
+                    )
+            except BaseException as exc:
+                outcomes.append((False, exc))
+        return outcomes
+
+    def _run(self) -> None:
+        stopping = False
+        while not stopping:
+            item = self._queue.get()
+            if item is None:
+                break
+            batch, stopping = self._gather_batch(item)
+            self._process(batch)
+        # Shutdown: serve whatever is still queued, in full batches.
+        leftovers: list[_Request] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                leftovers.append(item)
+        for start in range(0, len(leftovers), self.config.max_batch_size):
+            self._process(leftovers[start : start + self.config.max_batch_size])
+
+    # -------------------------------------------------------------- #
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop accepting requests, flush the queue, join the dispatcher."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            # The sentinel is enqueued under the lock, so it is guaranteed
+            # to be the last item — every accepted request gets served.
+            self._queue.put(None)
+        self._dispatcher.join(timeout=timeout)
+
+    def __enter__(self) -> "TaggingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

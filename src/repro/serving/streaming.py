@@ -1,0 +1,177 @@
+"""Online (token-at-a-time) tagging on top of the streaming engine session.
+
+:class:`StreamingDecoder` is the tokens-in/labels-out face of
+:class:`repro.hmm.backends.StreamingSession`: it scores each arriving raw
+observation under the model's emission family and feeds the resulting
+log-likelihood row to the session, surfacing per-token filtering posteriors
+and fixed-lag Viterbi labels.  This is the scenario the batch engine cannot
+serve — tagging a sequence *while it is still arriving* — at an ``O(K^2)``
+cost per token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.core.config import get_serving_config
+from repro.exceptions import ValidationError
+from repro.hmm.backends import StreamStep
+from repro.serving.persistence import resolve_hmm
+
+
+@dataclass
+class StreamResult:
+    """Everything a finished stream produced.
+
+    Attributes
+    ----------
+    path:
+        The complete label sequence (fixed-lag labels for the prefix, exact
+        Viterbi labels for the final window).  With ``keep_history=False``
+        only the final window's labels (not yet emitted via ``push``).
+    filtering:
+        ``(T, K)`` per-token filtering posteriors ``p(x_t | y_1..t)``,
+        row-aligned with ``path``.  With ``keep_history=False`` nothing is
+        retained and this is an empty ``(0, K)`` array — consume the
+        posteriors from each ``push(...)`` return value instead.
+    log_likelihood:
+        Final log marginal likelihood ``log P(y_1..T)``.
+    """
+
+    path: np.ndarray
+    filtering: np.ndarray
+    log_likelihood: float
+
+
+@dataclass
+class _StreamState:
+    steps: list[StreamStep] = field(default_factory=list)
+    labels: dict[int, int] = field(default_factory=dict)
+
+
+class StreamingDecoder:
+    """Incremental tagger over one online observation sequence.
+
+    Parameters
+    ----------
+    model:
+        An :class:`~repro.hmm.model.HMM` or a fitted estimator wrapper
+        (``DiversifiedHMM``, ``SupervisedDiversifiedHMM``, the supervised
+        classifiers).
+    lag:
+        Fixed lag of the sliding Viterbi window: the label of token ``t``
+        is finalized once token ``t + lag`` has arrived (larger lag = more
+        context = closer to full-sequence Viterbi; ``lag >= T`` reproduces
+        it exactly).  Defaults to the process-wide
+        :class:`~repro.core.config.ServingConfig` value; pass ``None``
+        explicitly via ``ServingConfig(streaming_lag=None)`` to defer all
+        labels to :meth:`finish`.
+    keep_history:
+        When True (default), every step and finalized label is retained so
+        :meth:`finish` can assemble the complete :class:`StreamResult`.
+        For unbounded streams (the memory would grow ``O(T * K)``) pass
+        False: :meth:`push` still returns each step and its finalized
+        labels to the caller, only the fixed-lag window is kept, and
+        :meth:`finish` reports just the final window's labels.
+
+    Examples
+    --------
+    >>> decoder = StreamingDecoder(model, lag=8)        # doctest: +SKIP
+    >>> for token in incoming_tokens:                   # doctest: +SKIP
+    ...     step = decoder.push(token)
+    ...     print(step.filtering, step.finalized)
+    >>> result = decoder.finish()                       # doctest: +SKIP
+    """
+
+    _UNSET = object()
+
+    def __init__(
+        self,
+        model: Any,
+        lag: int | None | object = _UNSET,
+        keep_history: bool = True,
+    ) -> None:
+        hmm = resolve_hmm(model)
+        if lag is StreamingDecoder._UNSET:
+            lag = get_serving_config().streaming_lag
+        self._emissions = hmm.emissions
+        self._session = hmm.stream(lag=lag)
+        self._state = _StreamState()
+        self._keep_history = keep_history
+        self._last_step: StreamStep | None = None
+
+    @property
+    def n_tokens(self) -> int:
+        """Number of observations consumed so far."""
+        return self._session.t + 1
+
+    @property
+    def finalized_labels(self) -> list[int]:
+        """Labels finalized so far, in token order (prefix of the path)."""
+        labels = self._state.labels
+        return [labels[t] for t in range(len(labels))]
+
+    def _record(self, pairs: Iterable[tuple[int, int]]) -> None:
+        for position, state in pairs:
+            self._state.labels[position] = state
+
+    def push(self, observation: Any) -> StreamStep:
+        """Consume one observation; returns the per-token stream step.
+
+        The observation is a single timestep in the emission family's
+        format: an int symbol (categorical), a float (Gaussian) or a binary
+        feature vector (Bernoulli).
+        """
+        obs = np.asarray(observation)
+        log_obs = self._emissions.log_likelihoods(obs[None, ...])
+        step = self._session.step(log_obs[0])
+        self._last_step = step
+        if self._keep_history:
+            self._state.steps.append(step)
+            self._record(step.finalized)
+        return step
+
+    def push_many(self, observations: Iterable[Any]) -> list[StreamStep]:
+        """Consume several observations; returns one step per token."""
+        return [self.push(obs) for obs in observations]
+
+    def finish(self) -> StreamResult:
+        """Flush the remaining Viterbi window and assemble the result.
+
+        With ``keep_history=True`` the result covers the whole stream; with
+        ``keep_history=False`` it covers only the final window (everything
+        earlier was already handed out via ``push(...).finalized``).
+        """
+        if self._last_step is None:
+            raise ValidationError("cannot finish a stream with no observations")
+        remaining = self._session.finish()
+        if not self._keep_history:
+            n_states = self._last_step.filtering.shape[0]
+            return StreamResult(
+                path=np.array([state for _, state in remaining], dtype=np.int64),
+                filtering=np.empty((0, n_states)),
+                log_likelihood=self._last_step.log_likelihood,
+            )
+        self._record(remaining)
+        steps = self._state.steps
+        labels = self._state.labels
+        path = np.array([labels[t] for t in range(len(steps))], dtype=np.int64)
+        return StreamResult(
+            path=path,
+            filtering=np.stack([s.filtering for s in steps]),
+            log_likelihood=steps[-1].log_likelihood,
+        )
+
+
+def stream_decode(model: Any, sequence: np.ndarray, lag: int | None = None) -> StreamResult:
+    """One-shot helper: stream a whole sequence through a fresh decoder.
+
+    Mostly useful for testing fixed-lag behaviour against batch decoding;
+    online callers should drive :class:`StreamingDecoder` directly.
+    """
+    decoder = StreamingDecoder(model, lag=lag)
+    decoder.push_many(sequence)
+    return decoder.finish()

@@ -34,7 +34,10 @@ def logsumexp(values: np.ndarray, axis: int | None = None) -> np.ndarray:
 def normalize_rows(matrix: np.ndarray, pseudocount: float = 0.0) -> np.ndarray:
     """Normalize each row of ``matrix`` to sum to one.
 
-    Rows that sum to zero (after adding ``pseudocount``) become uniform.
+    Degenerate rows fall back to the uniform distribution instead of
+    producing NaN/inf output: a row is degenerate when its sum (after
+    adding ``pseudocount``) is zero — e.g. a state never observed in
+    supervised counting with ``pseudocount=0`` — or not finite.
     """
     arr = np.asarray(matrix, dtype=np.float64) + pseudocount
     sums = arr.sum(axis=1, keepdims=True)
@@ -42,7 +45,8 @@ def normalize_rows(matrix: np.ndarray, pseudocount: float = 0.0) -> np.ndarray:
     uniform = np.full_like(arr, 1.0 / n_cols)
     with np.errstate(invalid="ignore", divide="ignore"):
         normalized = arr / sums
-    return np.where(sums > 0, normalized, uniform)
+    valid = np.isfinite(sums) & (sums > 0)
+    return np.where(valid, normalized, uniform)
 
 
 def normalize_log_probabilities(log_values: np.ndarray, axis: int = -1) -> np.ndarray:

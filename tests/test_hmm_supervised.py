@@ -53,6 +53,27 @@ class TestEstimateSupervisedParameters:
         with pytest.raises(ValidationError):
             estimate_supervised_parameters([np.array([0])], 2, pseudocount=-1.0)
 
+    def test_all_zero_transition_counts_fall_back_to_uniform(self):
+        # Single-element sequences contribute no transitions at all, so with
+        # pseudocount=0 every row of the count matrix is zero.  The estimate
+        # must degrade to uniform rows, not NaN/zero rows.
+        labels = [np.array([0]), np.array([1]), np.array([2])]
+        startprob, transmat = estimate_supervised_parameters(labels, 3, pseudocount=0.0)
+        assert np.all(np.isfinite(transmat))
+        assert np.allclose(transmat, 1.0 / 3.0)
+        assert np.allclose(transmat.sum(axis=1), 1.0)
+        assert np.allclose(startprob.sum(), 1.0)
+
+    def test_zero_pseudocount_mixed_rows_stay_stochastic(self):
+        # One state with observed transitions, one without: the observed row
+        # keeps its frequencies, the unseen row becomes uniform.
+        labels = [np.array([0, 0, 0])]
+        startprob, transmat = estimate_supervised_parameters(labels, 2, pseudocount=0.0)
+        assert np.allclose(transmat[0], [1.0, 0.0])
+        assert np.allclose(transmat[1], 0.5)
+        assert np.all(np.isfinite(transmat))
+        assert np.allclose(startprob, [1.0, 0.0])
+
     def test_estimates_recover_generating_chain(self):
         rng = np.random.default_rng(0)
         true_A = np.array([[0.8, 0.2], [0.3, 0.7]])

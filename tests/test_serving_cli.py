@@ -1,0 +1,120 @@
+"""End-to-end ``repro-serve`` CLI tests (driven in-process via ``main``)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import ModelRegistry
+from repro.serving.cli import main
+
+
+def _run(args):
+    return main([str(a) for a in args])
+
+
+@pytest.fixture(scope="module")
+def fitted_registry(tmp_path_factory):
+    """A registry holding a small supervised PoS model plus a sample file."""
+    root = tmp_path_factory.mktemp("cli")
+    registry = root / "registry"
+    sample = root / "sample.jsonl"
+    code = _run(
+        [
+            "fit", "--dataset", "pos", "--n-sequences", 50, "--max-em-iter", 2,
+            "--registry", registry, "--name", "pos-tagger",
+            "--sample-out", sample, "--sample-count", 6,
+        ]
+    )
+    assert code == 0
+    return registry, sample
+
+
+class TestFit:
+    def test_registry_entry_created(self, fitted_registry):
+        registry, _ = fitted_registry
+        reg = ModelRegistry(registry)
+        assert reg.list_models() == ["pos-tagger"]
+        description = reg.describe("pos-tagger")
+        assert description["model_type"] == "supervised_diversified_hmm"
+        assert description["metadata"]["dataset"] == "pos"
+
+    def test_sample_file_is_json_lines(self, fitted_registry):
+        _, sample = fitted_registry
+        lines = [l for l in sample.read_text().splitlines() if l.strip()]
+        assert len(lines) == 6
+        for line in lines:
+            seq = json.loads(line)
+            assert isinstance(seq, list) and len(seq) >= 1
+
+    def test_fit_to_bare_artifact_and_import(self, tmp_path):
+        artifact = tmp_path / "artifact"
+        assert _run(
+            ["fit", "--dataset", "toy", "--n-sequences", 20, "--max-em-iter", 2,
+             "--out", artifact]
+        ) == 0
+        registry = tmp_path / "registry"
+        assert _run(
+            ["save", "--artifact", artifact, "--registry", registry, "--name", "toy"]
+        ) == 0
+        assert ModelRegistry(registry).versions("toy") == [1]
+
+    def test_fit_requires_destination(self, capsys):
+        with pytest.raises(SystemExit):
+            _run(["fit", "--dataset", "toy"])
+
+
+class TestTag:
+    def test_tag_writes_one_line_per_sequence(self, fitted_registry, tmp_path):
+        registry, sample = fitted_registry
+        output = tmp_path / "tags.txt"
+        assert _run(
+            ["tag", "--registry", registry, "--name", "pos-tagger",
+             "--input", sample, "--output", output]
+        ) == 0
+        tag_lines = output.read_text().splitlines()
+        input_lines = [l for l in sample.read_text().splitlines() if l.strip()]
+        assert len(tag_lines) == len(input_lines)
+        for tags, tokens in zip(tag_lines, input_lines):
+            assert len(tags.split()) == len(json.loads(tokens))
+            assert all(t.isdigit() for t in tags.split())
+
+    def test_streaming_tag_is_deterministic_and_complete(self, fitted_registry, tmp_path):
+        registry, sample = fitted_registry
+        batch_out = tmp_path / "batch.txt"
+        stream_out = tmp_path / "stream.txt"
+        stream_again = tmp_path / "stream2.txt"
+        _run(["tag", "--registry", registry, "--name", "pos-tagger",
+              "--input", sample, "--output", batch_out])
+        _run(["tag", "--registry", registry, "--name", "pos-tagger",
+              "--input", sample, "--output", stream_out, "--streaming", "--lag", 4])
+        _run(["tag", "--registry", registry, "--name", "pos-tagger",
+              "--input", sample, "--output", stream_again, "--streaming", "--lag", 4])
+        assert stream_out.read_text() == stream_again.read_text()
+        # one label per token, same shape as the batch output
+        batch_lines = batch_out.read_text().splitlines()
+        stream_lines = stream_out.read_text().splitlines()
+        assert len(batch_lines) == len(stream_lines)
+        for b, s in zip(batch_lines, stream_lines):
+            assert len(b.split()) == len(s.split())
+
+    def test_missing_model_fails_cleanly(self, fitted_registry, tmp_path):
+        registry, sample = fitted_registry
+        assert _run(
+            ["tag", "--registry", registry, "--name", "nope", "--input", sample]
+        ) == 2
+
+
+class TestBench:
+    def test_bench_reports_speedup(self, fitted_registry, tmp_path, capsys):
+        registry, _ = fitted_registry
+        out = tmp_path / "bench.json"
+        assert _run(
+            ["bench", "--registry", registry, "--name", "pos-tagger",
+             "--requests", 30, "--length", 8, "--out", out]
+        ) == 0
+        report = json.loads(out.read_text())
+        assert report["requests"] == 30
+        assert report["speedup"] > 0
+        assert report["path_mismatches"] == 0
+        assert report["mean_batch_size"] > 1

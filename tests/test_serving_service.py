@@ -1,0 +1,198 @@
+"""Micro-batching TaggingService: correctness, coalescing, stats, shutdown."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import ServingConfig
+from repro.exceptions import ValidationError
+from repro.hmm import HMM, CategoricalEmission
+from repro.serving import TaggingService
+
+
+def _random_hmm(seed, n_states=4, n_symbols=8):
+    rng = np.random.default_rng(seed)
+    emissions = CategoricalEmission(rng.dirichlet(np.ones(n_symbols), size=n_states))
+    return HMM(
+        rng.dirichlet(np.ones(n_states)),
+        rng.dirichlet(np.ones(n_states), size=n_states),
+        emissions,
+    )
+
+
+@pytest.fixture
+def model():
+    return _random_hmm(0)
+
+
+@pytest.fixture
+def sequences(model):
+    _, seqs = model.sample_dataset(40, 10, seed=1)
+    return seqs
+
+
+class TestCorrectness:
+    def test_tags_match_direct_batch_decode(self, model, sequences):
+        with TaggingService(model) as service:
+            served = service.tag_many(sequences)
+        expected = model.predict(sequences)
+        for got, want in zip(served, expected):
+            assert np.array_equal(got, want)
+
+    def test_scores_match_direct_likelihood(self, model, sequences):
+        with TaggingService(model) as service:
+            served = service.score_many(sequences)
+        expected = [model.log_likelihood(seq) for seq in sequences]
+        np.testing.assert_allclose(served, expected, atol=1e-9)
+
+    def test_mixed_tag_and_score_requests(self, model, sequences):
+        with TaggingService(model) as service:
+            tag_futures = [service.submit_tag(seq) for seq in sequences[:10]]
+            score_futures = [service.submit_score(seq) for seq in sequences[10:20]]
+            tags = [f.result(timeout=10) for f in tag_futures]
+            scores = [f.result(timeout=10) for f in score_futures]
+        for got, want in zip(tags, model.predict(sequences[:10])):
+            assert np.array_equal(got, want)
+        np.testing.assert_allclose(
+            scores, [model.log_likelihood(s) for s in sequences[10:20]], atol=1e-9
+        )
+
+    def test_synchronous_single_request(self, model, sequences):
+        with TaggingService(model) as service:
+            path = service.tag(sequences[0])
+            score = service.score(sequences[0])
+        assert np.array_equal(path, model.decode(sequences[0]))
+        assert score == pytest.approx(model.log_likelihood(sequences[0]), abs=1e-9)
+
+    def test_concurrent_client_threads(self, model, sequences):
+        results: dict[int, np.ndarray] = {}
+        with TaggingService(model) as service:
+
+            def client(index):
+                results[index] = service.tag(sequences[index])
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(len(sequences))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        expected = model.predict(sequences)
+        for index, want in enumerate(expected):
+            assert np.array_equal(results[index], want)
+
+
+class TestBatching:
+    def test_burst_is_coalesced(self, model, sequences):
+        config = ServingConfig(max_batch_size=64, max_wait_ms=20.0)
+        with TaggingService(model, config=config) as service:
+            service.tag_many(sequences)
+            stats = service.stats.snapshot()
+        # 40 simultaneous requests must not become 40 singleton batches.
+        assert stats["n_requests"] == len(sequences)
+        assert stats["mean_batch_size"] > 2.0
+        assert stats["max_batch_size"] > 2
+
+    def test_max_batch_size_is_respected(self, model, sequences):
+        config = ServingConfig(max_batch_size=5, max_wait_ms=20.0)
+        with TaggingService(model, config=config) as service:
+            service.tag_many(sequences)
+            stats = service.stats.snapshot()
+        assert stats["max_batch_size"] <= 5
+        assert stats["n_batches"] >= len(sequences) / 5
+
+    def test_stats_counters(self, model, sequences):
+        with TaggingService(model) as service:
+            service.tag_many(sequences)
+            stats = service.stats.snapshot()
+        assert stats["n_tokens"] == sum(len(s) for s in sequences)
+        assert stats["busy_seconds"] > 0
+        assert stats["tokens_per_busy_second"] > 0
+        assert stats["wall_seconds"] >= stats["busy_seconds"] * 0.5
+
+
+class TestLifecycle:
+    def test_close_serves_queued_requests(self, model, sequences):
+        service = TaggingService(model)
+        futures = [service.submit_tag(seq) for seq in sequences]
+        service.close()
+        expected = model.predict(sequences)
+        for future, want in zip(futures, expected):
+            assert np.array_equal(future.result(timeout=1), want)
+
+    def test_submit_after_close_raises(self, model, sequences):
+        service = TaggingService(model)
+        service.close()
+        with pytest.raises(ValidationError, match="closed"):
+            service.submit_tag(sequences[0])
+
+    def test_close_is_idempotent(self, model):
+        service = TaggingService(model)
+        service.close()
+        service.close()
+
+    def test_empty_sequence_rejected_at_submit(self, model):
+        with TaggingService(model) as service:
+            with pytest.raises(ValidationError):
+                service.submit_tag(np.array([], dtype=np.int64))
+
+    def test_cancelled_future_does_not_kill_dispatcher(self, model, sequences):
+        # Stall the dispatcher with a long max_wait so there is a window to
+        # cancel a queued request before it is processed.
+        config = ServingConfig(max_batch_size=2, max_wait_ms=200.0)
+        with TaggingService(model, config=config) as service:
+            first = service.submit_tag(sequences[0])
+            second = service.submit_tag(sequences[1])
+            third = service.submit_tag(sequences[2])
+            third.cancel()  # may or may not win the race with the dispatcher
+            # the service must keep serving either way
+            assert np.array_equal(first.result(timeout=10), model.decode(sequences[0]))
+            assert np.array_equal(
+                service.tag(sequences[3]), model.decode(sequences[3])
+            )
+            second.result(timeout=10)
+
+    def test_scalar_input_rejected_at_submit(self, model):
+        with TaggingService(model) as service:
+            with pytest.raises(ValidationError, match="sequences"):
+                service.submit_tag(np.int64(5))
+
+    def test_request_error_propagates_to_future(self, model):
+        with TaggingService(model) as service:
+            # symbol 999 is outside the emission vocabulary -> scoring the
+            # emission table raises inside the dispatcher.
+            future = service.submit_tag(np.array([999]))
+            with pytest.raises(ValidationError):
+                future.result(timeout=10)
+            # service still healthy afterwards
+            path = service.tag(np.array([0, 1, 2]))
+            assert path.shape == (3,)
+
+    def test_bad_request_does_not_poison_the_batch(self, model, sequences):
+        # A malformed request coalesced with valid ones must fail alone;
+        # the valid requests still resolve with correct paths.
+        config = ServingConfig(max_batch_size=64, max_wait_ms=50.0)
+        with TaggingService(model, config=config) as service:
+            good_futures = [service.submit_tag(seq) for seq in sequences[:5]]
+            bad_future = service.submit_tag(np.array([999]))
+            more_futures = [service.submit_tag(seq) for seq in sequences[5:10]]
+            with pytest.raises(ValidationError):
+                bad_future.result(timeout=10)
+            expected = model.predict(sequences[:10])
+            for future, want in zip(good_futures + more_futures, expected):
+                assert np.array_equal(future.result(timeout=10), want)
+
+    def test_fitted_wrapper_accepted(self, tiny_ocr_dataset):
+        from repro.baselines import SupervisedHMMClassifier
+
+        data = tiny_ocr_dataset
+        classifier = SupervisedHMMClassifier(26, 128).fit(data.images, data.labels)
+        with TaggingService(classifier) as service:
+            served = service.tag_many(
+                [np.asarray(img, dtype=np.float64) for img in data.images[:5]]
+            )
+        expected = classifier.predict(data.images[:5])
+        for got, want in zip(served, expected):
+            assert np.array_equal(got, want)

@@ -1,0 +1,195 @@
+"""Streaming decode: fixed-lag Viterbi and filtering-posterior equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.hmm import HMM, CategoricalEmission, GaussianEmission
+from repro.hmm.forward_backward import log_forward
+from repro.hmm.viterbi import viterbi_decode
+from repro.serving import StreamingDecoder, stream_decode
+from repro.utils.maths import logsumexp, normalize_log_probabilities, safe_log
+
+
+def _random_hmm(seed, n_states=4, n_symbols=6):
+    rng = np.random.default_rng(seed)
+    emissions = CategoricalEmission(rng.dirichlet(np.ones(n_symbols), size=n_states))
+    return HMM(
+        rng.dirichlet(np.ones(n_states)),
+        rng.dirichlet(np.ones(n_states), size=n_states),
+        emissions,
+    )
+
+
+def _reference_viterbi(model, obs):
+    """Full-sequence log-domain Viterbi — bit-identical arithmetic to the
+    streaming session, so path equality is exact (no cross-domain ties)."""
+    path, _ = viterbi_decode(
+        model.startprob, model.transmat, model.emissions.log_likelihoods(obs)
+    )
+    return path
+
+
+class TestFixedLagViterbiEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), length=st.integers(1, 30))
+    def test_lag_at_least_t_equals_full_viterbi(self, seed, length):
+        """With lag >= T the streamed path is the exact batch Viterbi path."""
+        model = _random_hmm(seed)
+        _, obs = model.sample(length, seed=seed)
+        obs = np.asarray(obs)
+        result = stream_decode(model, obs, lag=length + int(np.random.default_rng(seed).integers(0, 5)))
+        assert np.array_equal(result.path, _reference_viterbi(model, obs))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), length=st.integers(1, 30))
+    def test_infinite_lag_equals_full_viterbi(self, seed, length):
+        model = _random_hmm(seed)
+        _, obs = model.sample(length, seed=seed)
+        obs = np.asarray(obs)
+        result = stream_decode(model, obs, lag=None)
+        assert np.array_equal(result.path, _reference_viterbi(model, obs))
+        # and the scaled batch engine agrees on the joint probability
+        scaled_path = model.decode(obs)
+        log_obs = model.emissions.log_likelihoods(obs)
+        idx = np.arange(len(obs) - 1)
+        def joint(path):
+            return (
+                safe_log(model.startprob)[path[0]]
+                + safe_log(model.transmat)[path[idx], path[idx + 1]].sum()
+                + log_obs[np.arange(len(obs)), path].sum()
+            )
+        np.testing.assert_allclose(joint(result.path), joint(scaled_path), atol=1e-8)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), length=st.integers(1, 25), lag=st.integers(1, 30))
+    def test_small_lag_emits_exactly_one_label_per_token(self, seed, length, lag):
+        """Any lag yields a complete, in-order path over valid states."""
+        model = _random_hmm(seed)
+        _, obs = model.sample(length, seed=seed)
+        result = stream_decode(model, np.asarray(obs), lag=lag)
+        assert result.path.shape == (length,)
+        assert np.all((result.path >= 0) & (result.path < model.n_states))
+
+    def test_labels_finalize_exactly_lag_steps_behind(self):
+        model = _random_hmm(7)
+        _, obs = model.sample(12, seed=7)
+        decoder = StreamingDecoder(model, lag=3)
+        for t, token in enumerate(np.asarray(obs)):
+            step = decoder.push(token)
+            if t < 3:
+                assert step.finalized == []
+            else:
+                assert [position for position, _ in step.finalized] == [t - 3]
+        remaining = decoder.finish()
+        assert remaining.path.shape == (12,)
+        # positions 0..8 were finalized online, 9..11 at finish
+        assert decoder.n_tokens == 12
+
+
+class TestFilteringPosteriors:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), length=st.integers(1, 25))
+    def test_matches_log_reference_forward_at_1e8(self, seed, length):
+        """Per-step filtering == normalized log-domain forward messages."""
+        model = _random_hmm(seed)
+        _, obs = model.sample(length, seed=seed)
+        obs = np.asarray(obs)
+        log_obs = model.emissions.log_likelihoods(obs)
+        log_alpha = log_forward(
+            safe_log(model.startprob), safe_log(model.transmat), log_obs
+        )
+        reference = normalize_log_probabilities(log_alpha, axis=1)
+
+        result = stream_decode(model, obs, lag=None)
+        np.testing.assert_allclose(result.filtering, reference, atol=1e-8, rtol=0)
+        np.testing.assert_allclose(
+            result.log_likelihood, float(logsumexp(log_alpha[-1])), atol=1e-8
+        )
+        assert np.allclose(result.filtering.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_running_log_likelihood_is_monotone_in_information(self):
+        """Each prefix likelihood equals the batch engine's on that prefix."""
+        model = _random_hmm(11)
+        _, obs = model.sample(10, seed=11)
+        obs = np.asarray(obs)
+        decoder = StreamingDecoder(model, lag=None)
+        for t, token in enumerate(obs):
+            step = decoder.push(token)
+            assert step.log_likelihood == pytest.approx(
+                model.log_likelihood(obs[: t + 1]), abs=1e-8
+            )
+
+
+class TestStreamingDecoderApi:
+    def test_gaussian_stream(self):
+        rng = np.random.default_rng(0)
+        model = HMM(
+            rng.dirichlet(np.ones(3)),
+            rng.dirichlet(np.ones(3), size=3),
+            GaussianEmission(np.array([-1.0, 0.0, 1.0]), np.ones(3)),
+        )
+        _, obs = model.sample(8, seed=0)
+        result = stream_decode(model, np.asarray(obs), lag=2)
+        assert result.path.shape == (8,)
+
+    def test_default_lag_comes_from_serving_config(self):
+        from repro.core.config import ServingConfig, set_serving_config
+
+        model = _random_hmm(0)
+        previous = set_serving_config(ServingConfig(streaming_lag=5))
+        try:
+            decoder = StreamingDecoder(model)
+            assert decoder._session.lag == 5
+        finally:
+            set_serving_config(previous)
+
+    def test_finish_without_tokens_raises(self):
+        decoder = StreamingDecoder(_random_hmm(0), lag=None)
+        with pytest.raises(ValidationError):
+            decoder.finish()
+
+    def test_step_after_finish_raises(self):
+        model = _random_hmm(0)
+        session = model.stream()
+        session.step(model.emissions.log_likelihoods(np.array([0]))[0])
+        session.finish()
+        with pytest.raises(ValidationError):
+            session.step(model.emissions.log_likelihoods(np.array([0]))[0])
+
+    def test_invalid_lag_rejected(self):
+        with pytest.raises(ValidationError):
+            _random_hmm(0).stream(lag=0)
+
+    def test_keep_history_false_bounds_retention(self):
+        model = _random_hmm(5)
+        _, obs = model.sample(20, seed=5)
+        obs = np.asarray(obs)
+        full = stream_decode(model, obs, lag=4)
+
+        decoder = StreamingDecoder(model, lag=4, keep_history=False)
+        online = []
+        for token in obs:
+            online.extend(decoder.push(token).finalized)
+        assert decoder._state.steps == []  # nothing retained
+        tail = decoder.finish()
+        # online finalizations + the final window together cover the stream
+        # and agree with the history-keeping decoder's result.
+        labels = [state for _, state in online] + list(tail.path)
+        assert len(labels) == 20
+        assert np.array_equal(np.array(labels), full.path)
+        # no retained posteriors in bounded mode: empty, not mismatched
+        assert tail.filtering.shape == (0, model.n_states)
+        assert tail.log_likelihood == pytest.approx(full.log_likelihood, abs=1e-12)
+
+    def test_partial_finalized_labels_are_a_path_prefix(self):
+        model = _random_hmm(3)
+        _, obs = model.sample(15, seed=3)
+        decoder = StreamingDecoder(model, lag=4)
+        decoder.push_many(np.asarray(obs))
+        online_prefix = list(decoder.finalized_labels)
+        assert len(online_prefix) == 15 - 4
+        result = decoder.finish()
+        assert list(result.path[: len(online_prefix)]) == online_prefix

@@ -77,6 +77,19 @@ class TestNormalizeRows:
         normalize_rows(m)
         assert np.allclose(m, [[1.0, 1.0]])
 
+    def test_all_zero_matrix_becomes_uniform(self):
+        out = normalize_rows(np.zeros((3, 4)))
+        assert np.allclose(out, 0.25)
+        assert np.all(np.isfinite(out))
+
+    def test_non_finite_rows_fall_back_to_uniform(self):
+        m = np.array([[np.inf, 1.0], [np.nan, 1.0], [1.0, 3.0]])
+        out = normalize_rows(m)
+        assert np.allclose(out[0], 0.5)
+        assert np.allclose(out[1], 0.5)
+        assert np.allclose(out[2], [0.25, 0.75])
+        assert np.all(np.isfinite(out))
+
 
 class TestNormalizeLogProbabilities:
     def test_matches_direct_normalization(self):
