@@ -1,4 +1,5 @@
-"""Benchmark: micro-batched TaggingService vs sequential per-request decode.
+"""Benchmark: micro-batched TaggingService vs sequential per-request decode,
+and batched streaming (B concurrent streams per tick) vs per-stream stepping.
 
 Simulates a tagging API at PoS scale: every sentence of the benchmark
 corpus is one client request.  The *sequential* baseline decodes each
@@ -6,7 +7,12 @@ request the moment it arrives (one engine call per sequence — what any
 caller without the service would do); the *service* run submits the same
 requests concurrently and lets the micro-batcher coalesce them into
 engine length-buckets.  Also reports the fixed-lag streaming decoder's
-single-token-latency path for reference.  Results are written to
+single-token-latency path for reference.
+
+The streaming benchmark drives B=32 concurrent online streams: the
+baseline steps 32 independent ``StreamingSession`` objects per tick (what
+PR 2 serving had to do), the batched run advances all 32 through one
+``BatchedStreamingSession.step_many`` tick.  Results merge into
 ``BENCH_serving.json`` at the repository root.
 """
 
@@ -23,12 +29,31 @@ from benchmarks.conftest import print_header
 from repro.core.config import ServingConfig
 from repro.hmm import CategoricalEmission, HMM
 from repro.serving import StreamingDecoder, TaggingService
+from repro.utils.maths import safe_log
 
 #: Acceptance floor for the service-vs-sequential throughput ratio (the
 #: ISSUE-2 gate is 3x; an idle machine measures well above that).
 MIN_SERVICE_SPEEDUP = float(os.environ.get("BENCH_MIN_SERVICE_SPEEDUP", "3.0"))
 
+#: Acceptance floor for batched streaming vs per-stream stepping at B=32
+#: (the ISSUE-3 gate is 3x).
+MIN_STREAM_BATCH_SPEEDUP = float(
+    os.environ.get("BENCH_MIN_STREAM_BATCH_SPEEDUP", "3.0")
+)
+
 _RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+
+def _merge_results(update: dict) -> None:
+    """Merge one benchmark's keys into the shared BENCH_serving.json."""
+    existing: dict = {}
+    if _RESULT_PATH.is_file():
+        try:
+            existing = json.loads(_RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    existing.update(update)
+    _RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
 
 def _build_model(corpus) -> HMM:
@@ -122,7 +147,7 @@ def test_micro_batched_service_speedup(benchmark, pos_corpus):
         "mean_batch_size": stats["mean_batch_size"],
         "max_batch_size_observed": stats["max_batch_size"],
     }
-    _RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    _merge_results(results)
 
     print_header("Serving - micro-batched TaggingService vs sequential decode")
     print(f"sequential : {sequential_seconds * 1e3:8.1f} ms "
@@ -139,3 +164,68 @@ def test_micro_batched_service_speedup(benchmark, pos_corpus):
     benchmark.pedantic(micro_batched, rounds=1, iterations=1)
 
     assert speedup >= MIN_SERVICE_SPEEDUP
+
+
+def test_batched_streaming_speedup(benchmark, pos_corpus):
+    """B=32 concurrent streams: one batched tick vs 32 per-stream steps."""
+    from repro.hmm.backends import BatchedStreamingSession, StreamingSession
+
+    model = _build_model(pos_corpus)
+    log_pi, log_A = safe_log(model.startprob), safe_log(model.transmat)
+    n_streams, length, lag = 32, 64, 16
+    rng = np.random.default_rng(7)
+    # one emission log-likelihood table per stream, precomputed so both
+    # paths measure pure recursion stepping
+    tables = [
+        model.emissions.log_likelihoods(
+            rng.integers(0, pos_corpus.vocabulary_size, size=length)
+        )
+        for _ in range(n_streams)
+    ]
+
+    def per_stream():
+        sessions = [StreamingSession(log_pi, log_A, lag=lag) for _ in range(n_streams)]
+        for t in range(length):
+            for session, table in zip(sessions, tables):
+                session.step(table[t])
+        return [session.finish() for session in sessions]
+
+    def batched():
+        session = BatchedStreamingSession(log_pi, log_A, lags=[lag] * n_streams)
+        for t in range(length):
+            session.step_many(np.stack([table[t] for table in tables]))
+        return [session.finish(i) for i in range(n_streams)]
+
+    # Correctness gate: the batched path must reproduce per-stream labels.
+    assert per_stream() == batched()
+
+    per_stream_seconds = _time(per_stream)
+    batched_seconds = _time(batched)
+    speedup = per_stream_seconds / batched_seconds
+    n_tokens = n_streams * length
+    results = {
+        "stream_batch_workload": {
+            "n_streams": n_streams,
+            "stream_length": length,
+            "lag": lag,
+            "n_states": pos_corpus.n_tags,
+        },
+        "per_stream_stepping_seconds": per_stream_seconds,
+        "stream_batch_seconds": batched_seconds,
+        "stream_batch_speedup": speedup,
+        "per_stream_tokens_per_second": n_tokens / per_stream_seconds,
+        "stream_batch_tokens_per_second": n_tokens / batched_seconds,
+    }
+    _merge_results(results)
+
+    print_header("Serving - batched streaming vs per-stream stepping (B=32)")
+    print(f"per-stream : {per_stream_seconds * 1e3:8.1f} ms "
+          f"({results['per_stream_tokens_per_second']:9.0f} tok/s)")
+    print(f"batched    : {batched_seconds * 1e3:8.1f} ms "
+          f"({results['stream_batch_tokens_per_second']:9.0f} tok/s) | {speedup:5.1f}x")
+    print(f"results merged into {_RESULT_PATH.name}")
+
+    benchmark.extra_info.update(stream_batch_speedup=speedup)
+    benchmark.pedantic(batched, rounds=1, iterations=1)
+
+    assert speedup >= MIN_STREAM_BATCH_SPEEDUP

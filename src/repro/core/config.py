@@ -106,6 +106,14 @@ class ServingConfig:
         first one arrives before dispatching a partial batch.  ``0`` means
         "drain whatever is queued right now" (lowest latency, smallest
         batches).
+    queue_capacity:
+        Largest number of requests the service queue holds before further
+        submissions fast-fail with
+        :class:`~repro.exceptions.QueueFullError` (backpressure).  ``None``
+        disables the bound (the pre-backpressure behaviour).
+    max_loaded_models:
+        How many registry models the routed service keeps resident at
+        once; the least recently used entry is evicted beyond this.
     streaming_lag:
         Default fixed lag (in tokens) of the sliding-window Viterbi used by
         :class:`~repro.serving.StreamingDecoder`; ``None`` defers all labels
@@ -114,6 +122,8 @@ class ServingConfig:
 
     max_batch_size: int = 64
     max_wait_ms: float = 2.0
+    queue_capacity: int | None = 1024
+    max_loaded_models: int = 4
     streaming_lag: int | None = 32
 
     def __post_init__(self) -> None:
@@ -124,6 +134,14 @@ class ServingConfig:
         if self.max_wait_ms < 0:
             raise ValidationError(
                 f"max_wait_ms must be non-negative, got {self.max_wait_ms}"
+            )
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValidationError(
+                f"queue_capacity must be at least 1 or None, got {self.queue_capacity}"
+            )
+        if self.max_loaded_models < 1:
+            raise ValidationError(
+                f"max_loaded_models must be at least 1, got {self.max_loaded_models}"
             )
         if self.streaming_lag is not None and self.streaming_lag < 1:
             raise ValidationError(

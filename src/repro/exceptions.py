@@ -20,6 +20,27 @@ class NotFittedError(ReproError, RuntimeError):
     """Raised when inference is requested from a model that was never fit."""
 
 
+class ServingError(ReproError, RuntimeError):
+    """Base class for request-level failures in the serving subsystem."""
+
+
+class QueueFullError(ServingError):
+    """Raised at submit time when the serving queue is at capacity.
+
+    The fast-fail counterpart of blocking: callers see the overload
+    immediately and can retry, shed, or route elsewhere instead of piling
+    onto an already saturated dispatcher.
+    """
+
+
+class DeadlineExceededError(ServingError):
+    """Set on a request future whose deadline expired before dispatch.
+
+    Expired requests are dropped *before* any engine work is spent on them;
+    the client observes this error instead of a stale result.
+    """
+
+
 class ConvergenceWarning(UserWarning):
     """Warning emitted when an iterative solver stops before converging."""
 

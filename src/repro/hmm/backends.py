@@ -613,6 +613,251 @@ class StreamingSession:
         return float(np.max(self._log_delta))
 
 
+@dataclass
+class _StreamSlot:
+    """Bookkeeping of one stream inside a :class:`BatchedStreamingSession`."""
+
+    lag: int | None
+    t: int = -1
+    next_emit: int = 0
+    bp: deque = field(default_factory=deque)
+    finished: bool = False
+
+
+class BatchedStreamingSession:
+    """Many concurrent streaming sessions stepped together per tick.
+
+    :class:`StreamingSession` pays ``O(K^2)`` *plus several Python-level
+    numpy calls* per token per stream; serving B concurrent online streams
+    that way costs B separate session steps per tick.  This session keeps
+    the forward and Viterbi messages of all streams stacked as ``(B, K)``
+    arrays, so one tick over the active streams runs the ``K x K``
+    propagation as a single vectorized ``(B, K, K)`` broadcast/reduction —
+    the batched-matmul shape of the offline backends, applied to online
+    traffic.
+
+    Per-stream results are **bit-identical** to :class:`StreamingSession`:
+    every elementary operation (broadcast add against ``log(A)``, axis
+    max/argmax with first-index tie-breaking, the ``logsumexp``
+    reductions, posterior normalization) reduces over the same ``K``
+    values in the same order as the single-stream recursion, and the
+    fixed-lag window bookkeeping (backpointer deque, backtracking) is the
+    same code shape per stream.  Equivalence is asserted exactly in
+    ``tests/test_hmm_streaming_batch.py``.
+
+    Streams are independent: they may have different lags, start at
+    different times (:meth:`add_stream` mid-flight), advance on different
+    ticks (pass an explicit ``streams`` subset to :meth:`step_many`) and
+    finish independently (:meth:`finish` frees the slot for reuse).
+    """
+
+    def __init__(
+        self,
+        log_startprob: np.ndarray,
+        log_transmat: np.ndarray,
+        lags: Sequence[int | None] = (),
+    ) -> None:
+        self._log_pi = np.asarray(log_startprob, dtype=np.float64)
+        self._log_A = np.asarray(log_transmat, dtype=np.float64)
+        n_states = self._log_pi.shape[0]
+        if self._log_A.shape != (n_states, n_states):
+            raise DimensionMismatchError(
+                f"transition matrix shape {self._log_A.shape} does not match "
+                f"{n_states} states"
+            )
+        self.n_states = n_states
+        self._slots: list[_StreamSlot] = []
+        self._free: list[int] = []
+        self._log_alpha = np.zeros((0, n_states))
+        self._log_delta = np.zeros((0, n_states))
+        for lag in lags:
+            self.add_stream(lag)
+
+    # -------------------------------------------------------------- #
+    @property
+    def n_streams(self) -> int:
+        """Number of active (unfinished) streams."""
+        return sum(1 for slot in self._slots if not slot.finished)
+
+    def active_streams(self) -> list[int]:
+        """Ids of all unfinished streams, in id order."""
+        return [i for i, slot in enumerate(self._slots) if not slot.finished]
+
+    def add_stream(self, lag: int | None = None) -> int:
+        """Open one more stream; returns its id (finished slots are reused)."""
+        if lag is not None and lag < 1:
+            raise ValidationError(f"lag must be at least 1, got {lag}")
+        if self._free:
+            i = self._free.pop()
+            self._slots[i] = _StreamSlot(lag=lag)
+            self._log_alpha[i] = 0.0
+            self._log_delta[i] = 0.0
+            return i
+        self._slots.append(_StreamSlot(lag=lag))
+        pad = np.zeros((1, self.n_states))
+        self._log_alpha = np.concatenate([self._log_alpha, pad])
+        self._log_delta = np.concatenate([self._log_delta, pad])
+        return len(self._slots) - 1
+
+    def _slot(self, i: int) -> _StreamSlot:
+        if not 0 <= i < len(self._slots):
+            raise ValidationError(f"unknown stream id {i}")
+        return self._slots[i]
+
+    # -------------------------------------------------------------- #
+    def _backtrack(
+        self, i: int, down_to: int, best_state: int | None = None
+    ) -> list[tuple[int, int]]:
+        """States of positions ``down_to .. t`` on stream ``i``'s best path.
+
+        ``best_state`` is the (precomputed) argmax of the stream's current
+        Viterbi message; stepping passes the batched per-tick argmax so the
+        per-stream bookkeeping loop does no numpy calls.
+        """
+        slot = self._slots[i]
+        state = int(np.argmax(self._log_delta[i])) if best_state is None else best_state
+        states = [state]
+        for tau in range(slot.t, down_to, -1):
+            state = int(slot.bp[tau - slot.next_emit - 1][state])
+            states.append(state)
+        states.reverse()
+        return list(zip(range(down_to, slot.t + 1), states))
+
+    def step_many(
+        self,
+        log_obs_rows: np.ndarray,
+        streams: Sequence[int] | None = None,
+    ) -> list[StreamStep]:
+        """Advance several streams by one token each, as one batched tick.
+
+        Parameters
+        ----------
+        log_obs_rows:
+            ``(M, K)`` emission log-likelihood rows, one per advancing
+            stream, aligned with ``streams``.
+        streams:
+            Ids of the streams consuming a token this tick; defaults to
+            every active stream (in id order).
+
+        Returns one :class:`StreamStep` per advanced stream, in order.
+        """
+        rows = np.asarray(log_obs_rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.n_states:
+            raise DimensionMismatchError(
+                f"expected log-likelihood rows of shape (M, {self.n_states}), "
+                f"got {rows.shape}"
+            )
+        if streams is None:
+            streams = self.active_streams()
+        streams = [int(i) for i in streams]
+        if len(streams) != rows.shape[0]:
+            raise ValidationError(
+                f"{rows.shape[0]} rows for {len(streams)} streams"
+            )
+        if len(set(streams)) != len(streams):
+            raise ValidationError("duplicate stream ids in one tick")
+        for i in streams:
+            if self._slot(i).finished:
+                raise ValidationError(f"cannot step finished stream {i}")
+        if not streams:
+            return []
+
+        idx = np.asarray(streams, dtype=np.int64)
+        fresh = np.array([self._slots[i].t < 0 for i in streams])
+        backpointers: np.ndarray | None = None
+        if not fresh.any():
+            # Fast path (the steady state of a long-running pool): no mask
+            # gather/scatter, just the batched recursion over all M rows.
+            new_alpha = rows + logsumexp(
+                self._log_alpha[idx][:, :, None] + self._log_A[None, :, :], axis=1
+            )
+            scores = self._log_delta[idx][:, :, None] + self._log_A[None, :, :]
+            backpointers = np.argmax(scores, axis=1)
+            best = np.take_along_axis(scores, backpointers[:, None, :], axis=1)[:, 0, :]
+            new_delta = best + rows
+        else:
+            ongoing = ~fresh
+            new_alpha = np.empty_like(rows)
+            new_delta = np.empty_like(rows)
+            start = self._log_pi[None, :] + rows[fresh]
+            new_alpha[fresh] = start
+            new_delta[fresh] = start
+            if ongoing.any():
+                sub_rows = rows[ongoing]
+                alpha = self._log_alpha[idx[ongoing]]
+                new_alpha[ongoing] = sub_rows + logsumexp(
+                    alpha[:, :, None] + self._log_A[None, :, :], axis=1
+                )
+                scores = (
+                    self._log_delta[idx[ongoing]][:, :, None] + self._log_A[None, :, :]
+                )
+                backpointers = np.argmax(scores, axis=1)
+                best = np.take_along_axis(
+                    scores, backpointers[:, None, :], axis=1
+                )[:, 0, :]
+                new_delta[ongoing] = best + sub_rows
+        self._log_alpha[idx] = new_alpha
+        self._log_delta[idx] = new_delta
+
+        log_likelihoods = logsumexp(new_alpha, axis=1)
+        filtering = np.exp(new_alpha - log_likelihoods[:, None])
+        filtering /= filtering.sum(axis=1, keepdims=True)
+        # One batched argmax feeds every stream's fixed-lag backtrack this
+        # tick (identical tie-breaking to the per-row argmax).
+        best_states = np.argmax(new_delta, axis=1)
+
+        steps: list[StreamStep] = []
+        ongoing_row = 0
+        for m, i in enumerate(streams):
+            slot = self._slots[i]
+            slot.t += 1
+            if not fresh[m]:
+                assert backpointers is not None
+                slot.bp.append(backpointers[ongoing_row])
+                ongoing_row += 1
+            finalized: list[tuple[int, int]] = []
+            if slot.lag is not None and slot.t - slot.next_emit >= slot.lag:
+                last = slot.t - slot.lag
+                finalized = self._backtrack(
+                    i, slot.next_emit, best_state=int(best_states[m])
+                )[: last - slot.next_emit + 1]
+                slot.next_emit = last + 1
+                while len(slot.bp) > slot.t - slot.next_emit:
+                    slot.bp.popleft()
+            steps.append(
+                StreamStep(
+                    t=slot.t,
+                    filtering=filtering[m].copy(),
+                    log_likelihood=float(log_likelihoods[m]),
+                    finalized=finalized,
+                )
+            )
+        return steps
+
+    def step(self, stream: int, log_obs_t: np.ndarray) -> StreamStep:
+        """Advance one stream by one token (a one-row :meth:`step_many`)."""
+        row = np.asarray(log_obs_t, dtype=np.float64).reshape(1, -1)
+        return self.step_many(row, [stream])[0]
+
+    def finish(self, stream: int) -> list[tuple[int, int]]:
+        """Finalize one stream's remaining window and free its slot.
+
+        Returns the remaining ``(position, state)`` pairs, exactly as
+        :meth:`StreamingSession.finish` would for the same inputs.
+        """
+        slot = self._slot(stream)
+        if slot.finished:
+            return []
+        slot.finished = True
+        remaining: list[tuple[int, int]] = []
+        if slot.t >= 0:
+            remaining = self._backtrack(stream, slot.next_emit)
+        slot.bp.clear()
+        slot.next_emit = slot.t + 1
+        self._free.append(stream)
+        return remaining
+
+
 _BACKENDS = {
     ScaledBatchedBackend.name: ScaledBatchedBackend,
     LogDomainBackend.name: LogDomainBackend,

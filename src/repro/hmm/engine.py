@@ -31,6 +31,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.hmm.backends import (
+    BatchedStreamingSession,
     InferenceBackend,
     StreamingSession,
     build_backend,
@@ -215,6 +216,33 @@ class InferenceEngine:
         """
         p = self._cached(startprob, transmat)
         return StreamingSession(p.log_startprob, p.log_transmat, lag=lag)
+
+    def start_stream_batch(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        lags: Sequence[int | None] = (),
+    ) -> BatchedStreamingSession:
+        """Open a batched incremental session over many concurrent streams.
+
+        Each tick steps every advancing stream with one vectorized
+        ``(B, K, K)`` propagation instead of B single-stream session steps,
+        while staying bit-identical per stream to
+        :meth:`start_stream` sessions (see
+        :class:`~repro.hmm.backends.BatchedStreamingSession`).  Streams can
+        also be added after construction via ``add_stream``.
+
+        Parameters
+        ----------
+        startprob, transmat:
+            Probability-domain model parameters (logs come from the
+            engine's parameter cache).
+        lags:
+            Per-stream fixed lags for the streams opened immediately
+            (``None`` entries defer all labels to ``finish``).
+        """
+        p = self._cached(startprob, transmat)
+        return BatchedStreamingSession(p.log_startprob, p.log_transmat, lags=lags)
 
 
 def build_engine(

@@ -181,6 +181,19 @@ class HMM:
         """
         return self.inference_engine.start_stream(self.startprob, self.transmat, lag=lag)
 
+    def stream_batch(self, lags=()):
+        """Open a :class:`~repro.hmm.backends.BatchedStreamingSession`.
+
+        Steps many concurrent online streams together, one vectorized
+        ``(B, K, K)`` propagation per tick; per-stream results are
+        bit-identical to :meth:`stream` sessions.  See
+        :class:`repro.serving.StreamPool` for the tokens-in/labels-out
+        multiplexer built on top.
+        """
+        return self.inference_engine.start_stream_batch(
+            self.startprob, self.transmat, lags=lags
+        )
+
     # ------------------------------------------------------------------ #
     # Serialization
     # ------------------------------------------------------------------ #

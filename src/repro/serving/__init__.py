@@ -1,4 +1,4 @@
-"""Serving subsystem: persistence, registry, streaming decode, tagging service.
+"""Serving subsystem: persistence, registry, streaming, routing, tagging service.
 
 Turns a trained (d)HMM into something deployable:
 
@@ -7,9 +7,14 @@ Turns a trained (d)HMM into something deployable:
 * :mod:`repro.serving.registry` — a named, versioned on-disk
   :class:`ModelRegistry` over those artifacts;
 * :mod:`repro.serving.streaming` — :class:`StreamingDecoder`, tagging tokens
-  as they arrive (per-step filtering posteriors + fixed-lag Viterbi);
+  as they arrive (per-step filtering posteriors + fixed-lag Viterbi), and
+  :class:`StreamPool`, multiplexing many concurrent streams onto one
+  batched session;
 * :mod:`repro.serving.service` — :class:`TaggingService`, a micro-batching
-  front end coalescing concurrent requests into engine length-buckets;
+  front end coalescing concurrent requests into engine length-buckets,
+  with a bounded queue and per-request deadlines;
+* :mod:`repro.serving.router` — :class:`Router`, serving every registry
+  model behind one queue with LRU lazy loading;
 * :mod:`repro.serving.cli` — the ``repro-serve`` console entry point.
 """
 
@@ -24,8 +29,15 @@ from repro.serving.persistence import (
     save_model,
 )
 from repro.serving.registry import ModelRegistry
+from repro.serving.router import Router
 from repro.serving.service import ServiceStats, TaggingService
-from repro.serving.streaming import StreamingDecoder, StreamResult, stream_decode
+from repro.serving.streaming import (
+    PooledStream,
+    StreamingDecoder,
+    StreamPool,
+    StreamResult,
+    stream_decode,
+)
 
 __all__ = [
     "MODEL_TYPES",
@@ -37,9 +49,12 @@ __all__ = [
     "read_manifest",
     "resolve_hmm",
     "ModelRegistry",
+    "Router",
     "TaggingService",
     "ServiceStats",
     "StreamingDecoder",
+    "StreamPool",
+    "PooledStream",
     "StreamResult",
     "stream_decode",
 ]

@@ -13,6 +13,12 @@ Subcommands
     Load a registered model and tag sequences read from a JSON-lines file
     (one JSON array per line), through the micro-batching service or — with
     ``--streaming`` — token by token with the fixed-lag decoder.
+``route``
+    Serve requests against *several* registry models through one routed
+    queue: each JSON-lines request names its model (and optionally a
+    version, a kind and a deadline), the :class:`~repro.serving.Router`
+    coalesces per-model micro-batches, loads models lazily (LRU-capped)
+    and applies backpressure/deadline shedding.
 ``bench``
     Measure micro-batched service throughput against sequential per-request
     decoding on model-sampled sequences.
@@ -24,6 +30,7 @@ Examples
     repro-serve fit --dataset pos --registry ./registry --name pos-tagger \
         --sample-out ./sample.jsonl
     repro-serve tag --registry ./registry --name pos-tagger --input ./sample.jsonl
+    repro-serve route --registry ./registry --input ./routed.jsonl
     repro-serve bench --registry ./registry --name pos-tagger --requests 200
 """
 
@@ -43,7 +50,7 @@ from repro.core.supervised import SupervisedDiversifiedHMM
 from repro.datasets.ocr import N_PIXELS, generate_ocr_dataset
 from repro.datasets.pos import generate_wsj_like_corpus
 from repro.datasets.toy import generate_toy_dataset
-from repro.exceptions import ReproError
+from repro.exceptions import QueueFullError, ReproError
 from repro.hmm.emissions.categorical import CategoricalEmission
 from repro.hmm.emissions.gaussian import GaussianEmission
 from repro.serving.persistence import load_artifact, resolve_hmm, save_artifact
@@ -142,10 +149,8 @@ def _load_registered(args: argparse.Namespace):
 # ------------------------------------------------------------------ #
 # tag
 # ------------------------------------------------------------------ #
-def _read_sequences(path: str, family: str) -> list[np.ndarray]:
-    """Parse a JSON-lines file into per-family observation arrays."""
-    dtype = np.int64 if family == "categorical" else np.float64
-    sequences = []
+def _iter_jsonl(path: str):
+    """Yield ``(line_no, parsed_value)`` per non-blank JSON-lines entry."""
     source = sys.stdin if path == "-" else Path(path).open()
     try:
         for line_no, line in enumerate(source, start=1):
@@ -153,14 +158,18 @@ def _read_sequences(path: str, family: str) -> list[np.ndarray]:
             if not line:
                 continue
             try:
-                values = json.loads(line)
+                yield line_no, json.loads(line)
             except json.JSONDecodeError as exc:
                 raise ReproError(f"{path}:{line_no}: invalid JSON: {exc}") from None
-            sequences.append(np.asarray(values, dtype=dtype))
     finally:
         if source is not sys.stdin:
             source.close()
-    return sequences
+
+
+def _read_sequences(path: str, family: str) -> list[np.ndarray]:
+    """Parse a JSON-lines file into per-family observation arrays."""
+    dtype = np.int64 if family == "categorical" else np.float64
+    return [np.asarray(values, dtype=dtype) for _, values in _iter_jsonl(path)]
 
 
 def _cmd_tag(args: argparse.Namespace) -> int:
@@ -207,6 +216,138 @@ def _cmd_tag(args: argparse.Namespace) -> int:
     _log(
         f"tagged {len(sequences)} sequences / {n_tokens} tokens in "
         f"{elapsed * 1e3:.1f} ms via {mode}"
+    )
+    return 0
+
+
+# ------------------------------------------------------------------ #
+# route
+# ------------------------------------------------------------------ #
+def _read_routed_requests(path: str) -> list[dict]:
+    """Parse a JSON-lines file of routed requests.
+
+    Each line is an object: ``{"model": <name>, "sequence": [...]}`` plus
+    optional ``"version"`` (int), ``"kind"`` (``"tag"``/``"score"``) and
+    ``"deadline_ms"`` (float).
+    """
+    requests = []
+    for line_no, obj in _iter_jsonl(path):
+        if not isinstance(obj, dict) or "model" not in obj or "sequence" not in obj:
+            raise ReproError(
+                f"{path}:{line_no}: routed requests are objects with "
+                "'model' and 'sequence' keys"
+            )
+        if obj.get("kind", "tag") not in ("tag", "score"):
+            raise ReproError(f"{path}:{line_no}: kind must be 'tag' or 'score'")
+        requests.append(obj)
+    return requests
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.serving.router import Router
+
+    requests = _read_routed_requests(args.input)
+    if not requests:
+        _log("no input requests")
+        return 1
+
+    config = ServingConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        queue_capacity=args.queue_capacity,
+        max_loaded_models=args.max_loaded_models,
+    )
+    started = time.perf_counter()
+    with Router(args.registry, config=config) as router:
+        futures: list = []
+        oldest_in_flight = 0
+
+        def wait_for_queue_room() -> None:
+            # The CLI is the router's only client, so the bounded queue is
+            # full of its *own* earlier requests: apply flow control (wait
+            # for the oldest in-flight one) instead of bouncing submissions
+            # off QueueFullError — which would shed our own work and count
+            # phantom rejections in the router stats.  Only this thread
+            # enqueues, so depth-below-capacity guarantees the next submit
+            # is admitted.
+            nonlocal oldest_in_flight
+            capacity = config.queue_capacity
+            while capacity is not None and router.queue_depth >= capacity:
+                while oldest_in_flight < len(futures) and (
+                    isinstance(futures[oldest_in_flight], Exception)
+                    or futures[oldest_in_flight].done()
+                ):
+                    oldest_in_flight += 1
+                if oldest_in_flight >= len(futures):
+                    return  # queue is mid-drain; nothing left to wait on
+                try:
+                    futures[oldest_in_flight].result()
+                except Exception:
+                    pass  # reported when results are gathered below
+
+        for request in requests:
+            deadline_ms = request.get("deadline_ms", args.deadline_ms)
+            submit = (
+                router.submit_score if request.get("kind") == "score" else router.submit_tag
+            )
+            while True:
+                wait_for_queue_room()
+                # Any per-request failure — Repro validation errors but
+                # also e.g. a TypeError from a malformed "version" value —
+                # becomes a per-request error record, never a crash of the
+                # whole run.
+                try:
+                    futures.append(
+                        submit(
+                            request["model"],
+                            np.asarray(request["sequence"]),
+                            version=request.get("version"),
+                            deadline_ms=deadline_ms,
+                        )
+                    )
+                except QueueFullError:
+                    continue  # raced the gauge; wait for room again
+                except Exception as exc:
+                    futures.append(exc)
+                break
+        outcomes = []
+        for request, future in zip(requests, futures):
+            record = {"model": request["model"]}
+            if request.get("version") is not None:
+                record["version"] = request["version"]
+            if isinstance(future, Exception):
+                record["error"] = str(future)
+            else:
+                # The dispatcher resolves futures with whatever exception
+                # the failure produced (a corrupt artifact surfaces as
+                # FileNotFoundError, a bad observation as a numpy error) —
+                # report them all per-request.
+                try:
+                    value = future.result()
+                except Exception as exc:
+                    record["error"] = str(exc)
+                else:
+                    if request.get("kind") == "score":
+                        record["score"] = float(value)
+                    else:
+                        record["tags"] = [int(s) for s in value]
+            outcomes.append(record)
+        stats = router.stats.snapshot()
+    elapsed = time.perf_counter() - started
+
+    out = sys.stdout if args.output is None else Path(args.output).open("w")
+    try:
+        for record in outcomes:
+            out.write(json.dumps(record) + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    n_errors = sum(1 for record in outcomes if "error" in record)
+    per_model = ", ".join(f"{k}={v}" for k, v in sorted(stats["per_model"].items()))
+    _log(
+        f"routed {len(requests)} requests ({per_model}) in {elapsed * 1e3:.1f} ms; "
+        f"{n_errors} errors, {stats['n_expired']} expired, "
+        f"{stats['n_rejected']} shed, {stats['n_model_loads']} model loads"
     )
     return 0
 
@@ -296,6 +437,32 @@ def build_parser() -> argparse.ArgumentParser:
     tag.add_argument("--max-batch-size", type=int, default=serving_defaults.max_batch_size)
     tag.add_argument("--max-wait-ms", type=float, default=serving_defaults.max_wait_ms)
     tag.set_defaults(func=_cmd_tag)
+
+    route = sub.add_parser(
+        "route", help="serve multi-model JSON-lines requests through one routed queue"
+    )
+    route.add_argument("--registry", required=True)
+    route.add_argument(
+        "--input",
+        required=True,
+        help="JSON-lines file of {'model':..,'sequence':..} requests ('-' = stdin)",
+    )
+    route.add_argument("--output", help="write JSON-lines results here instead of stdout")
+    route.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline (requests may override)",
+    )
+    route.add_argument(
+        "--queue-capacity", type=int, default=serving_defaults.queue_capacity
+    )
+    route.add_argument(
+        "--max-loaded-models", type=int, default=serving_defaults.max_loaded_models
+    )
+    route.add_argument("--max-batch-size", type=int, default=serving_defaults.max_batch_size)
+    route.add_argument("--max-wait-ms", type=float, default=serving_defaults.max_wait_ms)
+    route.set_defaults(func=_cmd_route)
 
     bench = sub.add_parser("bench", help="micro-batched service vs sequential decode")
     bench.add_argument("--registry", required=True)

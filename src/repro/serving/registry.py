@@ -125,11 +125,18 @@ class ModelRegistry:
         return load_artifact(self.artifact_path(name, version))
 
     def describe(self, name: str, version: int | None = None) -> dict:
-        """Manifest header of one artifact: model type, schema, metadata."""
+        """Manifest header of one artifact: model type, schema, metadata.
+
+        "latest" is resolved exactly once, so the reported version number
+        always belongs to the manifest that was read — a concurrent
+        ``save`` cannot make this pair versions N and N+1.
+        """
+        if version is None:
+            version = self.latest_version(name)
         manifest = read_manifest(self.artifact_path(name, version))
         return {
             "name": name,
-            "version": version if version is not None else self.latest_version(name),
+            "version": version,
             "model_type": manifest["model_type"],
             "schema_version": manifest["schema_version"],
             "metadata": manifest.get("metadata", {}),

@@ -1,0 +1,199 @@
+"""Multi-model routed serving: every registry model behind one queue.
+
+:class:`Router` generalizes :class:`~repro.serving.service.TaggingService`
+from one model to a whole :class:`~repro.serving.registry.ModelRegistry`:
+requests carry a ``(name, version)`` routing key, a single bounded queue
+feeds a single dispatcher thread, and the dispatcher coalesces each drained
+micro-batch *per model* so every group still becomes one batched engine
+call.  Models are loaded lazily from the registry on first use and kept in
+an LRU cache of at most ``ServingConfig.max_loaded_models`` resident
+models — cold models cost one artifact load, hot models nothing.
+
+Backpressure and deadlines are inherited from the shared dispatcher
+machinery: the queue is bounded (``ServingConfig.queue_capacity``,
+fast-fail :class:`~repro.exceptions.QueueFullError`) and per-request
+``deadline_ms`` drops expired requests before any engine work
+(:class:`~repro.exceptions.DeadlineExceededError`).
+
+Version resolution happens at submit time — ``version=None`` pins the
+request to the registry's latest version *at that moment* — so every
+queued request has a concrete routing key and per-model grouping is exact
+even while new versions are being saved concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import ServingConfig
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import (
+    _SCORE,
+    _TAG,
+    _MicroBatchDispatcher,
+    _ModelExecutor,
+    _Request,
+)
+
+
+class Router(_MicroBatchDispatcher):
+    """Routed, load-aware tagging service over a model registry.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`~repro.serving.registry.ModelRegistry` or its root path.
+    config:
+        Batching, backpressure and cache knobs (``max_batch_size``,
+        ``max_wait_ms``, ``queue_capacity``, ``max_loaded_models``);
+        defaults to the process-wide serving configuration.
+
+    Examples
+    --------
+    >>> with Router("./registry") as router:                 # doctest: +SKIP
+    ...     future = router.submit_tag("pos-tagger", sequence, deadline_ms=50)
+    ...     labels = future.result()
+    """
+
+    _thread_name = "repro-serving-router"
+
+    def __init__(
+        self,
+        registry: ModelRegistry | str | Path,
+        config: ServingConfig | None = None,
+    ) -> None:
+        super().__init__(config)
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        self.registry = registry
+        #: LRU of resident models, keyed by ``(name, version)``; mutated by
+        #: the dispatcher thread, read by ``loaded_models`` from any thread.
+        self._executors: OrderedDict[tuple[str, int], _ModelExecutor] = OrderedDict()
+        self._executors_lock = threading.Lock()
+        self._start()
+
+    # -------------------------------------------------------------- #
+    # Client API
+    # -------------------------------------------------------------- #
+    def _resolve_key(self, name: str, version: int | None) -> tuple[str, int]:
+        """Pin a request to a concrete ``(name, version)`` at submit time.
+
+        Unknown names/versions fail here, in the client thread, instead of
+        poisoning a queued batch.  Explicit versions that are already
+        resident skip the registry I/O entirely (version directories are
+        immutable, so residency proves existence); ``version=None`` always
+        rescans so "latest" means latest *now*, not latest-at-load-time —
+        pin a version to avoid the per-request directory scan.
+        """
+        if version is None:
+            return (name, int(self.registry.latest_version(name)))
+        key = (name, int(version))
+        with self._executors_lock:
+            if key in self._executors:
+                return key
+        # Validates existence (raises ValidationError otherwise).
+        self.registry.artifact_path(name, version)
+        return key
+
+    def submit_tag(
+        self,
+        name: str,
+        sequence: np.ndarray,
+        version: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> Future:
+        """Enqueue a Viterbi tagging request against one registry model."""
+        key = self._resolve_key(name, version)
+        return self._enqueue(_TAG, sequence, deadline_ms=deadline_ms, key=key)
+
+    def submit_score(
+        self,
+        name: str,
+        sequence: np.ndarray,
+        version: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> Future:
+        """Enqueue a scoring request against one registry model."""
+        key = self._resolve_key(name, version)
+        return self._enqueue(_SCORE, sequence, deadline_ms=deadline_ms, key=key)
+
+    def tag(self, name: str, sequence: np.ndarray, **kwargs) -> np.ndarray:
+        """Synchronous tag through the routed queue."""
+        return self.submit_tag(name, sequence, **kwargs).result()
+
+    def score(self, name: str, sequence: np.ndarray, **kwargs) -> float:
+        """Synchronous score through the routed queue."""
+        return self.submit_score(name, sequence, **kwargs).result()
+
+    def tag_many(
+        self, name: str, sequences: Sequence[np.ndarray], **kwargs
+    ) -> list[np.ndarray]:
+        """Submit many tagging requests for one model; gather all results."""
+        futures = [self.submit_tag(name, seq, **kwargs) for seq in sequences]
+        return [future.result() for future in futures]
+
+    def score_many(
+        self, name: str, sequences: Sequence[np.ndarray], **kwargs
+    ) -> list[float]:
+        """Submit many scoring requests for one model; gather all results."""
+        futures = [self.submit_score(name, seq, **kwargs) for seq in sequences]
+        return [future.result() for future in futures]
+
+    def loaded_models(self) -> list[tuple[str, int]]:
+        """Resident ``(name, version)`` keys, least recently used first."""
+        with self._executors_lock:
+            return list(self._executors)
+
+    # -------------------------------------------------------------- #
+    # Dispatcher side
+    # -------------------------------------------------------------- #
+    def _executor_for(self, key: tuple[str, int]) -> _ModelExecutor:
+        """The resident executor for ``key``, loading/evicting as needed."""
+        with self._executors_lock:
+            executor = self._executors.get(key)
+            if executor is not None:
+                self._executors.move_to_end(key)
+                return executor
+        # Artifact I/O happens outside the lock; only the dispatcher thread
+        # loads, so there is no duplicate-load race.
+        name, version = key
+        executor = _ModelExecutor(self.registry.load(name, version))
+        self.stats.record_model_load()
+        with self._executors_lock:
+            self._executors[key] = executor
+            while len(self._executors) > self.config.max_loaded_models:
+                self._executors.popitem(last=False)
+                self.stats.record_model_eviction()
+        return executor
+
+    def _execute(self, batch: list[_Request]) -> None:
+        # Group per routing key, preserving arrival order inside each
+        # group, so one drained micro-batch becomes one coalesced engine
+        # call per distinct model.
+        groups: OrderedDict[tuple[str, int], list[_Request]] = OrderedDict()
+        for request in batch:
+            groups.setdefault(request.key, []).append(request)
+        for key, group in groups.items():
+            try:
+                executor = self._executor_for(key)
+            except Exception as exc:
+                # Loading failed (artifact vanished, corrupt manifest, ...):
+                # fail this group's requests, keep serving the others.
+                for request in group:
+                    if request.future.set_running_or_notify_cancel():
+                        request.future.set_exception(exc)
+                continue
+            # Deadlines were checked when the batch was drained, but an
+            # earlier group's compute (or this group's cold-model load) may
+            # have outlived a later group's deadline — re-check immediately
+            # before the engine call so the "expired requests never reach
+            # the engine" guarantee holds per group, not just per batch.
+            group = self._drop_expired(group)
+            if group:
+                executor.run(group, self.stats)

@@ -1,4 +1,4 @@
-"""Online (token-at-a-time) tagging on top of the streaming engine session.
+"""Online (token-at-a-time) tagging on top of the streaming engine sessions.
 
 :class:`StreamingDecoder` is the tokens-in/labels-out face of
 :class:`repro.hmm.backends.StreamingSession`: it scores each arriving raw
@@ -7,12 +7,20 @@ log-likelihood row to the session, surfacing per-token filtering posteriors
 and fixed-lag Viterbi labels.  This is the scenario the batch engine cannot
 serve — tagging a sequence *while it is still arriving* — at an ``O(K^2)``
 cost per token.
+
+:class:`StreamPool` is the high-fanout counterpart: it multiplexes many
+client streams onto one
+:class:`~repro.hmm.backends.BatchedStreamingSession`, so a tick over M
+concurrent streams costs one vectorized emission-scoring call plus one
+batched ``(M, K, K)`` propagation instead of M separate decoder steps —
+while every stream's output stays bit-identical to a dedicated
+:class:`StreamingDecoder`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -20,6 +28,10 @@ from repro.core.config import get_serving_config
 from repro.exceptions import ValidationError
 from repro.hmm.backends import StreamStep
 from repro.serving.persistence import resolve_hmm
+
+#: "Use the ServingConfig default" marker for ``lag`` parameters, distinct
+#: from ``None`` (which means *infinite* lag: defer all labels to finish).
+_UNSET = object()
 
 
 @dataclass
@@ -48,8 +60,43 @@ class StreamResult:
 
 @dataclass
 class _StreamState:
+    """Per-stream history shared by :class:`StreamingDecoder` and pool streams."""
+
+    keep_history: bool = True
     steps: list[StreamStep] = field(default_factory=list)
     labels: dict[int, int] = field(default_factory=dict)
+    last_step: StreamStep | None = None
+
+    def record_pairs(self, pairs: Iterable[tuple[int, int]]) -> None:
+        for position, state in pairs:
+            self.labels[position] = state
+
+    def record(self, step: StreamStep) -> None:
+        self.last_step = step
+        if self.keep_history:
+            self.steps.append(step)
+            self.record_pairs(step.finalized)
+
+    def assemble(self, remaining: list[tuple[int, int]]) -> StreamResult:
+        """Build the :class:`StreamResult` from the session's final flush."""
+        if self.last_step is None:
+            raise ValidationError("cannot finish a stream with no observations")
+        if not self.keep_history:
+            n_states = self.last_step.filtering.shape[0]
+            return StreamResult(
+                path=np.array([state for _, state in remaining], dtype=np.int64),
+                filtering=np.empty((0, n_states)),
+                log_likelihood=self.last_step.log_likelihood,
+            )
+        self.record_pairs(remaining)
+        path = np.array(
+            [self.labels[t] for t in range(len(self.steps))], dtype=np.int64
+        )
+        return StreamResult(
+            path=path,
+            filtering=np.stack([s.filtering for s in self.steps]),
+            log_likelihood=self.steps[-1].log_likelihood,
+        )
 
 
 class StreamingDecoder:
@@ -67,8 +114,7 @@ class StreamingDecoder:
         context = closer to full-sequence Viterbi; ``lag >= T`` reproduces
         it exactly).  Defaults to the process-wide
         :class:`~repro.core.config.ServingConfig` value; pass ``None``
-        explicitly via ``ServingConfig(streaming_lag=None)`` to defer all
-        labels to :meth:`finish`.
+        explicitly to defer all labels to :meth:`finish`.
     keep_history:
         When True (default), every step and finalized label is retained so
         :meth:`finish` can assemble the complete :class:`StreamResult`.
@@ -86,7 +132,7 @@ class StreamingDecoder:
     >>> result = decoder.finish()                       # doctest: +SKIP
     """
 
-    _UNSET = object()
+    _UNSET = _UNSET  # kept as a class attribute for backward compatibility
 
     def __init__(
         self,
@@ -95,13 +141,11 @@ class StreamingDecoder:
         keep_history: bool = True,
     ) -> None:
         hmm = resolve_hmm(model)
-        if lag is StreamingDecoder._UNSET:
+        if lag is _UNSET:
             lag = get_serving_config().streaming_lag
         self._emissions = hmm.emissions
         self._session = hmm.stream(lag=lag)
-        self._state = _StreamState()
-        self._keep_history = keep_history
-        self._last_step: StreamStep | None = None
+        self._state = _StreamState(keep_history=keep_history)
 
     @property
     def n_tokens(self) -> int:
@@ -114,10 +158,6 @@ class StreamingDecoder:
         labels = self._state.labels
         return [labels[t] for t in range(len(labels))]
 
-    def _record(self, pairs: Iterable[tuple[int, int]]) -> None:
-        for position, state in pairs:
-            self._state.labels[position] = state
-
     def push(self, observation: Any) -> StreamStep:
         """Consume one observation; returns the per-token stream step.
 
@@ -128,10 +168,7 @@ class StreamingDecoder:
         obs = np.asarray(observation)
         log_obs = self._emissions.log_likelihoods(obs[None, ...])
         step = self._session.step(log_obs[0])
-        self._last_step = step
-        if self._keep_history:
-            self._state.steps.append(step)
-            self._record(step.finalized)
+        self._state.record(step)
         return step
 
     def push_many(self, observations: Iterable[Any]) -> list[StreamStep]:
@@ -145,33 +182,155 @@ class StreamingDecoder:
         ``keep_history=False`` it covers only the final window (everything
         earlier was already handed out via ``push(...).finalized``).
         """
-        if self._last_step is None:
+        if self._state.last_step is None:
             raise ValidationError("cannot finish a stream with no observations")
-        remaining = self._session.finish()
-        if not self._keep_history:
-            n_states = self._last_step.filtering.shape[0]
-            return StreamResult(
-                path=np.array([state for _, state in remaining], dtype=np.int64),
-                filtering=np.empty((0, n_states)),
-                log_likelihood=self._last_step.log_likelihood,
-            )
-        self._record(remaining)
-        steps = self._state.steps
-        labels = self._state.labels
-        path = np.array([labels[t] for t in range(len(steps))], dtype=np.int64)
-        return StreamResult(
-            path=path,
-            filtering=np.stack([s.filtering for s in steps]),
-            log_likelihood=steps[-1].log_likelihood,
-        )
+        return self._state.assemble(self._session.finish())
 
 
-def stream_decode(model: Any, sequence: np.ndarray, lag: int | None = None) -> StreamResult:
+def stream_decode(
+    model: Any, sequence: np.ndarray, lag: int | None | object = _UNSET
+) -> StreamResult:
     """One-shot helper: stream a whole sequence through a fresh decoder.
 
     Mostly useful for testing fixed-lag behaviour against batch decoding;
-    online callers should drive :class:`StreamingDecoder` directly.
+    online callers should drive :class:`StreamingDecoder` directly.  With
+    ``lag`` omitted the decoder follows ``ServingConfig.streaming_lag``
+    (the sentinel is forwarded as-is, so the default here and on
+    :class:`StreamingDecoder` cannot drift apart); pass ``lag=None``
+    explicitly for infinite lag.
     """
     decoder = StreamingDecoder(model, lag=lag)
     decoder.push_many(sequence)
     return decoder.finish()
+
+
+# ------------------------------------------------------------------ #
+# Pooled (batched) streaming
+# ------------------------------------------------------------------ #
+class PooledStream:
+    """Client handle for one stream multiplexed through a :class:`StreamPool`.
+
+    Mirrors the :class:`StreamingDecoder` surface (``push``/``finish``,
+    ``n_tokens``, ``finalized_labels``); the underlying recursions run
+    batched with the pool's other streams.
+    """
+
+    def __init__(self, pool: "StreamPool", slot: int, keep_history: bool) -> None:
+        self._pool = pool
+        self._slot = slot
+        self._state = _StreamState(keep_history=keep_history)
+        self._finished = False
+        self._n_pushed = 0
+
+    @property
+    def n_tokens(self) -> int:
+        """Number of observations consumed so far."""
+        return self._n_pushed
+
+    @property
+    def finalized_labels(self) -> list[int]:
+        """Labels finalized so far, in token order (prefix of the path)."""
+        labels = self._state.labels
+        return [labels[t] for t in range(len(labels))]
+
+    def push(self, observation: Any) -> StreamStep:
+        """Consume one observation (a one-stream tick through the pool)."""
+        return self._pool.push_tick([(self, observation)])[0]
+
+    def finish(self) -> StreamResult:
+        """Flush the remaining window, free the pool slot, assemble the result."""
+        if self._finished:
+            raise ValidationError("stream already finished")
+        if self._state.last_step is None:
+            raise ValidationError("cannot finish a stream with no observations")
+        remaining = self._pool._finish_slot(self._slot)
+        self._finished = True
+        return self._state.assemble(remaining)
+
+
+class StreamPool:
+    """Multiplexes many online client streams onto one batched session.
+
+    Parameters
+    ----------
+    model:
+        An :class:`~repro.hmm.model.HMM` or a fitted estimator wrapper.
+    lag:
+        Default fixed lag for streams opened without an explicit one;
+        falls back to ``ServingConfig.streaming_lag`` when omitted.
+    keep_history:
+        Default history retention for opened streams (see
+        :class:`StreamingDecoder`).
+
+    Usage
+    -----
+    ``open()`` hands out :class:`PooledStream` handles;
+    :meth:`push_tick` advances any subset of them together as *one*
+    batched tick — one emission-scoring call over the stacked observations
+    and one ``(M, K, K)`` propagation — which is where the fanout speedup
+    over per-stream :class:`StreamingDecoder` stepping comes from
+    (``benchmarks/test_bench_serving.py`` gates it).  ``handle.push`` is
+    the single-stream convenience for stragglers.
+    """
+
+    def __init__(
+        self,
+        model: Any,
+        lag: int | None | object = _UNSET,
+        keep_history: bool = True,
+    ) -> None:
+        hmm = resolve_hmm(model)
+        if lag is _UNSET:
+            lag = get_serving_config().streaming_lag
+        self._emissions = hmm.emissions
+        self._default_lag = lag
+        self._default_keep_history = keep_history
+        self._session = hmm.stream_batch()
+
+    @property
+    def n_streams(self) -> int:
+        """Number of currently open (unfinished) streams."""
+        return self._session.n_streams
+
+    def open(
+        self,
+        lag: int | None | object = _UNSET,
+        keep_history: bool | None = None,
+    ) -> PooledStream:
+        """Open one more client stream; slots of finished streams are reused."""
+        if lag is _UNSET:
+            lag = self._default_lag
+        if keep_history is None:
+            keep_history = self._default_keep_history
+        slot = self._session.add_stream(lag=lag)
+        return PooledStream(self, slot, keep_history=keep_history)
+
+    def push_tick(
+        self, items: Sequence[tuple[PooledStream, Any]]
+    ) -> list[StreamStep]:
+        """Advance several streams by one observation each, batched.
+
+        ``items`` pairs each advancing stream handle with its newly arrived
+        observation; returns the per-stream :class:`StreamStep` results in
+        the same order.
+        """
+        if not items:
+            return []
+        for stream, _ in items:
+            if stream._pool is not self:
+                raise ValidationError("stream belongs to a different pool")
+            if stream._finished:
+                raise ValidationError("cannot push to a finished stream")
+        # One emission call scores all M observations at once: a stack of
+        # single timesteps is just an M-step sequence to the emission
+        # family, and per-row scoring is identical to scoring one by one.
+        stacked = np.stack([np.asarray(obs) for _, obs in items])
+        log_rows = self._emissions.log_likelihoods(stacked)
+        steps = self._session.step_many(log_rows, [s._slot for s, _ in items])
+        for (stream, _), step in zip(items, steps):
+            stream._state.record(step)
+            stream._n_pushed += 1
+        return steps
+
+    def _finish_slot(self, slot: int) -> list[tuple[int, int]]:
+        return self._session.finish(slot)

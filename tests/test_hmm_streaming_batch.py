@@ -1,0 +1,166 @@
+"""BatchedStreamingSession: per-stream bit-identical equivalence + API."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionMismatchError, ValidationError
+from repro.hmm import HMM, CategoricalEmission
+from repro.hmm.backends import BatchedStreamingSession, StreamingSession
+from repro.utils.maths import safe_log
+
+
+def _random_hmm(seed, n_states=5, n_symbols=9):
+    rng = np.random.default_rng(seed)
+    emissions = CategoricalEmission(rng.dirichlet(np.ones(n_symbols), size=n_states))
+    return HMM(
+        rng.dirichlet(np.ones(n_states)),
+        rng.dirichlet(np.ones(n_states), size=n_states),
+        emissions,
+    )
+
+
+def _log_params(model):
+    return safe_log(model.startprob), safe_log(model.transmat)
+
+
+def _assert_steps_identical(batched_step, reference_step, context=""):
+    assert batched_step.t == reference_step.t, context
+    # Bit-identical, not merely close: the batched tick must apply the same
+    # elementary operations per stream as the single-stream session.
+    assert np.array_equal(batched_step.filtering, reference_step.filtering), context
+    assert batched_step.log_likelihood == reference_step.log_likelihood, context
+    assert batched_step.finalized == reference_step.finalized, context
+
+
+class TestBitIdenticalEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_mixed_lags_and_lengths(self, seed):
+        """B streams at mixed lags/lengths: every step equals StreamingSession."""
+        model = _random_hmm(seed)
+        log_pi, log_A = _log_params(model)
+        rng = np.random.default_rng(seed)
+        lags = [None, 1, 2, 3, 8, 40]
+        lengths = [int(rng.integers(1, 35)) for _ in lags]
+        observations = [
+            np.asarray(model.sample(T, seed=seed + i)[1])
+            for i, T in enumerate(lengths)
+        ]
+        rows = [model.emissions.log_likelihoods(obs) for obs in observations]
+
+        references = [StreamingSession(log_pi, log_A, lag=lag) for lag in lags]
+        batched = BatchedStreamingSession(log_pi, log_A, lags=lags)
+        for t in range(max(lengths)):
+            active = [i for i in range(len(lags)) if t < lengths[i]]
+            steps = batched.step_many(
+                np.stack([rows[i][t] for i in active]), active
+            )
+            for i, step in zip(active, steps):
+                _assert_steps_identical(
+                    step, references[i].step(rows[i][t]), context=f"stream {i} t {t}"
+                )
+        for i in range(len(lags)):
+            assert batched.finish(i) == references[i].finish()
+
+    def test_single_stream_step_matches_session(self):
+        model = _random_hmm(3)
+        log_pi, log_A = _log_params(model)
+        rows = model.emissions.log_likelihoods(np.asarray(model.sample(15, seed=3)[1]))
+        reference = StreamingSession(log_pi, log_A, lag=4)
+        batched = BatchedStreamingSession(log_pi, log_A, lags=[4])
+        for row in rows:
+            _assert_steps_identical(batched.step(0, row), reference.step(row))
+        assert batched.finish(0) == reference.finish()
+
+    def test_stream_added_mid_flight(self):
+        """A stream opened after others started behaves like a fresh session."""
+        model = _random_hmm(5)
+        log_pi, log_A = _log_params(model)
+        rows = model.emissions.log_likelihoods(np.asarray(model.sample(20, seed=5)[1]))
+        batched = BatchedStreamingSession(log_pi, log_A, lags=[2])
+        for t in range(6):
+            batched.step_many(rows[t][None], [0])
+        late = batched.add_stream(lag=3)
+        reference = StreamingSession(log_pi, log_A, lag=3)
+        for t in range(6, 20):
+            steps = batched.step_many(np.stack([rows[t], rows[t]]), [0, late])
+            _assert_steps_identical(steps[1], reference.step(rows[t]))
+        assert batched.finish(late) == reference.finish()
+
+    def test_finished_slot_is_reused(self):
+        model = _random_hmm(7)
+        log_pi, log_A = _log_params(model)
+        row = model.emissions.log_likelihoods(np.array([0]))[0]
+        batched = BatchedStreamingSession(log_pi, log_A, lags=[None, None])
+        batched.step(0, row)
+        batched.finish(0)
+        assert batched.n_streams == 1
+        recycled = batched.add_stream(lag=None)
+        assert recycled == 0
+        # the recycled slot starts from scratch
+        reference = StreamingSession(log_pi, log_A, lag=None)
+        _assert_steps_identical(batched.step(recycled, row), reference.step(row))
+
+
+class TestApi:
+    def test_active_streams_and_counts(self):
+        model = _random_hmm(0)
+        batched = model.stream_batch(lags=[1, 2, 3])
+        assert batched.n_streams == 3
+        assert batched.active_streams() == [0, 1, 2]
+        row = model.emissions.log_likelihoods(np.array([0]))[0]
+        batched.step_many(np.stack([row] * 3))  # default: all active streams
+        batched.finish(1)
+        assert batched.active_streams() == [0, 2]
+
+    def test_step_finished_stream_raises(self):
+        model = _random_hmm(0)
+        batched = model.stream_batch(lags=[None])
+        row = model.emissions.log_likelihoods(np.array([0]))[0]
+        batched.step(0, row)
+        batched.finish(0)
+        with pytest.raises(ValidationError, match="finished"):
+            batched.step(0, row)
+
+    def test_unknown_stream_raises(self):
+        model = _random_hmm(0)
+        batched = model.stream_batch(lags=[None])
+        row = model.emissions.log_likelihoods(np.array([0]))[0]
+        with pytest.raises(ValidationError, match="unknown stream"):
+            batched.step(5, row)
+
+    def test_duplicate_stream_ids_rejected(self):
+        model = _random_hmm(0)
+        batched = model.stream_batch(lags=[None, None])
+        row = model.emissions.log_likelihoods(np.array([0]))[0]
+        with pytest.raises(ValidationError, match="duplicate"):
+            batched.step_many(np.stack([row, row]), [0, 0])
+
+    def test_row_shape_validated(self):
+        model = _random_hmm(0)
+        batched = model.stream_batch(lags=[None])
+        with pytest.raises(DimensionMismatchError):
+            batched.step_many(np.zeros((1, 3)), [0])
+        with pytest.raises(ValidationError, match="rows"):
+            batched.step_many(
+                np.zeros((2, model.n_states)), [0]
+            )
+
+    def test_invalid_lag_rejected(self):
+        model = _random_hmm(0)
+        with pytest.raises(ValidationError, match="lag"):
+            model.stream_batch(lags=[0])
+
+    def test_engine_entry_point_uses_param_cache(self):
+        model = _random_hmm(0)
+        engine = model.inference_engine
+        session = engine.start_stream_batch(model.startprob, model.transmat, lags=[2])
+        assert isinstance(session, BatchedStreamingSession)
+        assert session.n_states == model.n_states
+
+    def test_empty_tick_is_a_no_op(self):
+        model = _random_hmm(0)
+        batched = model.stream_batch()
+        assert batched.step_many(np.zeros((0, model.n_states)), []) == []

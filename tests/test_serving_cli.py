@@ -105,6 +105,125 @@ class TestTag:
         ) == 2
 
 
+class TestRoute:
+    @pytest.fixture()
+    def two_model_registry(self, tmp_path):
+        """A registry with two small categorical HMMs plus their vocab size."""
+        from repro.hmm import HMM, CategoricalEmission
+
+        registry_root = tmp_path / "registry"
+        registry = ModelRegistry(registry_root)
+        for name, seed in (("red", 0), ("blue", 9)):
+            rng = np.random.default_rng(seed)
+            model = HMM(
+                rng.dirichlet(np.ones(4)),
+                rng.dirichlet(np.ones(4), size=4),
+                CategoricalEmission(rng.dirichlet(np.ones(8), size=4)),
+            )
+            registry.save(name, model)
+        return registry_root
+
+    def test_routes_requests_across_models(self, two_model_registry, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        output = tmp_path / "routed.jsonl"
+        rng = np.random.default_rng(3)
+        with requests.open("w") as fh:
+            for i in range(10):
+                record = {
+                    "model": "red" if i % 2 == 0 else "blue",
+                    "sequence": [int(s) for s in rng.integers(0, 8, size=6)],
+                }
+                if i == 0:
+                    record["kind"] = "score"
+                fh.write(json.dumps(record) + "\n")
+        assert _run(
+            ["route", "--registry", two_model_registry,
+             "--input", requests, "--output", output]
+        ) == 0
+        results = [json.loads(l) for l in output.read_text().splitlines()]
+        assert len(results) == 10
+        assert "score" in results[0] and results[0]["model"] == "red"
+        for i, record in enumerate(results[1:], start=1):
+            assert record["model"] == ("red" if i % 2 == 0 else "blue")
+            assert len(record["tags"]) == 6
+            assert all(0 <= t < 4 for t in record["tags"])
+
+    def test_unknown_model_reported_per_request(self, two_model_registry, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        output = tmp_path / "routed.jsonl"
+        with requests.open("w") as fh:
+            fh.write(json.dumps({"model": "red", "sequence": [0, 1, 2]}) + "\n")
+            fh.write(json.dumps({"model": "ghost", "sequence": [0, 1]}) + "\n")
+        assert _run(
+            ["route", "--registry", two_model_registry,
+             "--input", requests, "--output", output]
+        ) == 0
+        results = [json.loads(l) for l in output.read_text().splitlines()]
+        assert "tags" in results[0]
+        assert "error" in results[1] and "ghost" in results[1]["error"]
+
+    def test_input_larger_than_queue_capacity_is_not_shed(
+        self, two_model_registry, tmp_path, capsys
+    ):
+        """Regression: the route CLI is its own only client, so a bounded
+        queue must throttle submission (flow control), not drop the CLI's
+        own requests as QueueFullError records — and the pacing must not
+        count phantom rejections in the router stats."""
+        requests = tmp_path / "requests.jsonl"
+        output = tmp_path / "routed.jsonl"
+        rng = np.random.default_rng(0)
+        n_requests = 60
+        with requests.open("w") as fh:
+            for i in range(n_requests):
+                record = {
+                    "model": "red" if i % 2 == 0 else "blue",
+                    "sequence": [int(s) for s in rng.integers(0, 8, size=5)],
+                }
+                fh.write(json.dumps(record) + "\n")
+        assert _run(
+            ["route", "--registry", two_model_registry, "--input", requests,
+             "--output", output, "--queue-capacity", 4]
+        ) == 0
+        results = [json.loads(l) for l in output.read_text().splitlines()]
+        assert len(results) == n_requests
+        assert all("tags" in r for r in results), [
+            r for r in results if "tags" not in r
+        ]
+        assert "0 shed" in capsys.readouterr().err
+
+    def test_non_repro_failures_reported_per_request(
+        self, two_model_registry, tmp_path
+    ):
+        """A corrupt artifact (FileNotFoundError, not a ReproError) and a
+        malformed version value must become per-request error records, not
+        crash the whole route run."""
+        (two_model_registry / "blue" / "v0001" / "arrays.npz").unlink()
+        requests = tmp_path / "requests.jsonl"
+        output = tmp_path / "routed.jsonl"
+        with requests.open("w") as fh:
+            fh.write(json.dumps({"model": "red", "sequence": [0, 1, 2]}) + "\n")
+            fh.write(json.dumps({"model": "blue", "sequence": [0, 1]}) + "\n")
+            fh.write(
+                json.dumps({"model": "red", "sequence": [0], "version": "one"}) + "\n"
+            )
+        assert _run(
+            ["route", "--registry", two_model_registry,
+             "--input", requests, "--output", output]
+        ) == 0
+        results = [json.loads(l) for l in output.read_text().splitlines()]
+        assert len(results) == 3
+        assert "tags" in results[0]
+        assert "error" in results[1]
+        assert "error" in results[2]
+
+    def test_malformed_request_line_fails_cleanly(self, two_model_registry, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(json.dumps({"sequence": [1, 2]}) + "\n")
+        assert _run(
+            ["route", "--registry", two_model_registry, "--input", requests]
+        ) == 2
+
+
 class TestBench:
     def test_bench_reports_speedup(self, fitted_registry, tmp_path, capsys):
         registry, _ = fitted_registry

@@ -227,6 +227,34 @@ class TestModelRegistry:
         assert description["metadata"] == {"k": 1}
         assert description["version"] == 1
 
+    def test_describe_resolves_latest_exactly_once(self, tmp_path, monkeypatch):
+        """Regression: ``describe`` used to resolve "latest" twice (once via
+        ``artifact_path``, once for the reported version number), so a save
+        landing between the two resolutions paired version N+1's number
+        with version N's manifest.  Simulate that interleaving by making
+        every resolution after the first race with a concurrent save: with
+        a single resolution the reported pair stays consistent."""
+        registry = ModelRegistry(tmp_path / "registry")
+        model = _random_hmm(0, "categorical")
+        registry.save("m", model, metadata={"marker": 1})
+
+        real_latest = ModelRegistry.latest_version
+        calls = {"n": 0}
+
+        def racing_latest(self, name):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                # a concurrent saver lands a new version before this
+                # resolution completes
+                next_marker = len(ModelRegistry.versions(self, name)) + 1
+                ModelRegistry.save(self, name, model, metadata={"marker": next_marker})
+            return real_latest(self, name)
+
+        monkeypatch.setattr(ModelRegistry, "latest_version", racing_latest)
+        description = registry.describe("m")
+        assert calls["n"] == 1
+        assert description["metadata"]["marker"] == description["version"]
+
     def test_empty_registry(self, tmp_path):
         registry = ModelRegistry(tmp_path / "registry")
         assert registry.list_models() == []

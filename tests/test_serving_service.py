@@ -1,14 +1,55 @@
-"""Micro-batching TaggingService: correctness, coalescing, stats, shutdown."""
+"""Micro-batching TaggingService: correctness, coalescing, backpressure, shutdown."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.core.config import ServingConfig
-from repro.exceptions import ValidationError
+from repro.exceptions import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServingError,
+    ValidationError,
+)
 from repro.hmm import HMM, CategoricalEmission
 from repro.serving import TaggingService
+
+
+class _GatedEmission(CategoricalEmission):
+    """Categorical emissions whose batched scoring blocks on an event.
+
+    Lets a test hold the dispatcher inside one compute while clients pile
+    onto the queue — the deterministic way to exercise backpressure,
+    deadline expiry and slow-flush shutdown.  ``family`` stays "abstract"
+    so the subclass does not shadow the real categorical entry in the
+    emission persistence registry.
+    """
+
+    family = "abstract"
+
+    def __init__(self, emission_probs):
+        super().__init__(emission_probs)
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.batch_calls = 0
+
+    def log_likelihoods_batch(self, sequences):
+        self.batch_calls += 1
+        self.started.set()
+        assert self.release.wait(timeout=30), "test forgot to release the gate"
+        return super().log_likelihoods_batch(sequences)
+
+
+def _gated_hmm(seed, n_states=4, n_symbols=8):
+    rng = np.random.default_rng(seed)
+    emissions = _GatedEmission(rng.dirichlet(np.ones(n_symbols), size=n_states))
+    return HMM(
+        rng.dirichlet(np.ones(n_states)),
+        rng.dirichlet(np.ones(n_states), size=n_states),
+        emissions,
+    )
 
 
 def _random_hmm(seed, n_states=4, n_symbols=8):
@@ -184,6 +225,61 @@ class TestLifecycle:
             for future, want in zip(good_futures + more_futures, expected):
                 assert np.array_equal(future.result(timeout=10), want)
 
+    def test_close_reports_incomplete_flush(self, sequences):
+        """A flush slower than the close timeout is surfaced, not swallowed."""
+        model = _gated_hmm(0)
+        service = TaggingService(
+            model, config=ServingConfig(max_batch_size=1, max_wait_ms=0.0)
+        )
+        future = service.submit_tag(sequences[0])
+        assert model.emissions.started.wait(timeout=10)
+        # the dispatcher is stuck inside the batch: the flush cannot finish
+        assert service.close(timeout=0.05) is False
+        assert not future.done()
+        model.emissions.release.set()
+        # a second close re-joins and confirms the flush completed
+        assert service.close(timeout=10.0) is True
+        assert future.result(timeout=1).shape == sequences[0].shape
+
+    def test_keyboard_interrupt_stops_dispatcher_not_the_future(self, sequences):
+        """Control-flow exceptions must not be swallowed into client futures."""
+
+        class _InterruptingEmission(CategoricalEmission):
+            family = "abstract"
+
+            def log_likelihoods_batch(self, seqs):
+                raise KeyboardInterrupt
+
+            def log_likelihoods(self, seq):
+                raise KeyboardInterrupt
+
+        rng = np.random.default_rng(0)
+        model = HMM(
+            rng.dirichlet(np.ones(4)),
+            rng.dirichlet(np.ones(4), size=4),
+            _InterruptingEmission(rng.dirichlet(np.ones(8), size=4)),
+        )
+        # Silence the thread's unhandled-exception report for this test.
+        previous_hook = threading.excepthook
+        threading.excepthook = lambda args: None
+        try:
+            service = TaggingService(model)
+            future = service.submit_tag(sequences[0])
+            service._dispatcher.join(timeout=10)
+            assert not service._dispatcher.is_alive()
+            # The interrupt stopped the dispatcher instead of being
+            # swallowed into the future as the result; the abandoned
+            # request resolves with ServingError (never the interrupt, and
+            # never a silent hang for a client blocked in result()).
+            with pytest.raises(ServingError, match="dispatcher died"):
+                future.result(timeout=10)
+            # the dead service refuses new work instead of queueing it
+            with pytest.raises(ValidationError, match="closed"):
+                service.submit_tag(sequences[1])
+            assert service.close(timeout=1.0) is True
+        finally:
+            threading.excepthook = previous_hook
+
     def test_fitted_wrapper_accepted(self, tiny_ocr_dataset):
         from repro.baselines import SupervisedHMMClassifier
 
@@ -196,3 +292,115 @@ class TestLifecycle:
         expected = classifier.predict(data.images[:5])
         for got, want in zip(served, expected):
             assert np.array_equal(got, want)
+
+
+class TestBackpressure:
+    def test_queue_full_fast_fails_under_burst(self, sequences):
+        model = _gated_hmm(0)
+        config = ServingConfig(max_batch_size=1, max_wait_ms=0.0, queue_capacity=3)
+        with TaggingService(model, config=config) as service:
+            # The dispatcher takes exactly one request and blocks inside it.
+            blocked = service.submit_tag(sequences[0])
+            assert model.emissions.started.wait(timeout=10)
+            queued = [service.submit_tag(seq) for seq in sequences[1:4]]
+            assert service.stats.snapshot()["queue_depth"] == 3
+            with pytest.raises(QueueFullError, match="capacity"):
+                service.submit_tag(sequences[4])
+            with pytest.raises(QueueFullError):
+                service.submit_score(sequences[5])
+            model.emissions.release.set()
+            # accepted requests are unaffected by the shed ones
+            for future, seq in zip([blocked] + queued, sequences[:4]):
+                assert future.result(timeout=10).shape == seq.shape
+            stats = service.stats.snapshot()
+        assert stats["n_rejected"] == 2
+        assert stats["n_requests"] == 4
+
+    def test_unbounded_queue_when_capacity_is_none(self, model, sequences):
+        config = ServingConfig(queue_capacity=None)
+        with TaggingService(model, config=config) as service:
+            assert len(service.tag_many(sequences)) == len(sequences)
+            assert service.stats.snapshot()["n_rejected"] == 0
+
+    def test_concurrent_burst_respects_capacity(self, sequences):
+        """Racing submitters never overshoot the bound; rejects are counted."""
+        model = _gated_hmm(1)
+        config = ServingConfig(max_batch_size=1, max_wait_ms=0.0, queue_capacity=4)
+        outcomes: list[str] = []
+        outcomes_lock = threading.Lock()
+        with TaggingService(model, config=config) as service:
+            service.submit_tag(sequences[0])
+            assert model.emissions.started.wait(timeout=10)
+
+            def client(seq):
+                try:
+                    service.submit_tag(seq)
+                    result = "accepted"
+                except QueueFullError:
+                    result = "rejected"
+                with outcomes_lock:
+                    outcomes.append(result)
+
+            threads = [
+                threading.Thread(target=client, args=(seq,))
+                for seq in sequences[1:21]
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            depth = service.stats.snapshot()["queue_depth"]
+            assert depth <= 4
+            model.emissions.release.set()
+        assert outcomes.count("accepted") == depth
+        assert outcomes.count("rejected") == 20 - depth
+        assert outcomes.count("rejected") >= 16
+
+
+class TestDeadlines:
+    def test_expired_request_never_reaches_the_engine(self, sequences):
+        model = _gated_hmm(0)
+        config = ServingConfig(max_batch_size=1, max_wait_ms=0.0)
+        with TaggingService(model, config=config) as service:
+            blocking = service.submit_tag(sequences[0])
+            assert model.emissions.started.wait(timeout=10)
+            doomed = service.submit_tag(sequences[1], deadline_ms=10.0)
+            time.sleep(0.05)  # let the deadline lapse while queued
+            model.emissions.release.set()
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=10)
+            blocking.result(timeout=10)
+            # a live request afterwards is served normally
+            service.tag(sequences[2])
+            stats = service.stats.snapshot()
+        assert stats["n_expired"] == 1
+        # one batched-emission call for the blocking request, one for the
+        # live request — none for the expired one
+        assert model.emissions.batch_calls == 2
+
+    def test_generous_deadline_is_met(self, model, sequences):
+        with TaggingService(model) as service:
+            future = service.submit_tag(sequences[0], deadline_ms=30_000.0)
+            assert np.array_equal(future.result(timeout=10), model.decode(sequences[0]))
+            assert service.stats.snapshot()["n_expired"] == 0
+
+    def test_non_positive_deadline_rejected(self, model, sequences):
+        with TaggingService(model) as service:
+            with pytest.raises(ValidationError, match="deadline_ms"):
+                service.submit_tag(sequences[0], deadline_ms=0.0)
+            with pytest.raises(ValidationError, match="deadline_ms"):
+                service.submit_score(sequences[0], deadline_ms=-5.0)
+
+    def test_expired_requests_are_dropped_during_shutdown_flush(self, sequences):
+        model = _gated_hmm(0)
+        config = ServingConfig(max_batch_size=1, max_wait_ms=0.0)
+        service = TaggingService(model, config=config)
+        blocking = service.submit_tag(sequences[0])
+        assert model.emissions.started.wait(timeout=10)
+        doomed = service.submit_score(sequences[1], deadline_ms=10.0)
+        time.sleep(0.05)
+        model.emissions.release.set()
+        assert service.close(timeout=10.0) is True
+        blocking.result(timeout=1)
+        with pytest.raises(DeadlineExceededError):
+            doomed.result(timeout=1)

@@ -9,7 +9,8 @@ from repro.exceptions import ValidationError
 from repro.hmm import HMM, CategoricalEmission, GaussianEmission
 from repro.hmm.forward_backward import log_forward
 from repro.hmm.viterbi import viterbi_decode
-from repro.serving import StreamingDecoder, stream_decode
+from repro.core.config import ServingConfig, set_serving_config
+from repro.serving import StreamingDecoder, StreamPool, stream_decode
 from repro.utils.maths import logsumexp, normalize_log_probabilities, safe_log
 
 
@@ -136,8 +137,6 @@ class TestStreamingDecoderApi:
         assert result.path.shape == (8,)
 
     def test_default_lag_comes_from_serving_config(self):
-        from repro.core.config import ServingConfig, set_serving_config
-
         model = _random_hmm(0)
         previous = set_serving_config(ServingConfig(streaming_lag=5))
         try:
@@ -145,6 +144,34 @@ class TestStreamingDecoderApi:
             assert decoder._session.lag == 5
         finally:
             set_serving_config(previous)
+
+    def test_stream_decode_honors_configured_default_lag(self):
+        """Regression: ``stream_decode`` without ``lag`` must follow
+        ``ServingConfig.streaming_lag``, not silently use infinite lag.
+
+        Uses a (model, sequence) pair where the fixed-lag path genuinely
+        differs from the full-sequence Viterbi path, so the default being
+        forwarded as ``None`` is observable in the output.
+        """
+        found = None
+        for seed in range(300):
+            model = _random_hmm(seed)
+            _, obs = model.sample(30, seed=seed)
+            obs = np.asarray(obs)
+            lagged = stream_decode(model, obs, lag=2).path
+            infinite = stream_decode(model, obs, lag=None).path
+            if not np.array_equal(lagged, infinite):
+                found = (model, obs, lagged, infinite)
+                break
+        assert found is not None, "no lag-sensitive example found"
+        model, obs, lagged, infinite = found
+        previous = set_serving_config(ServingConfig(streaming_lag=2))
+        try:
+            defaulted = stream_decode(model, obs).path
+        finally:
+            set_serving_config(previous)
+        assert np.array_equal(defaulted, lagged)
+        assert not np.array_equal(defaulted, infinite)
 
     def test_finish_without_tokens_raises(self):
         decoder = StreamingDecoder(_random_hmm(0), lag=None)
@@ -193,3 +220,120 @@ class TestStreamingDecoderApi:
         assert len(online_prefix) == 15 - 4
         result = decoder.finish()
         assert list(result.path[: len(online_prefix)]) == online_prefix
+
+
+class TestStreamPool:
+    def test_pooled_streams_match_dedicated_decoders(self):
+        """Per-stream pool output is bit-identical to StreamingDecoder."""
+        model = _random_hmm(2)
+        lags = [1, 3, 8, None]
+        lengths = [25, 18, 9, 25]
+        observations = [
+            np.asarray(model.sample(T, seed=10 + i)[1])
+            for i, T in enumerate(lengths)
+        ]
+        pool = StreamPool(model)
+        streams = [pool.open(lag=lag) for lag in lags]
+        pooled_steps = [[] for _ in streams]
+        for t in range(max(lengths)):
+            items = [
+                (streams[i], observations[i][t])
+                for i in range(len(streams))
+                if t < lengths[i]
+            ]
+            ids = [i for i in range(len(streams)) if t < lengths[i]]
+            for i, step in zip(ids, pool.push_tick(items)):
+                pooled_steps[i].append(step)
+        results = [stream.finish() for stream in streams]
+
+        for i, (lag, obs) in enumerate(zip(lags, observations)):
+            decoder = StreamingDecoder(model, lag=lag)
+            reference_steps = decoder.push_many(obs)
+            reference = decoder.finish()
+            for got, want in zip(pooled_steps[i], reference_steps):
+                assert got.t == want.t
+                assert np.array_equal(got.filtering, want.filtering)
+                assert got.log_likelihood == want.log_likelihood
+                assert got.finalized == want.finalized
+            assert np.array_equal(results[i].path, reference.path)
+            assert np.array_equal(results[i].filtering, reference.filtering)
+            assert results[i].log_likelihood == reference.log_likelihood
+
+    def test_single_push_and_counters(self):
+        model = _random_hmm(4)
+        _, obs = model.sample(6, seed=4)
+        obs = np.asarray(obs)
+        pool = StreamPool(model, lag=2)
+        stream = pool.open()
+        assert pool.n_streams == 1
+        for token in obs:
+            stream.push(token)
+        assert stream.n_tokens == 6
+        result = stream.finish()
+        assert pool.n_streams == 0
+        decoder = StreamingDecoder(model, lag=2)
+        decoder.push_many(obs)
+        assert np.array_equal(result.path, decoder.finish().path)
+
+    def test_default_lag_comes_from_serving_config(self):
+        model = _random_hmm(0)
+        previous = set_serving_config(ServingConfig(streaming_lag=7))
+        try:
+            pool = StreamPool(model)
+            stream = pool.open()
+            assert pool._session._slots[stream._slot].lag == 7
+        finally:
+            set_serving_config(previous)
+
+    def test_slot_reuse_after_finish(self):
+        model = _random_hmm(1)
+        _, obs = model.sample(5, seed=1)
+        obs = np.asarray(obs)
+        pool = StreamPool(model, lag=None)
+        first = pool.open()
+        for token in obs:
+            first.push(token)
+        first_result = first.finish()
+        fresh = pool.open()  # reuses the freed slot
+        for token in obs:
+            fresh.push(token)
+        assert np.array_equal(fresh.finish().path, first_result.path)
+
+    def test_push_to_finished_stream_raises(self):
+        model = _random_hmm(1)
+        pool = StreamPool(model, lag=None)
+        stream = pool.open()
+        stream.push(0)
+        stream.finish()
+        with pytest.raises(ValidationError, match="finished"):
+            stream.push(0)
+        with pytest.raises(ValidationError, match="finished"):
+            stream.finish()
+
+    def test_foreign_stream_rejected(self):
+        model = _random_hmm(1)
+        pool_a, pool_b = StreamPool(model, lag=None), StreamPool(model, lag=None)
+        stream = pool_a.open()
+        with pytest.raises(ValidationError, match="different pool"):
+            pool_b.push_tick([(stream, 0)])
+
+    def test_finish_without_tokens_raises(self):
+        pool = StreamPool(_random_hmm(0), lag=None)
+        with pytest.raises(ValidationError, match="no observations"):
+            pool.open().finish()
+
+    def test_keep_history_false_bounds_retention(self):
+        model = _random_hmm(6)
+        _, obs = model.sample(20, seed=6)
+        obs = np.asarray(obs)
+        full = stream_decode(model, obs, lag=4)
+        pool = StreamPool(model, lag=4, keep_history=False)
+        stream = pool.open()
+        online = []
+        for token in obs:
+            online.extend(stream.push(token).finalized)
+        assert stream._state.steps == []  # nothing retained
+        tail = stream.finish()
+        labels = [state for _, state in online] + list(tail.path)
+        assert np.array_equal(np.array(labels), full.path)
+        assert tail.filtering.shape == (0, model.n_states)
