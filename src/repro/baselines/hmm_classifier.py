@@ -64,9 +64,10 @@ class SupervisedHMMClassifier:
         return self.model_
 
     def predict(self, sequences: Sequence[np.ndarray]) -> list[np.ndarray]:
-        """Viterbi-decode letter labels for every test word (batched)."""
+        """Viterbi-decode letter labels for every test word (compiled corpus)."""
         model = self._check_fitted()
-        return model.predict([np.asarray(seq, dtype=np.float64) for seq in sequences])
+        corpus = model.compile([np.asarray(seq, dtype=np.float64) for seq in sequences])
+        return model.predict_corpus(corpus)
 
     @property
     def transmat_(self) -> np.ndarray:

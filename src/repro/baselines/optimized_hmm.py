@@ -75,16 +75,20 @@ class OptimizedHMMClassifier(SupervisedHMMClassifier):
         log_1p = np.log1p(-probs)
         weights = self.pixel_weights_
 
-        log_obs_seqs: list[np.ndarray] = []
-        for seq in sequences:
-            obs = np.asarray(seq, dtype=np.float64)
-            weighted_obs = obs * weights[None, :]
-            weighted_neg = (1.0 - obs) * weights[None, :]
-            log_obs_seqs.append(
-                self.emission_weight * (weighted_obs @ log_p.T + weighted_neg @ log_1p.T)
-            )
-        decoded = model.inference_engine.viterbi_batch(
-            model.startprob, model.transmat, log_obs_seqs
+        # Score the weighted emissions over the concatenated corpus (two
+        # matmuls total) and decode through the compiled-corpus path instead
+        # of building one table per word in Python.
+        corpus = model.compile(
+            [np.asarray(seq, dtype=np.float64) for seq in sequences]
+        )
+        obs = np.asarray(corpus.concat, dtype=np.float64)
+        weighted_obs = obs * weights[None, :]
+        weighted_neg = (1.0 - obs) * weights[None, :]
+        scores = self.emission_weight * (
+            weighted_obs @ log_p.T + weighted_neg @ log_1p.T
+        )
+        decoded = model.inference_engine.viterbi_corpus(
+            model.startprob, model.transmat, corpus, corpus.extend_scores(scores)
         )
         return [path for path, _ in decoded]
 

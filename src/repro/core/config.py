@@ -22,10 +22,17 @@ class InferenceConfig:
     bucket_size:
         Maximum number of sequences grouped into one padded length-bucket
         by the scaled backend.
+    n_workers:
+        Number of threads the scaled backend maps bucket kernels over
+        within one batched/corpus call.  The default of 1 stays on the
+        calling thread; values above 1 opt in to a thread pool (numpy
+        releases the GIL inside the kernels' matmuls, so large multi-bucket
+        corpora can overlap buckets).
     """
 
     backend: str = "scaled"
     bucket_size: int = 64
+    n_workers: int = 1
 
     def __post_init__(self) -> None:
         # Imported lazily: the backend registry lives in the hmm layer, and
@@ -40,6 +47,10 @@ class InferenceConfig:
         if self.bucket_size < 1:
             raise ValidationError(
                 f"bucket_size must be at least 1, got {self.bucket_size}"
+            )
+        if self.n_workers < 1:
+            raise ValidationError(
+                f"n_workers must be at least 1, got {self.n_workers}"
             )
 
 

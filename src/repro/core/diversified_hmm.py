@@ -19,6 +19,7 @@ from repro.core.config import DHMMConfig
 from repro.core.transition_prior import DiversityTransitionUpdater, DPPTransitionPrior
 from repro.exceptions import NotFittedError, ValidationError
 from repro.hmm.baum_welch import BaumWelchTrainer, FitResult
+from repro.hmm.corpus import CompiledCorpus
 from repro.hmm.emissions.base import EmissionModel
 from repro.hmm.model import HMM
 from repro.utils.rng import SeedLike, as_generator
@@ -115,19 +116,26 @@ class DiversifiedHMM:
             tol=self.config.em_tol,
         )
 
-    def fit(self, sequences: Sequence[np.ndarray]) -> FitResult:
+    def fit(self, sequences: "Sequence[np.ndarray] | CompiledCorpus") -> FitResult:
         """Run MAP-EM on the observation sequences.
+
+        ``sequences`` may be a :class:`~repro.hmm.corpus.CompiledCorpus`
+        (e.g. shared across an ablation grid), in which case the one-time
+        encoding is reused by every EM iteration instead of re-deriving it.
 
         Returns the :class:`~repro.hmm.baum_welch.FitResult` with the
         log-likelihood trace (likelihood only, excluding the prior term, so
         HMM and dHMM traces are directly comparable).
         """
-        if not sequences:
+        raw_sequences = (
+            sequences.sequences if isinstance(sequences, CompiledCorpus) else sequences
+        )
+        if not raw_sequences:
             raise ValidationError("sequences must be non-empty")
         rng = as_generator(self.seed)
         emissions = self.emissions.copy()
         if self.reinitialize_emissions:
-            emissions.initialize_random(sequences, rng)
+            emissions.initialize_random(raw_sequences, rng)
         model = HMM.random_init(emissions, seed=rng)
         trainer = self.build_trainer()
         result = trainer.fit(model, sequences)
@@ -140,6 +148,10 @@ class DiversifiedHMM:
         """Viterbi-decode the most likely hidden state path of every sequence."""
         model = self._check_fitted()
         return model.predict(sequences)
+
+    def predict_corpus(self, corpus: CompiledCorpus) -> list[np.ndarray]:
+        """Viterbi paths for a compiled corpus (shared across models/sweeps)."""
+        return self._check_fitted().predict_corpus(corpus)
 
     def predict_single(self, sequence: np.ndarray) -> np.ndarray:
         """Viterbi path of one sequence."""

@@ -20,6 +20,7 @@ from repro.core.config import DHMMConfig
 from repro.core.diversified_hmm import DiversifiedHMM
 from repro.core.transition_prior import DiversityTransitionUpdater, DPPTransitionPrior
 from repro.datasets.toy import generate_toy_dataset
+from repro.hmm.corpus import compile_corpus
 from repro.hmm.emissions.gaussian import GaussianEmission
 from repro.metrics.accuracy import one_to_one_accuracy
 from repro.metrics.diversity import average_pairwise_bhattacharyya
@@ -46,13 +47,14 @@ def run_rho_ablation(
 ) -> list[AblationRow]:
     """Train the toy dHMM with several kernel exponents and compare."""
     dataset = generate_toy_dataset(n_sequences=n_sequences, sigma=sigma, seed=seed)
+    corpus = compile_corpus(dataset.observations)
     rows: list[AblationRow] = []
     for rho in rhos:
         config = DHMMConfig(alpha=alpha, rho=float(rho), max_em_iter=max_em_iter)
         emissions = GaussianEmission.random_init(5, dataset.observations, seed=seed)
         model = DiversifiedHMM(emissions, config, seed=seed)
-        model.fit(dataset.observations)
-        predictions = model.predict(dataset.observations)
+        model.fit(corpus)
+        predictions = model.predict_corpus(corpus)
         rows.append(
             AblationRow(
                 name=f"rho={rho}",
@@ -98,6 +100,7 @@ def run_projection_ablation(
 ) -> list[AblationRow]:
     """Compare the simplex-projection M-step against clip-and-renormalize."""
     dataset = generate_toy_dataset(n_sequences=n_sequences, sigma=sigma, seed=seed)
+    corpus = compile_corpus(dataset.observations)
     rows: list[AblationRow] = []
 
     for name, updater_cls in (
@@ -119,8 +122,8 @@ def run_projection_ablation(
             )
 
         model.build_trainer = build_trainer  # type: ignore[method-assign]
-        model.fit(dataset.observations)
-        predictions = model.predict(dataset.observations)
+        model.fit(corpus)
+        predictions = model.predict_corpus(corpus)
         rows.append(
             AblationRow(
                 name=name,

@@ -9,6 +9,7 @@ import numpy as np
 from repro.core.config import DHMMConfig
 from repro.core.diversified_hmm import DiversifiedHMM
 from repro.datasets.pos import PosCorpus, generate_wsj_like_corpus
+from repro.hmm.corpus import CompiledCorpus, compile_corpus
 from repro.hmm.emissions.categorical import CategoricalEmission
 from repro.metrics.accuracy import align_labels_one_to_one, one_to_one_accuracy, remap_predictions
 from repro.metrics.diversity import row_diversity_profile
@@ -49,14 +50,20 @@ def fit_pos_model(
     alpha: float,
     max_em_iter: int = 15,
     seed: SeedLike = 0,
+    compiled: CompiledCorpus | None = None,
 ) -> DiversifiedHMM:
-    """Fit an (un)regularized HMM tagger on a PoS corpus."""
+    """Fit an (un)regularized HMM tagger on a PoS corpus.
+
+    ``compiled`` lets sweep drivers share one
+    :class:`~repro.hmm.corpus.CompiledCorpus` encoding of ``corpus.words``
+    across every fit of a grid instead of re-deriving it per model.
+    """
     config = DHMMConfig(alpha=alpha, max_em_iter=max_em_iter)
     emissions = CategoricalEmission.random_init(
         corpus.n_tags, corpus.vocabulary_size, seed=seed
     )
     model = DiversifiedHMM(emissions, config, seed=seed)
-    model.fit(corpus.words)
+    model.fit(compiled if compiled is not None else corpus.words)
     return model
 
 
@@ -77,9 +84,13 @@ def run_pos_alpha_sweep(
     alphas_arr = np.asarray(list(alphas), dtype=np.float64)
     accuracies = np.zeros(alphas_arr.size)
     models: list[DiversifiedHMM] = []
+    # One compile serves every fit and decode of the grid.
+    compiled = compile_corpus(corpus.words)
     for idx, alpha in enumerate(alphas_arr):
-        model = fit_pos_model(corpus, float(alpha), max_em_iter=max_em_iter, seed=seed)
-        predictions = model.predict(corpus.words)
+        model = fit_pos_model(
+            corpus, float(alpha), max_em_iter=max_em_iter, seed=seed, compiled=compiled
+        )
+        predictions = model.predict_corpus(compiled)
         accuracies[idx] = one_to_one_accuracy(corpus.tags, predictions, n_states=corpus.n_tags)
         models.append(model)
     return PosAlphaSweepResult(
@@ -112,8 +123,9 @@ def tag_frequency_histograms(
     """
     n_tags = corpus.n_tags
     result: dict[str, np.ndarray] = {"ground_truth": corpus.tag_histogram()}
+    compiled = compile_corpus(corpus.words)
     for name, model in (("hmm", hmm_model), ("dhmm", dhmm_model)):
-        predictions = model.predict(corpus.words)
+        predictions = model.predict_corpus(compiled)
         mapping = align_labels_one_to_one(corpus.tags, predictions, n_states=n_tags)
         remapped = remap_predictions(predictions, mapping)
         counts = np.zeros(n_tags)

@@ -15,6 +15,7 @@ from repro.datasets.toy import (
     generate_toy_dataset,
     sigma_sweep_values,
 )
+from repro.hmm.corpus import CompiledCorpus, compile_corpus
 from repro.hmm.emissions.gaussian import GaussianEmission
 from repro.metrics.accuracy import one_to_one_accuracy
 from repro.metrics.diversity import average_pairwise_bhattacharyya
@@ -74,16 +75,22 @@ def _fit_pair(
     alpha: float,
     seed: SeedLike,
     max_em_iter: int,
+    corpus: CompiledCorpus | None = None,
 ) -> tuple[DiversifiedHMM, DiversifiedHMM]:
-    """Fit a plain HMM (alpha=0) and a dHMM with identical initialization."""
+    """Fit a plain HMM (alpha=0) and a dHMM with identical initialization.
+
+    ``corpus`` shares one compiled encoding of ``dataset.observations``
+    between both fits (and the caller's decodes).
+    """
     k = dataset.n_states
     hmm_config = DHMMConfig(alpha=0.0, max_em_iter=max_em_iter)
     dhmm_config = DHMMConfig(alpha=alpha, max_em_iter=max_em_iter)
     emissions = GaussianEmission.random_init(k, dataset.observations, seed=seed)
     hmm = DiversifiedHMM(emissions.copy(), hmm_config, seed=seed)
     dhmm = DiversifiedHMM(emissions.copy(), dhmm_config, seed=seed)
-    hmm.fit(dataset.observations)
-    dhmm.fit(dataset.observations)
+    data = corpus if corpus is not None else dataset.observations
+    hmm.fit(data)
+    dhmm.fit(data)
     return hmm, dhmm
 
 
@@ -105,11 +112,12 @@ def run_toy_comparison(
     dataset = generate_toy_dataset(
         n_sequences=n_sequences, sequence_length=sequence_length, sigma=sigma, seed=seed
     )
-    hmm, dhmm = _fit_pair(dataset, alpha, seed, max_em_iter)
+    corpus = compile_corpus(dataset.observations)
+    hmm, dhmm = _fit_pair(dataset, alpha, seed, max_em_iter, corpus=corpus)
 
     k = dataset.n_states
-    hmm_labels = hmm.predict(dataset.observations)
-    dhmm_labels = dhmm.predict(dataset.observations)
+    hmm_labels = hmm.predict_corpus(corpus)
+    dhmm_labels = dhmm.predict_corpus(corpus)
 
     return ToyComparisonResult(
         dataset=dataset,
@@ -168,10 +176,11 @@ def run_sigma_sweep(
                 sigma=float(sigma),
                 seed=rng,
             )
-            hmm, dhmm = _fit_pair(dataset, alpha, rng, max_em_iter)
+            corpus = compile_corpus(dataset.observations)
+            hmm, dhmm = _fit_pair(dataset, alpha, rng, max_em_iter, corpus=corpus)
             k = dataset.n_states
-            hmm_labels = hmm.predict(dataset.observations)
-            dhmm_labels = dhmm.predict(dataset.observations)
+            hmm_labels = hmm.predict_corpus(corpus)
+            dhmm_labels = dhmm.predict_corpus(corpus)
 
             hmm_div[s_idx] += average_pairwise_bhattacharyya(hmm.transmat_)
             dhmm_div[s_idx] += average_pairwise_bhattacharyya(dhmm.transmat_)

@@ -20,6 +20,13 @@ from repro.hmm.backends import (
     StreamStep,
     available_backends,
     build_backend,
+    viterbi_backpointer_dtype,
+)
+from repro.hmm.corpus import (
+    CompiledCorpus,
+    CorpusBucket,
+    CorpusPosteriors,
+    compile_corpus,
 )
 from repro.hmm.engine import InferenceEngine, build_engine
 from repro.hmm.forward_backward import (
@@ -53,6 +60,11 @@ __all__ = [
     "available_backends",
     "build_backend",
     "build_engine",
+    "viterbi_backpointer_dtype",
+    "CompiledCorpus",
+    "CorpusBucket",
+    "CorpusPosteriors",
+    "compile_corpus",
     "SequencePosteriors",
     "log_forward",
     "log_backward",

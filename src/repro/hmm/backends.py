@@ -4,13 +4,21 @@ The engine (:mod:`repro.hmm.engine`) delegates all forward-backward, Viterbi
 and likelihood computations to an :class:`InferenceBackend`.  Two backends
 are provided:
 
-* :class:`ScaledBatchedBackend` — the default.  Runs the recursions in the
-  probability domain with Rabiner's per-timestep scaling, so no
-  ``logsumexp`` appears in any inner loop, and batches sequences into
+* :class:`ScaledBatchedBackend` — the default.  Runs the forward-backward
+  recursions in the probability domain with Rabiner's per-timestep scaling,
+  so no ``logsumexp`` appears in any inner loop, and batches sequences into
   padded length-buckets so every timestep is a single ``(B, K) @ (K, K)``
   matmul over the whole bucket.  The pairwise posteriors ``xi_sum`` are
   accumulated with one matmul per sequence instead of a Python loop over
-  ``T``.
+  ``T``.  Viterbi decoding runs batched in the *log* domain (its recursion
+  is max-only, so no scaling is needed) through a fused kernel that is
+  bit-identical to the reference — see :meth:`_viterbi_bucket`.  Both
+  paths also expose compiled-corpus entry points
+  (``forward_backward_corpus`` / ``viterbi_corpus`` /
+  ``log_likelihood_corpus``) that consume a
+  :class:`~repro.hmm.corpus.CompiledCorpus`'s precomputed bucket/index
+  structure instead of re-packing per call and return corpus-level stacked
+  statistics.
 * :class:`LogDomainBackend` — the original per-sequence log-space
   recursions, kept as a bit-identical reference so equivalence of the
   scaled engine is testable (see ``tests/test_hmm_engine.py``).
@@ -34,12 +42,19 @@ from __future__ import annotations
 
 import abc
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
 from repro.exceptions import DimensionMismatchError, ValidationError
+from repro.hmm.corpus import (
+    CompiledCorpus,
+    CorpusBucket,
+    CorpusPosteriors,
+    bucket_indices,
+)
 from repro.hmm.forward_backward import (
     SequencePosteriors,
     compute_posteriors_from_log,
@@ -48,27 +63,42 @@ from repro.hmm.forward_backward import (
 from repro.hmm.viterbi import viterbi_decode_from_log
 from repro.utils.maths import logsumexp, safe_log
 
+__all__ = [  # noqa: F822 - bucket_indices is re-exported for backward compat
+    "InferenceBackend",
+    "ScaledBatchedBackend",
+    "LogDomainBackend",
+    "StreamingSession",
+    "BatchedStreamingSession",
+    "StreamStep",
+    "available_backends",
+    "build_backend",
+    "bucket_indices",
+    "viterbi_backpointer_dtype",
+]
+
+_T = TypeVar("_T")
+
 #: Smallest admissible scaling constant; prevents division by zero when an
 #: entire forward message underflows (mirrors ``LOG_EPS`` of the reference).
 _TINY = 1e-300
 
 
-def bucket_indices(lengths: Sequence[int], bucket_size: int) -> list[np.ndarray]:
-    """Group sequence indices into padded length-buckets.
+def viterbi_backpointer_dtype(n_states: int) -> np.dtype:
+    """Smallest unsigned integer dtype that can index ``n_states`` states.
 
-    Sequences are sorted by length (stable) and chunked into groups of at
-    most ``bucket_size``, so each bucket holds sequences of similar length
-    and the padding waste of processing the bucket as one dense
-    ``(B, L_max, K)`` tensor stays small.
-
-    Returns
-    -------
-    list of integer arrays, each an index set into the original ordering.
+    Viterbi backpointer tensors have shape ``(B, L_max, K)``; storing them
+    as int64 wastes 8 bytes per entry when the state space is tiny (the
+    paper's workloads have K <= 45).  uint8 covers K <= 256, uint16 covers
+    K <= 65536; beyond that the int64 of the reference implementation is
+    kept.
     """
-    if bucket_size < 1:
-        raise ValueError(f"bucket_size must be positive, got {bucket_size}")
-    order = np.argsort(np.asarray(lengths), kind="stable")
-    return [order[i : i + bucket_size] for i in range(0, order.size, bucket_size)]
+    if n_states < 1:
+        raise ValidationError(f"n_states must be positive, got {n_states}")
+    if n_states - 1 <= np.iinfo(np.uint8).max:
+        return np.dtype(np.uint8)
+    if n_states - 1 <= np.iinfo(np.uint16).max:
+        return np.dtype(np.uint16)
+    return np.dtype(np.int64)
 
 
 class InferenceBackend(abc.ABC):
@@ -122,6 +152,107 @@ class InferenceBackend(abc.ABC):
     ) -> np.ndarray:
         """Log marginal likelihood of every sequence (1-D array)."""
 
+    # -------------------------------------------------------------- #
+    # Compiled-corpus entry points
+    # -------------------------------------------------------------- #
+    # The generic implementations split the corpus-level score table into
+    # per-sequence views and delegate to the per-sequence methods, then
+    # re-assemble corpus-level statistics.  They define the reference
+    # semantics; backends with native bucket kernels (the scaled backend)
+    # override them with zero-per-sequence-Python versions.
+
+    @staticmethod
+    def _check_corpus_table(
+        startprob: np.ndarray, corpus: CompiledCorpus, scores_ext: np.ndarray
+    ) -> None:
+        """Reject score tables missing the sentinel pad row.
+
+        An un-extended ``(n_tokens, K)`` table would silently shift every
+        split boundary and truncate the last sequence; insist on the
+        ``(n_tokens + 1, K)`` shape that :meth:`CompiledCorpus.score` /
+        :meth:`CompiledCorpus.extend_scores` produce.
+        """
+        expected = (corpus.n_tokens + 1, np.asarray(startprob).shape[0])
+        if np.asarray(scores_ext).shape != expected:
+            raise DimensionMismatchError(
+                f"corpus score table must have shape {expected} "
+                f"(CompiledCorpus.score output), got {np.asarray(scores_ext).shape}"
+            )
+
+    def forward_backward_corpus(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        corpus: CompiledCorpus,
+        scores_ext: np.ndarray,
+        log_startprob: np.ndarray | None = None,
+        log_transmat: np.ndarray | None = None,
+    ) -> CorpusPosteriors:
+        """Stacked posterior statistics over a whole compiled corpus."""
+        self._check_corpus_table(startprob, corpus, scores_ext)
+        results = self.forward_backward(
+            startprob,
+            transmat,
+            corpus.tables(scores_ext),
+            log_startprob=log_startprob,
+            log_transmat=log_transmat,
+        )
+        n_states = np.asarray(startprob).shape[0]
+        gamma_concat = (
+            np.concatenate([r.gamma for r in results], axis=0)
+            if len(results) > 1
+            else results[0].gamma
+        )
+        start_counts = np.zeros(n_states)
+        xi_sum = np.zeros((n_states, n_states))
+        for r in results:
+            start_counts += r.gamma[0]
+            xi_sum += r.xi_sum
+        return CorpusPosteriors(
+            gamma_concat=gamma_concat,
+            start_counts=start_counts,
+            xi_sum=xi_sum,
+            log_likelihoods=np.array([r.log_likelihood for r in results]),
+        )
+
+    def viterbi_corpus(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        corpus: CompiledCorpus,
+        scores_ext: np.ndarray,
+        log_startprob: np.ndarray | None = None,
+        log_transmat: np.ndarray | None = None,
+    ) -> list[tuple[np.ndarray, float]]:
+        """Most likely path and joint log-probability per corpus sequence."""
+        self._check_corpus_table(startprob, corpus, scores_ext)
+        return self.viterbi(
+            startprob,
+            transmat,
+            corpus.tables(scores_ext),
+            log_startprob=log_startprob,
+            log_transmat=log_transmat,
+        )
+
+    def log_likelihood_corpus(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        corpus: CompiledCorpus,
+        scores_ext: np.ndarray,
+        log_startprob: np.ndarray | None = None,
+        log_transmat: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Log marginal likelihood of every corpus sequence (1-D array)."""
+        self._check_corpus_table(startprob, corpus, scores_ext)
+        return self.log_likelihood(
+            startprob,
+            transmat,
+            corpus.tables(scores_ext),
+            log_startprob=log_startprob,
+            log_transmat=log_transmat,
+        )
+
 
 def _check_params(startprob: np.ndarray, transmat: np.ndarray) -> None:
     if startprob.ndim != 1:
@@ -156,14 +287,48 @@ class ScaledBatchedBackend(InferenceBackend):
         Maximum number of sequences processed together in one padded
         ``(B, L_max, K)`` tensor.  Sequences are sorted by length first, so
         buckets are nearly rectangular.
+    n_workers:
+        Number of threads mapping bucket kernels over the buckets of one
+        call.  The default of 1 keeps everything on the calling thread;
+        values above 1 opt in to a thread pool (numpy releases the GIL
+        inside the matmul-heavy kernels, so large multi-bucket corpora can
+        overlap).  Set process-wide via
+        :attr:`repro.core.config.InferenceConfig.n_workers`.
     """
 
     name = "scaled"
+    #: The Viterbi kernel runs in the log domain (max-only recursions need
+    #: no scaling), so the engine's cached ``log(pi)`` / ``log(A)`` are
+    #: consumed when available; the forward-backward path ignores them.
+    wants_log_params = True
 
-    def __init__(self, bucket_size: int = 64) -> None:
+    def __init__(self, bucket_size: int = 64, n_workers: int = 1) -> None:
         if bucket_size < 1:
             raise ValueError(f"bucket_size must be positive, got {bucket_size}")
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
         self.bucket_size = bucket_size
+        self.n_workers = n_workers
+        #: dtype of the most recent Viterbi backpointer allocation;
+        #: introspection hook for the benchmark's memory-footprint gate.
+        self.last_backpointer_dtype: np.dtype | None = None
+
+    def _map_buckets(
+        self, fn: Callable[[CorpusBucket], _T], buckets: Sequence[CorpusBucket]
+    ) -> list[_T]:
+        """Run one kernel per bucket, on a thread pool when opted in.
+
+        Kernels are pure functions of their bucket (all mutation of shared
+        accumulators happens on the calling thread afterwards), so threading
+        is safe; it only pays off when there are several buckets of real
+        work, hence the sequential default.
+        """
+        if self.n_workers > 1 and len(buckets) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(self.n_workers, len(buckets))
+            ) as pool:
+                return list(pool.map(fn, buckets))
+        return [fn(bucket) for bucket in buckets]
 
     # -------------------------------------------------------------- #
     # Packing helpers
@@ -239,6 +404,50 @@ class ScaledBatchedBackend(InferenceBackend):
         log_likelihoods = (np.log(scale) + np.where(mask, shift, 0.0)).sum(axis=1)
         return alpha_hat, scale, obs, shift, log_likelihoods, underflow
 
+    def _posterior_bucket_arrays(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        log_b: np.ndarray,
+        lengths: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Shared forward-backward pass over one padded bucket.
+
+        Returns ``(alpha_hat, gamma, xi_weight, log_likelihoods, underflow)``;
+        per-sequence and corpus-level assemblies build on the same arrays.
+        """
+        batch, max_len, n_states = log_b.shape
+        alpha_hat, scale, obs, _, log_likelihoods, underflow = self._forward_bucket(
+            startprob, transmat, log_b, lengths
+        )
+
+        # Underflowed rows are recomputed by the log-domain reference later;
+        # their pass through here can legitimately overflow (scale clamped to
+        # _TINY), so silence the spurious warnings in that case only.
+        errstate = (
+            {"over": "ignore", "invalid": "ignore", "divide": "ignore"}
+            if underflow.any()
+            else {}
+        )
+        with np.errstate(**errstate):
+            beta_hat = np.empty_like(obs)
+            beta = np.ones((batch, n_states))
+            beta_hat[:, max_len - 1] = beta
+            for t in range(max_len - 2, -1, -1):
+                update = (t + 1) < lengths
+                weighted = obs[:, t + 1] * beta
+                propagated = (weighted @ transmat.T) / scale[:, t + 1, None]
+                beta = np.where(update[:, None], propagated, beta)
+                beta_hat[:, t] = beta
+
+            gamma = alpha_hat * beta_hat
+            gamma /= np.maximum(gamma.sum(axis=2, keepdims=True), _TINY)
+            # xi weight w[b, t, j] = obs * beta_hat / c_t; xi_sum is then a
+            # single (K, T-1) @ (T-1, K) matmul per sequence, elementwise-
+            # scaled by A.
+            xi_weight = obs * beta_hat / scale[:, :, None]
+        return alpha_hat, gamma, xi_weight, log_likelihoods, underflow
+
     def _forward_backward_bucket(
         self,
         startprob: np.ndarray,
@@ -246,26 +455,10 @@ class ScaledBatchedBackend(InferenceBackend):
         log_b: np.ndarray,
         lengths: np.ndarray,
     ) -> list[SequencePosteriors]:
-        batch, max_len, n_states = log_b.shape
-        alpha_hat, scale, obs, _, log_likelihoods, underflow = self._forward_bucket(
-            startprob, transmat, log_b, lengths
+        batch, _, n_states = log_b.shape
+        alpha_hat, gamma, xi_weight, log_likelihoods, underflow = (
+            self._posterior_bucket_arrays(startprob, transmat, log_b, lengths)
         )
-
-        beta_hat = np.empty_like(obs)
-        beta = np.ones((batch, n_states))
-        beta_hat[:, max_len - 1] = beta
-        for t in range(max_len - 2, -1, -1):
-            update = (t + 1) < lengths
-            weighted = obs[:, t + 1] * beta
-            propagated = (weighted @ transmat.T) / scale[:, t + 1, None]
-            beta = np.where(update[:, None], propagated, beta)
-            beta_hat[:, t] = beta
-
-        gamma = alpha_hat * beta_hat
-        gamma /= np.maximum(gamma.sum(axis=2, keepdims=True), _TINY)
-        # xi weight w[b, t, j] = obs * beta_hat / c_t; xi_sum is then a single
-        # (K, T-1) @ (T-1, K) matmul per sequence, elementwise-scaled by A.
-        xi_weight = obs * beta_hat / scale[:, :, None]
 
         results: list[SequencePosteriors] = []
         for b in range(batch):
@@ -291,44 +484,242 @@ class ScaledBatchedBackend(InferenceBackend):
                 )
         return results
 
-    def _viterbi_bucket(
+    def _fb_corpus_bucket(
         self,
         startprob: np.ndarray,
         transmat: np.ndarray,
         log_b: np.ndarray,
         lengths: np.ndarray,
-    ) -> list[tuple[np.ndarray, float]]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Corpus-flavoured forward-backward over one padded bucket.
+
+        Returns ``(gamma, xi_part, start_part, log_likelihoods)`` where
+        ``gamma`` is the padded ``(B, L, K)`` posterior tensor (ready to
+        scatter through the bucket's position map) and ``xi_part`` /
+        ``start_part`` are the bucket's contributions to the corpus-level
+        transition and start statistics — computed with two stacked matmuls
+        instead of a Python loop over the bucket's sequences.  Underflowed
+        rows are repaired in place with the log-domain reference.
+        """
         batch, max_len, n_states = log_b.shape
-        obs, shift = self._obs_weights(log_b)
+        alpha_hat, gamma, xi_weight, log_likelihoods, underflow = (
+            self._posterior_bucket_arrays(startprob, transmat, log_b, lengths)
+        )
+
+        ok = ~underflow
+        if max_len > 1:
+            # Mask invalid (padded / underflowed) timestep pairs by
+            # *assignment*, not multiplication: an underflowed row can hold
+            # inf in xi_weight, and inf * 0 would poison the shared matmul
+            # with NaN.
+            valid = np.arange(1, max_len)[None, :] < lengths[:, None]
+            pair_ok = (valid & ok[:, None])[:, :, None]
+            a = np.where(pair_ok, alpha_hat[:, :-1, :], 0.0)
+            w = np.where(pair_ok, xi_weight[:, 1:, :], 0.0)
+            xi_part = transmat * (
+                a.reshape(-1, n_states).T @ w.reshape(-1, n_states)
+            )
+        else:
+            xi_part = np.zeros((n_states, n_states))
+        start_part = (
+            gamma[ok, 0, :].sum(axis=0) if ok.any() else np.zeros(n_states)
+        )
+
+        if underflow.any():
+            log_pi, log_A = safe_log(startprob), safe_log(transmat)
+            for b in np.flatnonzero(underflow):
+                length = int(lengths[b])
+                ref = compute_posteriors_from_log(log_pi, log_A, log_b[b, :length])
+                gamma[b, :length] = ref.gamma
+                xi_part += ref.xi_sum
+                start_part = start_part + ref.gamma[0]
+                log_likelihoods[b] = ref.log_likelihood
+        return gamma, xi_part, start_part, log_likelihoods
+
+    # -------------------------------------------------------------- #
+    # Compiled-corpus kernels (zero per-sequence Python on the hot path)
+    # -------------------------------------------------------------- #
+    def _check_corpus(
+        self, startprob: np.ndarray, transmat: np.ndarray,
+        corpus: CompiledCorpus, scores_ext: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        startprob = np.asarray(startprob, dtype=np.float64)
+        transmat = np.asarray(transmat, dtype=np.float64)
+        _check_params(startprob, transmat)
+        scores_ext = np.asarray(scores_ext, dtype=np.float64)
+        self._check_corpus_table(startprob, corpus, scores_ext)
+        return startprob, transmat, scores_ext
+
+    def forward_backward_corpus(
+        self, startprob, transmat, corpus, scores_ext,
+        log_startprob=None, log_transmat=None,
+    ) -> CorpusPosteriors:
+        startprob, transmat, scores_ext = self._check_corpus(
+            startprob, transmat, corpus, scores_ext
+        )
+        n_states = startprob.shape[0]
+        # One sentinel row absorbs every padded scatter position.
+        gamma_ext = np.empty((corpus.n_tokens + 1, n_states))
+        start_counts = np.zeros(n_states)
+        xi_sum = np.zeros((n_states, n_states))
+        lls = np.empty(corpus.n_sequences)
+
+        def run(bucket: CorpusBucket):
+            return self._fb_corpus_bucket(
+                startprob, transmat, corpus.gather(scores_ext, bucket),
+                bucket.lengths,
+            )
+
+        for bucket, (gamma, xi_part, start_part, ll_part) in zip(
+            corpus.buckets, self._map_buckets(run, corpus.buckets)
+        ):
+            gamma_ext[bucket.positions] = gamma
+            xi_sum += xi_part
+            start_counts += start_part
+            lls[bucket.idx] = ll_part
+        return CorpusPosteriors(
+            gamma_concat=gamma_ext[:-1],
+            start_counts=start_counts,
+            xi_sum=xi_sum,
+            log_likelihoods=lls,
+        )
+
+    def viterbi_corpus(
+        self, startprob, transmat, corpus, scores_ext,
+        log_startprob=None, log_transmat=None,
+    ) -> list[tuple[np.ndarray, float]]:
+        startprob, transmat, scores_ext = self._check_corpus(
+            startprob, transmat, corpus, scores_ext
+        )
+        log_pi, log_AT = self._viterbi_log_params(
+            startprob, transmat, log_startprob, log_transmat
+        )
+        results: list[tuple[np.ndarray, float]] = [None] * corpus.n_sequences
+
+        def run(bucket: CorpusBucket):
+            return self._viterbi_bucket(
+                log_pi, log_AT, corpus.gather(scores_ext, bucket),
+                bucket.lengths,
+            )
+
+        for bucket, bucket_results in zip(
+            corpus.buckets, self._map_buckets(run, corpus.buckets)
+        ):
+            for j, res in zip(bucket.idx, bucket_results):
+                results[j] = res
+        return results
+
+    def log_likelihood_corpus(
+        self, startprob, transmat, corpus, scores_ext,
+        log_startprob=None, log_transmat=None,
+    ) -> np.ndarray:
+        startprob, transmat, scores_ext = self._check_corpus(
+            startprob, transmat, corpus, scores_ext
+        )
+        lls = np.empty(corpus.n_sequences)
+
+        def run(bucket: CorpusBucket):
+            log_b = corpus.gather(scores_ext, bucket)
+            _, _, _, _, bucket_lls, underflow = self._forward_bucket(
+                startprob, transmat, log_b, bucket.lengths
+            )
+            if underflow.any():
+                log_pi, log_A = safe_log(startprob), safe_log(transmat)
+                for b in np.flatnonzero(underflow):
+                    log_alpha = log_forward(
+                        log_pi, log_A, log_b[b, : bucket.lengths[b]]
+                    )
+                    bucket_lls[b] = float(logsumexp(log_alpha[-1]))
+            return bucket_lls
+
+        for bucket, bucket_lls in zip(
+            corpus.buckets, self._map_buckets(run, corpus.buckets)
+        ):
+            lls[bucket.idx] = bucket_lls
+        return lls
+
+    def _viterbi_bucket(
+        self,
+        log_startprob: np.ndarray,
+        log_transmat_T: np.ndarray,
+        log_b: np.ndarray,
+        lengths: np.ndarray,
+    ) -> list[tuple[np.ndarray, float]]:
+        """Fused batched Viterbi over one padded bucket.
+
+        Unlike forward-backward, the Viterbi recursion contains no
+        ``logsumexp`` — only max — so it vectorizes in the log domain at
+        full speed.  Running it there removes everything the old
+        probability-domain kernel spent most of its time on: the ``exp`` of
+        the whole observation tensor, the per-timestep peak normalization
+        (max / clamp / divide / log), and the ``_TINY`` underflow fallback
+        (log-space cannot underflow).  As a bonus every elementary float
+        operation now matches :func:`viterbi_decode_from_log` exactly, so
+        decoded paths and joint log-probabilities are *bit-identical* to
+        the log-domain reference, tie-breaking included.
+
+        The fused inner step is three vectorized ops against preallocated,
+        reused buffers: one broadcast add of the ``(B, K)`` message against
+        the pre-transposed *contiguous* transition table
+        (``scores[b, j, i] = delta[b, i] + log A[i, j]``), one argmax over
+        the contiguous last axis, and one flat gather of the winning scores
+        through the argmax (instead of a second full max reduction), folded
+        into the observation add.  Backpointers live in the smallest
+        integer dtype that can index the state space (uint8/uint16 for the
+        paper's workloads, not int64), and because buckets are sorted by
+        length, rows whose sequence has ended drop off the *front* of every
+        buffer — each timestep only touches the still-active suffix, with
+        no masked ``np.where`` updates at all.
+        """
+        if lengths.size > 1 and np.any(lengths[:-1] > lengths[1:]):
+            # Callers (batch packing, compiled corpora) always hand over
+            # length-sorted buckets; re-sort defensively if not.
+            order = np.argsort(lengths, kind="stable")
+            sorted_results = self._viterbi_bucket(
+                log_startprob, log_transmat_T, log_b[order], lengths[order]
+            )
+            results: list[tuple[np.ndarray, float]] = [None] * lengths.size
+            for pos, res in zip(order, sorted_results):
+                results[pos] = res
+            return results
+
+        batch, max_len, n_states = log_b.shape
         rows = np.arange(batch)
 
-        delta = startprob[None, :] * obs[:, 0]
-        raw_peak = delta.max(axis=1)
-        # Underflowed sequences (no representable path probability) are
-        # recomputed with the log-domain reference below.
-        underflow = raw_peak < _TINY
-        peak = np.maximum(raw_peak, _TINY)
-        delta = delta / peak[:, None]
-        log_joint = np.log(peak) + shift[:, 0]
-
-        backpointers = np.zeros((batch, max_len, n_states), dtype=np.int64)
+        delta = log_startprob[None, :] + log_b[:, 0]
+        backpointers = np.zeros(
+            (batch, max_len, n_states), dtype=viterbi_backpointer_dtype(n_states)
+        )
+        self.last_backpointer_dtype = backpointers.dtype
+        scores = np.empty((batch, n_states, n_states))
+        arg = np.empty((batch, n_states), dtype=np.intp)
+        best = np.empty(batch * n_states)
+        gather_idx = np.empty(batch * n_states, dtype=np.intp)
+        flat_offsets = np.arange(batch * n_states, dtype=np.intp) * n_states
         for t in range(1, max_len):
-            active = t < lengths
-            scores = delta[:, :, None] * transmat[None, :, :]
-            arg = scores.argmax(axis=1)
-            best = np.take_along_axis(scores, arg[:, None, :], axis=1)[:, 0, :]
-            propagated = best * obs[:, t]
-            raw_peak = propagated.max(axis=1)
-            underflow |= active & (raw_peak < _TINY)
-            peak = np.where(active, np.maximum(raw_peak, _TINY), 1.0)
-            delta = np.where(active[:, None], propagated / peak[:, None], delta)
-            log_joint = log_joint + np.where(active, np.log(peak) + shift[:, t], 0.0)
-            backpointers[:, t] = arg
+            # First row still alive at time t (lengths are sorted ascending).
+            first = int(np.searchsorted(lengths, t, side="right"))
+            n_active = batch - first
+            if n_active == 0:
+                break
+            flat = n_active * n_states
+            sub_scores = scores[:n_active]
+            sub_arg = arg[:n_active]
+            np.add(
+                delta[first:, None, :], log_transmat_T[None, :, :], out=sub_scores
+            )
+            sub_scores.argmax(axis=2, out=sub_arg)
+            np.add(flat_offsets[:flat], sub_arg.reshape(-1), out=gather_idx[:flat])
+            np.take(sub_scores.reshape(-1), gather_idx[:flat], out=best[:flat])
+            np.add(
+                best[:flat].reshape(n_active, n_states),
+                log_b[first:, t],
+                out=delta[first:],
+            )
+            backpointers[first:, t] = sub_arg
 
         final_state = delta.argmax(axis=1)
-        log_joint = log_joint + np.log(
-            np.maximum(delta[rows, final_state], _TINY)
-        )
+        log_joint = delta[rows, final_state]
 
         paths = np.zeros((batch, max_len), dtype=np.int64)
         paths[rows, lengths - 1] = final_state
@@ -337,16 +728,23 @@ class ScaledBatchedBackend(InferenceBackend):
             follow = backpointers[rows, t + 1, paths[:, t + 1]]
             paths[:, t] = np.where(within, follow, paths[:, t])
 
-        results = [
+        return [
             (paths[b, : lengths[b]].copy(), float(log_joint[b])) for b in range(batch)
         ]
-        if underflow.any():
-            log_pi, log_A = safe_log(startprob), safe_log(transmat)
-            for b in np.flatnonzero(underflow):
-                results[b] = viterbi_decode_from_log(
-                    log_pi, log_A, log_b[b, : lengths[b]]
-                )
-        return results
+
+    def _viterbi_log_params(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        log_startprob: np.ndarray | None,
+        log_transmat: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(log pi, contiguous log A^T)`` for the log-domain Viterbi kernel."""
+        if log_startprob is None:
+            log_startprob = safe_log(np.asarray(startprob, dtype=np.float64))
+        if log_transmat is None:
+            log_transmat = safe_log(np.asarray(transmat, dtype=np.float64))
+        return log_startprob, np.ascontiguousarray(log_transmat.T)
 
     # -------------------------------------------------------------- #
     # Public batched entry points
@@ -361,9 +759,13 @@ class ScaledBatchedBackend(InferenceBackend):
         _check_tables(startprob.shape[0], log_obs_seqs)
         lengths = [lo.shape[0] for lo in log_obs_seqs]
         results: list = [None] * len(log_obs_seqs)
-        for idx in bucket_indices(lengths, self.bucket_size):
+        buckets = bucket_indices(lengths, self.bucket_size)
+
+        def run(idx: np.ndarray):
             padded, bucket_lengths = self._pack(log_obs_seqs, idx)
-            bucket_results = kernel(startprob, transmat, padded, bucket_lengths)
+            return kernel(startprob, transmat, padded, bucket_lengths)
+
+        for idx, bucket_results in zip(buckets, self._map_buckets(run, buckets)):
             for j, res in zip(idx, bucket_results):
                 results[j] = res
         return results
@@ -378,7 +780,14 @@ class ScaledBatchedBackend(InferenceBackend):
     def viterbi(
         self, startprob, transmat, log_obs_seqs, log_startprob=None, log_transmat=None
     ) -> list[tuple[np.ndarray, float]]:
-        return self._run_buckets(startprob, transmat, log_obs_seqs, self._viterbi_bucket)
+        log_pi, log_AT = self._viterbi_log_params(
+            startprob, transmat, log_startprob, log_transmat
+        )
+
+        def kernel(pi, A, padded, lengths):
+            return self._viterbi_bucket(log_pi, log_AT, padded, lengths)
+
+        return self._run_buckets(startprob, transmat, log_obs_seqs, kernel)
 
     def log_likelihood(
         self, startprob, transmat, log_obs_seqs, log_startprob=None, log_transmat=None
@@ -869,7 +1278,9 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_BACKENDS))
 
 
-def build_backend(name: str, bucket_size: int = 64) -> InferenceBackend:
+def build_backend(
+    name: str, bucket_size: int = 64, n_workers: int = 1
+) -> InferenceBackend:
     """Instantiate a backend by name (``"scaled"`` or ``"log"``)."""
     try:
         cls = _BACKENDS[name]
@@ -878,5 +1289,5 @@ def build_backend(name: str, bucket_size: int = 64) -> InferenceBackend:
             f"unknown inference backend {name!r}; available: {available_backends()}"
         ) from None
     if cls is ScaledBatchedBackend:
-        return cls(bucket_size=bucket_size)
+        return cls(bucket_size=bucket_size, n_workers=n_workers)
     return cls()

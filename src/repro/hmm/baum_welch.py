@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.hmm.corpus import CompiledCorpus, CorpusPosteriors
 from repro.hmm.engine import InferenceEngine
 from repro.hmm.model import HMM
 from repro.hmm.transition_updaters import (
@@ -115,7 +116,10 @@ class BaumWelchTrainer:
         matmul over a whole bucket.
         """
         engine = self.engine if self.engine is not None else model.inference_engine
-        log_obs_seqs = [model.emissions.log_likelihoods(seq) for seq in sequences]
+        # Scored through the batch API so vectorizable families (categorical,
+        # Bernoulli) produce every table in one call instead of a
+        # per-sequence Python loop — the same path HMM.score/predict use.
+        log_obs_seqs = model.emissions.log_likelihoods_batch(sequences)
         all_stats = engine.posteriors_batch(model.startprob, model.transmat, log_obs_seqs)
 
         k = model.n_states
@@ -152,28 +156,92 @@ class BaumWelchTrainer:
         if self.update_emissions:
             model.emissions.m_step(sequences, stats.posteriors)
 
-    # ------------------------------------------------------------------ #
-    def fit(self, model: HMM, sequences: Sequence[np.ndarray]) -> FitResult:
-        """Run EM until convergence, mutating ``model`` in place."""
-        if not sequences:
-            raise ValidationError("sequences must be non-empty")
+    def _m_step_corpus(
+        self, model: HMM, corpus: CompiledCorpus, stats: CorpusPosteriors
+    ) -> None:
+        """Corpus-level M-step: all accumulation already happened in the E-step."""
+        if self.update_startprob:
+            total = stats.start_counts.sum()
+            if total > 0:
+                model.startprob = stats.start_counts / total
+        if self.update_transitions:
+            model.transmat = self.transition_updater.update(stats.xi_sum, model.transmat)
+        else:
+            model.transmat = normalize_rows(model.transmat)
+        if self.update_emissions:
+            model.emissions.m_step_compiled(corpus, stats.gamma_concat)
 
+    # ------------------------------------------------------------------ #
+    def fit(
+        self, model: HMM, sequences: "Sequence[np.ndarray] | CompiledCorpus"
+    ) -> FitResult:
+        """Run EM until convergence, mutating ``model`` in place.
+
+        ``sequences`` may be a plain sequence collection or an
+        already-compiled :class:`~repro.hmm.corpus.CompiledCorpus` (e.g.
+        shared with a subsequent batched decode).  Raw sequences are
+        compiled once up front, so every EM iteration reuses the same
+        concatenated token arrays, bucket assignments and padded index
+        tensors: per iteration the corpus is re-scored with one vectorized
+        emission call, the backend runs one gather + recursion + scatter
+        per bucket, and the M-step consumes the stacked statistics directly
+        — no per-sequence Python anywhere in the loop.
+
+        Subclasses overriding :meth:`e_step` or :meth:`m_step` keep their
+        semantics: the compiled fast path is only taken when both steps are
+        the stock implementations, otherwise each iteration runs through
+        the overridable per-sequence methods.
+        """
+        if isinstance(sequences, CompiledCorpus):
+            corpus, raw_sequences = sequences, sequences.sequences
+        else:
+            if not sequences:
+                raise ValidationError("sequences must be non-empty")
+            corpus, raw_sequences = None, sequences
+
+        if (
+            type(self).e_step is not BaumWelchTrainer.e_step
+            or type(self).m_step is not BaumWelchTrainer.m_step
+        ):
+            return self._fit_loop(
+                model,
+                lambda: self.e_step(model, raw_sequences),
+                lambda stats: self.m_step(model, raw_sequences, stats),
+            )
+
+        if corpus is None:
+            engine = self.engine if self.engine is not None else model.inference_engine
+            corpus = engine.compile(raw_sequences)
+
+        def corpus_e_step() -> CorpusPosteriors:
+            engine = self.engine if self.engine is not None else model.inference_engine
+            scores_ext = corpus.score(model.emissions)
+            return engine.posteriors_corpus(
+                model.startprob, model.transmat, corpus, scores_ext
+            )
+
+        return self._fit_loop(
+            model, corpus_e_step, lambda stats: self._m_step_corpus(model, corpus, stats)
+        )
+
+    def _fit_loop(self, model: HMM, run_e_step, run_m_step) -> FitResult:
+        """Shared EM driver: convergence check, history, non-convergence warning."""
         history: list[float] = []
         converged = False
         n_iter = 0
         for n_iter in range(1, self.max_iter + 1):
-            stats = self.e_step(model, sequences)
+            stats = run_e_step()
             history.append(stats.log_likelihood)
             if len(history) >= 2 and abs(history[-1] - history[-2]) < self.tol:
                 converged = True
                 break
-            self.m_step(model, sequences, stats)
+            run_m_step(stats)
 
         if not converged and self.warn_on_no_convergence:
             warnings.warn(
                 f"EM stopped after {n_iter} iterations without converging",
                 ConvergenceWarning,
-                stacklevel=2,
+                stacklevel=3,
             )
         final_ll = history[-1] if history else float("-inf")
         return FitResult(

@@ -10,11 +10,14 @@ experiment.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.utils.rng import SeedLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hmm.corpus import CompiledCorpus
 
 
 class EmissionModel(abc.ABC):
@@ -100,6 +103,29 @@ class EmissionModel(abc.ABC):
         engine and the tagging service hand over whole micro-batches).
         """
         return [self.log_likelihoods(sequence) for sequence in sequences]
+
+    def log_likelihoods_concat(self, concat: np.ndarray) -> np.ndarray:
+        """Emission table of an already-concatenated corpus (``(N, K)``).
+
+        ``concat`` is the flat token array of a
+        :class:`~repro.hmm.corpus.CompiledCorpus` — all sequences stacked
+        along the time axis.  The default treats it as one long sequence
+        (every family scores timesteps independently); families with a
+        cheaper corpus-level form override it (categorical takes the log of
+        the ``(K, V)`` parameter table once and gathers, instead of taking
+        ``N * K`` logs of the gathered probabilities).
+        """
+        return self.log_likelihoods(concat)
+
+    def m_step_compiled(self, corpus: "CompiledCorpus", gamma_concat: np.ndarray) -> None:
+        """Emission M-step from corpus-level stacked posteriors.
+
+        ``gamma_concat`` has shape ``(n_tokens, K)`` and is aligned with
+        ``corpus.concat``.  The default splits it back into per-sequence
+        arrays and delegates to :meth:`m_step`; vectorizable families
+        override it with one bincount/matmul over the flat corpus.
+        """
+        self.m_step(corpus.sequences, corpus.split(gamma_concat))
 
     @abc.abstractmethod
     def m_step(

@@ -87,6 +87,14 @@ class BernoulliEmission(EmissionModel):
         safe = np.maximum(weight_sum, 1e-12)[:, None]
         self.pixel_probs = np.clip(weighted_pixels / safe, _PROB_FLOOR, 1.0 - _PROB_FLOOR)
 
+    def m_step_compiled(self, corpus, gamma_concat: np.ndarray) -> None:
+        """Vectorized M-step: one ``(K, N) @ (N, D)`` matmul over the corpus."""
+        obs = np.asarray(corpus.concat, dtype=np.float64)
+        weight_sum = gamma_concat.sum(axis=0)
+        weighted_pixels = gamma_concat.T @ obs
+        safe = np.maximum(weight_sum, 1e-12)[:, None]
+        self.pixel_probs = np.clip(weighted_pixels / safe, _PROB_FLOOR, 1.0 - _PROB_FLOOR)
+
     def sample(self, state: int, rng: np.random.Generator) -> np.ndarray:
         return (rng.random(self.n_features) < self.pixel_probs[state]).astype(np.float64)
 

@@ -67,6 +67,22 @@ class CategoricalEmission(EmissionModel):
         bounds = np.cumsum([a.shape[0] for a in arrays])[:-1]
         return np.split(self.log_likelihoods(flat), bounds)
 
+    def log_likelihoods_concat(self, concat: np.ndarray) -> np.ndarray:
+        """One ``(K, V)`` log-table plus one fancy-index for the whole corpus.
+
+        ``log`` of a gathered probability equals a gather of the logged
+        table, so this matches :meth:`log_likelihoods` exactly while taking
+        ``K * V`` logarithms instead of ``N * K``.
+        """
+        obs = np.asarray(concat)
+        if obs.ndim != 1:
+            raise ValidationError(
+                f"Categorical emissions expect 1-D sequences, got {obs.shape}"
+            )
+        if obs.size and (obs.min() < 0 or obs.max() >= self.n_symbols):
+            raise ValidationError("observation symbol out of range")
+        return safe_log(self.emission_probs).T[obs]
+
     def m_step(
         self, sequences: Sequence[np.ndarray], posteriors: Sequence[np.ndarray]
     ) -> None:
@@ -74,6 +90,16 @@ class CategoricalEmission(EmissionModel):
         for seq, post in zip(sequences, posteriors):
             obs = np.asarray(seq, dtype=np.int64)
             np.add.at(counts.T, obs, post)
+        self.emission_probs = normalize_rows(counts)
+
+    def m_step_compiled(self, corpus, gamma_concat: np.ndarray) -> None:
+        """Vectorized M-step: one weighted bincount per state over the corpus."""
+        tokens = np.asarray(corpus.concat, dtype=np.int64)
+        counts = np.empty((self.n_states, self.n_symbols))
+        for state in range(self.n_states):
+            counts[state] = np.bincount(
+                tokens, weights=gamma_concat[:, state], minlength=self.n_symbols
+            )
         self.emission_probs = normalize_rows(counts)
 
     def sample(self, state: int, rng: np.random.Generator) -> int:

@@ -100,6 +100,18 @@ class GaussianEmission(EmissionModel):
         self.means = new_means
         self.variances = new_variances
 
+    def m_step_compiled(self, corpus, gamma_concat: np.ndarray) -> None:
+        """Vectorized M-step: weighted moments of the concatenated corpus."""
+        obs = np.asarray(corpus.concat, dtype=np.float64)
+        safe = np.maximum(gamma_concat.sum(axis=0), 1e-12)
+        new_means = (gamma_concat.T @ obs) / safe
+        diff_sq = (obs[:, None] - new_means[None, :]) ** 2
+        new_variances = np.maximum(
+            np.sum(gamma_concat * diff_sq, axis=0) / safe, _MIN_VARIANCE
+        )
+        self.means = new_means
+        self.variances = new_variances
+
     def sample(self, state: int, rng: np.random.Generator) -> float:
         return float(rng.normal(self.means[state], np.sqrt(self.variances[state])))
 

@@ -36,6 +36,7 @@ from repro.hmm.backends import (
     StreamingSession,
     build_backend,
 )
+from repro.hmm.corpus import CompiledCorpus, CorpusPosteriors
 from repro.hmm.forward_backward import SequencePosteriors
 from repro.utils.maths import safe_log
 
@@ -94,16 +95,17 @@ class InferenceEngine:
         self,
         backend: str | InferenceBackend | None = None,
         bucket_size: int | None = None,
+        n_workers: int | None = None,
     ) -> None:
         if isinstance(backend, InferenceBackend):
-            if bucket_size is not None:
+            if bucket_size is not None or n_workers is not None:
                 raise ValueError(
-                    "bucket_size cannot be combined with a ready backend "
-                    "instance; configure the backend directly"
+                    "bucket_size/n_workers cannot be combined with a ready "
+                    "backend instance; configure the backend directly"
                 )
             self.backend = backend
         else:
-            if backend is None or bucket_size is None:
+            if backend is None or bucket_size is None or n_workers is None:
                 # Imported lazily: repro.core imports the hmm layer, so a
                 # top-level import here would be circular.
                 from repro.core.config import get_inference_config
@@ -111,7 +113,10 @@ class InferenceEngine:
                 cfg = get_inference_config()
                 backend = backend if backend is not None else cfg.backend
                 bucket_size = bucket_size if bucket_size is not None else cfg.bucket_size
-            self.backend = build_backend(backend, bucket_size=bucket_size)
+                n_workers = n_workers if n_workers is not None else cfg.n_workers
+            self.backend = build_backend(
+                backend, bucket_size=bucket_size, n_workers=n_workers
+            )
         self._params: _CachedParams | None = None
 
     @property
@@ -167,6 +172,77 @@ class InferenceEngine:
     ) -> np.ndarray:
         """Log marginal likelihood of every emission table (1-D array)."""
         return self._dispatch("log_likelihood", startprob, transmat, log_obs_seqs)
+
+    # -------------------------------------------------------------- #
+    # Compiled-corpus entry points
+    # -------------------------------------------------------------- #
+    def compile(self, sequences) -> CompiledCorpus:
+        """Compile a dataset once for repeated inference through this engine.
+
+        The corpus is bucketed with the backend's ``bucket_size`` so its
+        precomputed padded index tensors line up exactly with the buckets
+        the backend would otherwise rebuild on every call.  The result is
+        emission- and parameter-agnostic: one compile serves every EM
+        iteration and every decode over the same dataset.
+        """
+        return CompiledCorpus(
+            sequences, bucket_size=getattr(self.backend, "bucket_size", 64)
+        )
+
+    def _dispatch_corpus(self, method_name, startprob, transmat, corpus, scores_ext):
+        p = self._cached(startprob, transmat)
+        wants_logs = self.backend.wants_log_params
+        return getattr(self.backend, method_name)(
+            p.startprob,
+            p.transmat,
+            corpus,
+            scores_ext,
+            log_startprob=p.log_startprob if wants_logs else None,
+            log_transmat=p.log_transmat if wants_logs else None,
+        )
+
+    def posteriors_corpus(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        corpus: CompiledCorpus,
+        scores_ext: np.ndarray,
+    ) -> CorpusPosteriors:
+        """Stacked forward-backward statistics over a compiled corpus.
+
+        ``scores_ext`` is the ``(n_tokens + 1, K)`` emission table from
+        :meth:`CompiledCorpus.score`; the scaled backend gathers each
+        padded bucket from it with one fancy-index and scatters the
+        posteriors straight back into the concatenated layout, so an EM
+        iteration runs with zero per-sequence Python.
+        """
+        return self._dispatch_corpus(
+            "forward_backward_corpus", startprob, transmat, corpus, scores_ext
+        )
+
+    def viterbi_corpus(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        corpus: CompiledCorpus,
+        scores_ext: np.ndarray,
+    ) -> list[tuple[np.ndarray, float]]:
+        """Viterbi path and joint log-probability per corpus sequence."""
+        return self._dispatch_corpus(
+            "viterbi_corpus", startprob, transmat, corpus, scores_ext
+        )
+
+    def log_likelihood_corpus(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        corpus: CompiledCorpus,
+        scores_ext: np.ndarray,
+    ) -> np.ndarray:
+        """Log marginal likelihood of every corpus sequence (1-D array)."""
+        return self._dispatch_corpus(
+            "log_likelihood_corpus", startprob, transmat, corpus, scores_ext
+        )
 
     # -------------------------------------------------------------- #
     # Single-sequence conveniences
@@ -246,7 +322,9 @@ class InferenceEngine:
 
 
 def build_engine(
-    backend: str | InferenceBackend | None = None, bucket_size: int | None = None
+    backend: str | InferenceBackend | None = None,
+    bucket_size: int | None = None,
+    n_workers: int | None = None,
 ) -> InferenceEngine:
     """Construct an :class:`InferenceEngine` (thin convenience wrapper)."""
-    return InferenceEngine(backend=backend, bucket_size=bucket_size)
+    return InferenceEngine(backend=backend, bucket_size=bucket_size, n_workers=n_workers)

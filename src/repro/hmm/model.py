@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.hmm.corpus import CompiledCorpus
 from repro.hmm.emissions.base import EmissionModel
 from repro.hmm.engine import InferenceEngine
 from repro.hmm.forward_backward import SequencePosteriors
@@ -171,6 +172,39 @@ class HMM:
                 self.startprob, self.transmat, log_obs_seqs
             )
         ]
+
+    # ------------------------------------------------------------------ #
+    # Compiled-corpus inference
+    # ------------------------------------------------------------------ #
+    def compile(self, sequences: Sequence[np.ndarray]) -> CompiledCorpus:
+        """Compile a dataset once for repeated inference against this model.
+
+        The returned :class:`~repro.hmm.corpus.CompiledCorpus` is parameter-
+        agnostic: compile once, then train
+        (:meth:`~repro.hmm.baum_welch.BaumWelchTrainer.fit` accepts it
+        directly), decode (:meth:`predict_corpus`) and score
+        (:meth:`score_corpus`) against it without re-padding or re-bucketing.
+        """
+        return self.inference_engine.compile(sequences)
+
+    def predict_corpus(self, corpus: CompiledCorpus) -> list[np.ndarray]:
+        """Viterbi paths for every sequence of a compiled corpus."""
+        scores_ext = corpus.score(self.emissions)
+        return [
+            path
+            for path, _ in self.inference_engine.viterbi_corpus(
+                self.startprob, self.transmat, corpus, scores_ext
+            )
+        ]
+
+    def score_corpus(self, corpus: CompiledCorpus) -> float:
+        """Total log-likelihood of a compiled corpus."""
+        scores_ext = corpus.score(self.emissions)
+        return float(
+            self.inference_engine.log_likelihood_corpus(
+                self.startprob, self.transmat, corpus, scores_ext
+            ).sum()
+        )
 
     def stream(self, lag: int | None = None):
         """Open a :class:`~repro.hmm.backends.StreamingSession` on this model.

@@ -11,8 +11,11 @@ Subcommands
     Import an existing artifact directory into a registry as a new version.
 ``tag``
     Load a registered model and tag sequences read from a JSON-lines file
-    (one JSON array per line), through the micro-batching service or — with
-    ``--streaming`` — token by token with the fixed-lag decoder.
+    (one JSON array per line).  By default the whole file is compiled once
+    (:class:`~repro.hmm.corpus.CompiledCorpus`) and decoded through the
+    batched corpus path; ``--service`` opts into the micro-batching
+    :class:`~repro.serving.TaggingService` instead, and ``--streaming``
+    decodes token by token with the fixed-lag decoder.
 ``route``
     Serve requests against *several* registry models through one routed
     queue: each JSON-lines request names its model (and optionally a
@@ -173,6 +176,9 @@ def _read_sequences(path: str, family: str) -> list[np.ndarray]:
 
 
 def _cmd_tag(args: argparse.Namespace) -> int:
+    if args.streaming and args.service:
+        _log("--streaming and --service are mutually exclusive")
+        return 2
     model = _load_registered(args)
     hmm = resolve_hmm(model)
     sequences = _read_sequences(args.input, hmm.emissions.family)
@@ -195,7 +201,7 @@ def _cmd_tag(args: argparse.Namespace) -> int:
             decoder.push_many(seq)
             paths.append(decoder.finish().path)
         mode = f"streaming (lag={lag})"
-    else:
+    elif args.service:
         config = ServingConfig(
             max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms
         )
@@ -203,6 +209,12 @@ def _cmd_tag(args: argparse.Namespace) -> int:
             paths = service.tag_many(sequences)
             occupancy = service.stats.snapshot()["mean_batch_size"]
         mode = f"micro-batched (mean batch {occupancy:.1f})"
+    else:
+        # Offline default: compile the whole file once and decode it through
+        # the corpus path (no queue/dispatcher needed for a batch file).
+        corpus = hmm.compile(sequences)
+        paths = hmm.predict_corpus(corpus)
+        mode = f"compiled corpus ({len(corpus.buckets)} buckets)"
     elapsed = time.perf_counter() - started
 
     out = sys.stdout if args.output is None else Path(args.output).open("w")
@@ -434,6 +446,12 @@ def build_parser() -> argparse.ArgumentParser:
     serving_defaults = ServingConfig()
     tag.add_argument("--streaming", action="store_true", help="decode token-by-token")
     tag.add_argument("--lag", type=int, default=None, help="fixed lag for --streaming")
+    tag.add_argument(
+        "--service",
+        action="store_true",
+        help="decode through the micro-batching TaggingService instead of "
+        "the offline compiled-corpus path",
+    )
     tag.add_argument("--max-batch-size", type=int, default=serving_defaults.max_batch_size)
     tag.add_argument("--max-wait-ms", type=float, default=serving_defaults.max_wait_ms)
     tag.set_defaults(func=_cmd_tag)

@@ -101,6 +101,96 @@ class TestBaumWelchTrainer:
         assert np.isclose(stats.transition_counts.sum(), 5 * 5.0)
 
 
+class _CountingEmission(CategoricalEmission):
+    """Counts scoring calls; family stays abstract to keep the registry clean."""
+
+    family = "abstract"
+
+    def __init__(self, emission_probs):
+        super().__init__(emission_probs)
+        self.single_calls = 0
+        self.batch_calls = 0
+        self.concat_calls = 0
+
+    def log_likelihoods(self, sequence):
+        self.single_calls += 1
+        return super().log_likelihoods(sequence)
+
+    def log_likelihoods_batch(self, sequences):
+        self.batch_calls += 1
+        return super().log_likelihoods_batch(sequences)
+
+    def log_likelihoods_concat(self, concat):
+        self.concat_calls += 1
+        return super().log_likelihoods_concat(concat)
+
+
+class TestEStepUsesBatchScoring:
+    def test_e_step_scores_emissions_once_not_per_sequence(self):
+        # Regression: e_step used to loop `log_likelihoods(seq)` over the
+        # corpus, bypassing the vectorized batch API that HMM.score/predict
+        # already use.  One e_step over N sequences must make exactly one
+        # batch call, which for categorical emissions scores the whole
+        # concatenated corpus with a single log_likelihoods call.
+        truth = make_ground_truth_categorical()
+        _, observations = truth.sample_dataset(12, 9, seed=13)
+        emissions = _CountingEmission(truth.emissions.emission_probs)
+        model = HMM(truth.startprob, truth.transmat, emissions)
+        stats = BaumWelchTrainer().e_step(model, observations)
+        assert emissions.batch_calls == 1
+        assert emissions.single_calls == 1  # the one concatenated-corpus call
+        assert len(stats.posteriors) == 12
+
+    def test_fit_scores_emissions_once_per_iteration(self):
+        truth = make_ground_truth_categorical()
+        _, observations = truth.sample_dataset(10, 6, seed=14)
+        emissions = _CountingEmission(truth.emissions.emission_probs)
+        model = HMM(truth.startprob, truth.transmat, emissions)
+        n_iter = BaumWelchTrainer(max_iter=4, tol=0.0).fit(model, observations).n_iter
+        # The compiled-corpus fit scores the concatenated corpus exactly
+        # once per EM iteration and never per sequence.
+        assert emissions.concat_calls == n_iter
+        assert emissions.single_calls == 0
+        assert emissions.batch_calls == 0
+
+
+class TestSubclassedStepsStillDriveFit:
+    def test_overridden_m_step_is_called_by_fit(self):
+        # The compiled-corpus fast path must not bypass subclass overrides
+        # of the public e_step/m_step hooks.
+        calls = {"e": 0, "m": 0}
+
+        class LoggingTrainer(BaumWelchTrainer):
+            def e_step(self, model, sequences):
+                calls["e"] += 1
+                return super().e_step(model, sequences)
+
+            def m_step(self, model, sequences, stats):
+                calls["m"] += 1
+                super().m_step(model, sequences, stats)
+
+        truth = make_ground_truth_categorical()
+        _, observations = truth.sample_dataset(6, 7, seed=15)
+        model = HMM.random_init(CategoricalEmission.random_init(2, 3, seed=16), seed=16)
+        result = LoggingTrainer(max_iter=3, tol=0.0).fit(model, observations)
+        assert calls["e"] == result.n_iter == 3
+        assert calls["m"] == 3
+
+    def test_overridden_steps_match_stock_training(self):
+        class PlainSubclass(BaumWelchTrainer):
+            def m_step(self, model, sequences, stats):
+                super().m_step(model, sequences, stats)
+
+        truth = make_ground_truth_categorical()
+        _, observations = truth.sample_dataset(8, 6, seed=17)
+        a = HMM(truth.startprob.copy(), truth.transmat.copy(), truth.emissions.copy())
+        b = HMM(truth.startprob.copy(), truth.transmat.copy(), truth.emissions.copy())
+        ra = BaumWelchTrainer(max_iter=3, tol=0.0).fit(a, observations)
+        rb = PlainSubclass(max_iter=3, tol=0.0).fit(b, observations)
+        np.testing.assert_allclose(ra.history, rb.history, rtol=1e-9)
+        np.testing.assert_allclose(a.transmat, b.transmat, atol=1e-8)
+
+
 class TestMaximumLikelihoodTransitionUpdater:
     def test_normalizes_counts(self):
         updater = MaximumLikelihoodTransitionUpdater()

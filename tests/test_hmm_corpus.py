@@ -1,0 +1,363 @@
+"""Tests for the compiled-corpus layer and its backend/engine entry points.
+
+The compiled corpus must be a pure re-encoding: every corpus-level result
+(stacked posteriors, decoded paths, likelihoods, M-step updates) has to
+match what the per-sequence paths produce on the same data — to 1e-8 for
+the scaled recursions, bit-identically for Viterbi (the fused kernel runs
+the reference log-domain recursion) and for the underflow fallbacks (which
+call the reference functions directly).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import InferenceConfig, inference_backend, set_inference_config
+from repro.exceptions import DimensionMismatchError, ValidationError
+from repro.hmm import (
+    HMM,
+    BaumWelchTrainer,
+    BernoulliEmission,
+    CategoricalEmission,
+    CompiledCorpus,
+    GaussianEmission,
+    InferenceEngine,
+    compile_corpus,
+)
+
+ATOL = 1e-8
+
+
+def random_problem(seed, n_states=4, n_symbols=8, lengths=(1, 2, 5, 17, 40, 3, 9)):
+    rng = np.random.default_rng(seed)
+    emissions = CategoricalEmission(rng.dirichlet(np.ones(n_symbols), size=n_states))
+    startprob = rng.dirichlet(np.ones(n_states))
+    transmat = rng.dirichlet(np.ones(n_states), size=n_states)
+    sequences = [rng.integers(0, n_symbols, size=length) for length in lengths]
+    return startprob, transmat, emissions, sequences
+
+
+class TestCompiledCorpusStructure:
+    def test_concat_offsets_and_lengths(self):
+        sequences = [np.array([1, 2]), np.array([3]), np.array([4, 5, 6])]
+        corpus = CompiledCorpus(sequences, bucket_size=2)
+        assert corpus.n_sequences == 3
+        assert corpus.n_tokens == 6
+        np.testing.assert_array_equal(corpus.lengths, [2, 1, 3])
+        np.testing.assert_array_equal(corpus.offsets, [0, 2, 3, 6])
+        np.testing.assert_array_equal(corpus.concat, [1, 2, 3, 4, 5, 6])
+
+    def test_buckets_cover_every_sequence_once(self):
+        rng = np.random.default_rng(0)
+        sequences = [rng.integers(0, 5, size=n) for n in rng.integers(1, 30, size=23)]
+        corpus = CompiledCorpus(sequences, bucket_size=4)
+        seen = np.concatenate([b.idx for b in corpus.buckets])
+        assert sorted(seen.tolist()) == list(range(len(sequences)))
+        for bucket in corpus.buckets:
+            assert bucket.idx.size <= 4
+            # length-sorted buckets
+            assert np.all(np.diff(bucket.lengths) >= 0)
+
+    def test_positions_index_the_right_tokens(self):
+        rng = np.random.default_rng(1)
+        sequences = [rng.integers(0, 9, size=n) for n in (3, 7, 1, 7, 2)]
+        corpus = CompiledCorpus(sequences, bucket_size=3)
+        for bucket in corpus.buckets:
+            for row, j in enumerate(bucket.idx):
+                length = int(bucket.lengths[row])
+                gathered = corpus.concat[bucket.positions[row, :length]]
+                np.testing.assert_array_equal(gathered, sequences[j])
+                # padding points at the sentinel slot
+                assert np.all(bucket.positions[row, length:] == corpus.n_tokens)
+
+    def test_split_and_tables_round_trip(self):
+        _, _, emissions, sequences = random_problem(2)
+        corpus = CompiledCorpus(sequences, bucket_size=3)
+        values = np.arange(corpus.n_tokens * 2, dtype=float).reshape(corpus.n_tokens, 2)
+        parts = corpus.split(values)
+        assert len(parts) == len(sequences)
+        np.testing.assert_array_equal(np.concatenate(parts), values)
+
+        scores_ext = corpus.score(emissions)
+        assert scores_ext.shape == (corpus.n_tokens + 1, emissions.n_states)
+        np.testing.assert_array_equal(scores_ext[-1], 0.0)
+        for table, seq in zip(corpus.tables(scores_ext), sequences):
+            np.testing.assert_allclose(
+                table, emissions.log_likelihoods(seq), atol=0, rtol=0
+            )
+
+    def test_gather_matches_manual_padding(self):
+        _, _, emissions, sequences = random_problem(3)
+        corpus = CompiledCorpus(sequences, bucket_size=3)
+        scores_ext = corpus.score(emissions)
+        for bucket in corpus.buckets:
+            log_b = corpus.gather(scores_ext, bucket)
+            assert log_b.shape == (
+                bucket.idx.size,
+                bucket.max_len,
+                emissions.n_states,
+            )
+            for row, j in enumerate(bucket.idx):
+                length = int(bucket.lengths[row])
+                np.testing.assert_array_equal(
+                    log_b[row, :length], emissions.log_likelihoods(sequences[j])
+                )
+                np.testing.assert_array_equal(log_b[row, length:], 0.0)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValidationError):
+            CompiledCorpus([])
+        with pytest.raises(ValidationError):
+            CompiledCorpus([np.array([1, 2])], bucket_size=0)
+        with pytest.raises(ValidationError):
+            CompiledCorpus([np.array([1, 2]), np.array([], dtype=int)])
+        with pytest.raises(DimensionMismatchError):
+            CompiledCorpus([np.zeros(3), np.zeros((3, 2))])
+        corpus = CompiledCorpus([np.array([0, 1])])
+        with pytest.raises(DimensionMismatchError):
+            corpus.extend_scores(np.zeros((5, 2)))
+
+    @pytest.mark.parametrize("backend", ["scaled", "log"])
+    def test_unextended_score_table_rejected(self, backend):
+        # Passing a raw (n_tokens, K) table instead of the extended
+        # (n_tokens + 1, K) one would silently truncate the last sequence;
+        # every backend must reject it.
+        startprob, transmat, emissions, sequences = random_problem(12)
+        engine = InferenceEngine(backend=backend, bucket_size=3)
+        corpus = engine.compile(sequences)
+        bare = emissions.log_likelihoods_concat(corpus.concat)
+        for method in ("posteriors_corpus", "viterbi_corpus", "log_likelihood_corpus"):
+            with pytest.raises(DimensionMismatchError):
+                getattr(engine, method)(startprob, transmat, corpus, bare)
+
+    def test_compile_corpus_follows_process_config(self):
+        sequences = [np.array([0, 1]), np.array([1])]
+        with inference_backend("scaled", bucket_size=17):
+            assert compile_corpus(sequences).bucket_size == 17
+        assert compile_corpus(sequences, bucket_size=5).bucket_size == 5
+
+    def test_engine_compile_uses_backend_bucket_size(self):
+        engine = InferenceEngine(backend="scaled", bucket_size=9)
+        corpus = engine.compile([np.array([0, 1]), np.array([1])])
+        assert corpus.bucket_size == 9
+
+
+class TestCorpusEquivalence:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_corpus_posteriors_match_reference(self, seed):
+        startprob, transmat, emissions, sequences = random_problem(seed)
+        scaled = InferenceEngine(backend="scaled", bucket_size=3)
+        reference = InferenceEngine(backend="log")
+        corpus = scaled.compile(sequences)
+        scores_ext = corpus.score(emissions)
+
+        got = scaled.posteriors_corpus(startprob, transmat, corpus, scores_ext)
+        want = reference.posteriors_corpus(startprob, transmat, corpus, scores_ext)
+        np.testing.assert_allclose(got.gamma_concat, want.gamma_concat, atol=ATOL)
+        np.testing.assert_allclose(got.xi_sum, want.xi_sum, atol=ATOL)
+        np.testing.assert_allclose(got.start_counts, want.start_counts, atol=ATOL)
+        np.testing.assert_allclose(
+            got.log_likelihoods, want.log_likelihoods, atol=ATOL, rtol=1e-10
+        )
+        assert abs(got.log_likelihood - want.log_likelihood) < 1e-6
+
+        # and both match the per-sequence batch path
+        tables = emissions.log_likelihoods_batch(sequences)
+        per_seq = reference.posteriors_batch(startprob, transmat, tables)
+        np.testing.assert_allclose(
+            got.gamma_concat,
+            np.concatenate([r.gamma for r in per_seq]),
+            atol=ATOL,
+        )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_corpus_viterbi_bit_identical_to_reference(self, seed):
+        startprob, transmat, emissions, sequences = random_problem(seed)
+        scaled = InferenceEngine(backend="scaled", bucket_size=3)
+        reference = InferenceEngine(backend="log")
+        corpus = scaled.compile(sequences)
+        scores_ext = corpus.score(emissions)
+
+        got = scaled.viterbi_corpus(startprob, transmat, corpus, scores_ext)
+        want = reference.viterbi_batch(
+            startprob, transmat, emissions.log_likelihoods_batch(sequences)
+        )
+        for (g_path, g_lj), (w_path, w_lj) in zip(got, want):
+            np.testing.assert_array_equal(g_path, w_path)
+            assert g_lj == w_lj
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_corpus_log_likelihood_matches_reference(self, seed):
+        startprob, transmat, emissions, sequences = random_problem(seed)
+        scaled = InferenceEngine(backend="scaled", bucket_size=3)
+        reference = InferenceEngine(backend="log")
+        corpus = scaled.compile(sequences)
+        scores_ext = corpus.score(emissions)
+        got = scaled.log_likelihood_corpus(startprob, transmat, corpus, scores_ext)
+        want = reference.log_likelihood_corpus(startprob, transmat, corpus, scores_ext)
+        np.testing.assert_allclose(got, want, atol=ATOL, rtol=1e-10)
+
+    def test_corpus_underflow_falls_back_exactly(self):
+        # One sequence's forward mass vanishes mid-way (>745-nat spread at a
+        # single timestep); the corpus kernels must recompute exactly that
+        # sequence with the log-domain reference — bit-identical gamma and
+        # likelihood — while its bucket-mates stay on the fast path.
+        startprob = np.array([1.0, 0.0])
+        transmat = np.eye(2)
+        lengths = (6, 4, 5)
+        sequences = [np.zeros(n, dtype=np.int64) for n in lengths]
+        scaled = InferenceEngine(backend="scaled", bucket_size=8)
+        reference = InferenceEngine(backend="log")
+        corpus = scaled.compile(sequences)
+        rng = np.random.default_rng(0)
+        scores = -rng.uniform(0.1, 2.0, size=(corpus.n_tokens, 2))
+        scores[2] = [-800.0, 0.0]  # timestep 2 of sequence 0
+        scores_ext = corpus.extend_scores(scores)
+
+        got = scaled.posteriors_corpus(startprob, transmat, corpus, scores_ext)
+        want = reference.posteriors_corpus(startprob, transmat, corpus, scores_ext)
+        assert np.isfinite(want.log_likelihoods[0])
+        assert got.log_likelihoods[0] == want.log_likelihoods[0]
+        np.testing.assert_allclose(
+            got.log_likelihoods, want.log_likelihoods, atol=ATOL, rtol=1e-10
+        )
+        got_parts = corpus.split(got.gamma_concat)
+        want_parts = corpus.split(want.gamma_concat)
+        np.testing.assert_array_equal(got_parts[0], want_parts[0])
+        for g, w in zip(got_parts[1:], want_parts[1:]):
+            np.testing.assert_allclose(g, w, atol=ATOL)
+        np.testing.assert_allclose(got.start_counts, want.start_counts, atol=ATOL)
+        np.testing.assert_allclose(got.xi_sum, want.xi_sum, atol=ATOL)
+
+        got_ll = scaled.log_likelihood_corpus(startprob, transmat, corpus, scores_ext)
+        want_ll = reference.log_likelihood_corpus(
+            startprob, transmat, corpus, scores_ext
+        )
+        assert got_ll[0] == want_ll[0]
+        np.testing.assert_allclose(got_ll, want_ll, atol=ATOL)
+
+    def test_n_workers_does_not_change_results(self):
+        startprob, transmat, emissions, sequences = random_problem(17)
+        serial = InferenceEngine(backend="scaled", bucket_size=2, n_workers=1)
+        threaded = InferenceEngine(backend="scaled", bucket_size=2, n_workers=4)
+        corpus = serial.compile(sequences)
+        scores_ext = corpus.score(emissions)
+        got = threaded.posteriors_corpus(startprob, transmat, corpus, scores_ext)
+        want = serial.posteriors_corpus(startprob, transmat, corpus, scores_ext)
+        np.testing.assert_array_equal(got.gamma_concat, want.gamma_concat)
+        np.testing.assert_array_equal(got.xi_sum, want.xi_sum)
+        got_v = threaded.viterbi_corpus(startprob, transmat, corpus, scores_ext)
+        want_v = serial.viterbi_corpus(startprob, transmat, corpus, scores_ext)
+        for (gp, gl), (wp, wl) in zip(got_v, want_v):
+            np.testing.assert_array_equal(gp, wp)
+            assert gl == wl
+
+    def test_n_workers_config_round_trip(self):
+        previous = set_inference_config(InferenceConfig(n_workers=3))
+        try:
+            engine = InferenceEngine()
+            assert engine.backend.n_workers == 3
+        finally:
+            set_inference_config(previous)
+        with pytest.raises(ValidationError):
+            InferenceConfig(n_workers=0)
+
+
+class TestVectorizedMStep:
+    def test_categorical_m_step_compiled_matches_loop(self):
+        rng = np.random.default_rng(4)
+        sequences = [rng.integers(0, 7, size=n) for n in (3, 9, 1, 14)]
+        corpus = CompiledCorpus(sequences, bucket_size=3)
+        gammas = [rng.dirichlet(np.ones(5), size=len(s)) for s in sequences]
+        loop = CategoricalEmission.random_init(5, 7, seed=0)
+        fast = loop.copy()
+        loop.m_step(sequences, gammas)
+        fast.m_step_compiled(corpus, np.concatenate(gammas))
+        np.testing.assert_allclose(
+            fast.emission_probs, loop.emission_probs, atol=1e-12
+        )
+
+    def test_categorical_concat_scoring_matches(self):
+        rng = np.random.default_rng(5)
+        em = CategoricalEmission.random_init(4, 9, seed=5)
+        concat = rng.integers(0, 9, size=50)
+        np.testing.assert_array_equal(
+            em.log_likelihoods_concat(concat), em.log_likelihoods(concat)
+        )
+        with pytest.raises(ValidationError):
+            em.log_likelihoods_concat(np.array([0, 9]))
+
+    def test_bernoulli_m_step_compiled_matches_loop(self):
+        rng = np.random.default_rng(6)
+        sequences = [
+            rng.integers(0, 2, size=(n, 6)).astype(float) for n in (2, 5, 8, 1)
+        ]
+        corpus = CompiledCorpus(sequences, bucket_size=2)
+        gammas = [rng.dirichlet(np.ones(3), size=len(s)) for s in sequences]
+        loop = BernoulliEmission.random_init(3, 6, seed=1)
+        fast = loop.copy()
+        loop.m_step(sequences, gammas)
+        fast.m_step_compiled(corpus, np.concatenate(gammas))
+        np.testing.assert_allclose(fast.pixel_probs, loop.pixel_probs, atol=1e-12)
+
+    def test_gaussian_m_step_compiled_matches_loop(self):
+        rng = np.random.default_rng(7)
+        sequences = [rng.normal(size=n) for n in (4, 11, 2)]
+        corpus = CompiledCorpus(sequences, bucket_size=2)
+        gammas = [rng.dirichlet(np.ones(3), size=len(s)) for s in sequences]
+        loop = GaussianEmission(np.array([0.0, 1.0, 2.0]), np.ones(3))
+        fast = loop.copy()
+        loop.m_step(sequences, gammas)
+        fast.m_step_compiled(corpus, np.concatenate(gammas))
+        np.testing.assert_allclose(fast.means, loop.means, atol=1e-12)
+        np.testing.assert_allclose(fast.variances, loop.variances, atol=1e-12)
+
+
+class TestTrainerOnCompiledCorpus:
+    def test_fit_accepts_precompiled_corpus(self):
+        startprob, transmat, emissions, sequences = random_problem(8, lengths=(4, 6, 9, 3))
+        engine = InferenceEngine(backend="scaled", bucket_size=2)
+        from_raw = HMM(startprob.copy(), transmat.copy(), emissions.copy())
+        from_corpus = HMM(startprob.copy(), transmat.copy(), emissions.copy())
+        corpus = engine.compile(sequences)
+        r1 = BaumWelchTrainer(max_iter=4, tol=0.0, engine=engine).fit(
+            from_raw, sequences
+        )
+        r2 = BaumWelchTrainer(max_iter=4, tol=0.0, engine=engine).fit(
+            from_corpus, corpus
+        )
+        np.testing.assert_array_equal(r1.history, r2.history)
+        np.testing.assert_array_equal(from_raw.transmat, from_corpus.transmat)
+        np.testing.assert_array_equal(from_raw.startprob, from_corpus.startprob)
+
+    def test_fit_matches_log_reference_trainer(self):
+        startprob, transmat, emissions, sequences = random_problem(9, lengths=(5, 8, 2, 11))
+        fast_model = HMM(startprob.copy(), transmat.copy(), emissions.copy())
+        ref_model = HMM(startprob.copy(), transmat.copy(), emissions.copy())
+        fast = BaumWelchTrainer(
+            max_iter=6, tol=0.0, engine=InferenceEngine(backend="scaled", bucket_size=2)
+        ).fit(fast_model, sequences)
+        ref = BaumWelchTrainer(
+            max_iter=6, tol=0.0, engine=InferenceEngine(backend="log")
+        ).fit(ref_model, sequences)
+        np.testing.assert_allclose(fast.history, ref.history, rtol=1e-9, atol=1e-8)
+        np.testing.assert_allclose(fast_model.transmat, ref_model.transmat, atol=ATOL)
+        np.testing.assert_allclose(
+            fast_model.emissions.emission_probs,
+            ref_model.emissions.emission_probs,
+            atol=ATOL,
+        )
+
+    def test_model_corpus_helpers(self):
+        startprob, transmat, emissions, sequences = random_problem(10)
+        model = HMM(startprob, transmat, emissions)
+        corpus = model.compile(sequences)
+        paths = model.predict_corpus(corpus)
+        want_paths = model.predict(sequences)
+        for got, want in zip(paths, want_paths):
+            np.testing.assert_array_equal(got, want)
+        assert abs(model.score_corpus(corpus) - model.score(sequences)) < 1e-8

@@ -1,0 +1,209 @@
+"""Hard-path tests for the fused batched Viterbi kernel.
+
+The fused kernel runs the Viterbi recursion in the log domain with the same
+elementary operations (broadcast add against ``log A``, first-index argmax
+over source states) as :func:`repro.hmm.viterbi.viterbi_decode_from_log`,
+so decoded paths must be *bit-identical* to the log reference — including
+on deliberately tie-heavy models, where a probability-domain kernel could
+legitimately break ties differently.  The ``_TINY`` underflow fallback of
+the forward-backward path must likewise reproduce the reference exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.hmm import (
+    CategoricalEmission,
+    InferenceEngine,
+    viterbi_backpointer_dtype,
+)
+from repro.hmm.viterbi import viterbi_decode
+
+
+def _engines(bucket_size=3):
+    return (
+        InferenceEngine(backend="scaled", bucket_size=bucket_size),
+        InferenceEngine(backend="log"),
+    )
+
+
+class TestViterbiTieBreaking:
+    def test_uniform_model_decodes_all_zeros_in_both_backends(self):
+        # Fully uniform model: every path ties, so the decoded path is
+        # determined purely by tie-breaking (first index wins everywhere).
+        k = 4
+        startprob = np.full(k, 1.0 / k)
+        transmat = np.full((k, k), 1.0 / k)
+        emissions = CategoricalEmission(np.full((k, 6), 1.0 / 6))
+        sequences = [np.array([0, 3, 1, 5, 2]), np.array([1]), np.array([2, 2, 4] * 7)]
+        tables = emissions.log_likelihoods_batch(sequences)
+        scaled, reference = _engines()
+        got = scaled.viterbi_batch(startprob, transmat, tables)
+        want = reference.viterbi_batch(startprob, transmat, tables)
+        for (g_path, g_lj), (w_path, w_lj) in zip(got, want):
+            np.testing.assert_array_equal(g_path, np.zeros_like(g_path))
+            np.testing.assert_array_equal(g_path, w_path)
+            assert g_lj == w_lj
+
+    def test_duplicate_states_tie_break_identically(self):
+        # Two pairs of interchangeable states (identical emission rows,
+        # identical transition rows): the argmax sees exact ties between
+        # them at every timestep in both backends.
+        rng = np.random.default_rng(0)
+        base = rng.dirichlet(np.ones(5), size=2)
+        emissions = CategoricalEmission(np.vstack([base[0], base[0], base[1], base[1]]))
+        startprob = np.full(4, 0.25)
+        transmat = np.tile(np.array([[0.3, 0.3, 0.2, 0.2]]), (4, 1))
+        sequences = [rng.integers(0, 5, size=n) for n in (1, 4, 9, 30, 2)]
+        tables = emissions.log_likelihoods_batch(sequences)
+        scaled, reference = _engines()
+        got = scaled.viterbi_batch(startprob, transmat, tables)
+        want = reference.viterbi_batch(startprob, transmat, tables)
+        for (g_path, g_lj), (w_path, w_lj) in zip(got, want):
+            np.testing.assert_array_equal(g_path, w_path)
+            assert g_lj == w_lj
+            # the tie must resolve to the lower-indexed state of each pair
+            assert set(np.unique(g_path)).issubset({0, 2})
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_models_decode_bit_identically(self, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(2, 6))
+        emissions = CategoricalEmission(rng.dirichlet(np.ones(7), size=k))
+        startprob = rng.dirichlet(np.ones(k))
+        transmat = rng.dirichlet(np.ones(k), size=k)
+        sequences = [rng.integers(0, 7, size=n) for n in (1, 2, 5, 17, 40)]
+        tables = emissions.log_likelihoods_batch(sequences)
+        scaled, reference = _engines()
+        got = scaled.viterbi_batch(startprob, transmat, tables)
+        want = reference.viterbi_batch(startprob, transmat, tables)
+        for (g_path, g_lj), (w_path, w_lj), table in zip(got, want, tables):
+            np.testing.assert_array_equal(g_path, w_path)
+            assert g_lj == w_lj
+        # and both match the standalone reference decoder
+        for (g_path, g_lj), table in zip(got, tables):
+            ref_path, ref_lj = viterbi_decode(startprob, transmat, table)
+            np.testing.assert_array_equal(g_path, ref_path)
+            assert g_lj == ref_lj
+
+    def test_unsorted_bucket_lengths_are_handled(self):
+        # The kernel's active-suffix optimization assumes length-sorted
+        # buckets; calling it directly with unsorted lengths must re-sort
+        # defensively and return results in the caller's order.
+        rng = np.random.default_rng(3)
+        k = 3
+        emissions = CategoricalEmission(rng.dirichlet(np.ones(4), size=k))
+        startprob = rng.dirichlet(np.ones(k))
+        transmat = rng.dirichlet(np.ones(k), size=k)
+        sequences = [rng.integers(0, 4, size=n) for n in (9, 2, 6)]
+        tables = emissions.log_likelihoods_batch(sequences)
+        scaled, reference = _engines()
+        backend = scaled.backend
+        from repro.utils.maths import safe_log
+
+        log_pi, log_AT = backend._viterbi_log_params(startprob, transmat, None, None)
+        padded = np.zeros((3, 9, k))
+        for row, table in enumerate(tables):
+            padded[row, : table.shape[0]] = table
+        got = backend._viterbi_bucket(
+            log_pi, log_AT, padded, np.array([9, 2, 6])
+        )
+        want = reference.viterbi_batch(startprob, transmat, tables)
+        for (g_path, g_lj), (w_path, w_lj) in zip(got, want):
+            np.testing.assert_array_equal(g_path, w_path)
+            assert g_lj == w_lj
+
+
+class TestUnderflowFallback:
+    def test_long_low_probability_sequence_matches_reference_exactly(self):
+        # A long low-probability sequence whose forward mass vanishes at one
+        # timestep (>745-nat spread underflows the probability domain even
+        # though the sequence is possible) must be recomputed with the
+        # log-domain reference and match it bit-for-bit, while an ordinary
+        # sequence in the same bucket stays on the fast path.
+        startprob = np.array([1.0, 0.0])
+        transmat = np.eye(2)
+        hard = np.full((150, 2), [-5.0, -750.0])
+        hard[75] = [-800.0, 0.0]
+        fine = np.full((149, 2), [-1.0, -2.0])
+        tables = [hard, fine]
+        scaled, reference = _engines(bucket_size=8)
+
+        got = scaled.posteriors_batch(startprob, transmat, tables)
+        want = reference.posteriors_batch(startprob, transmat, tables)
+        assert np.isfinite(want[0].log_likelihood)
+        # the underflowed sequence is recomputed by the reference recursion
+        np.testing.assert_array_equal(got[0].gamma, want[0].gamma)
+        np.testing.assert_array_equal(got[0].xi_sum, want[0].xi_sum)
+        assert got[0].log_likelihood == want[0].log_likelihood
+        # the healthy bucket-mate stays on the scaled fast path, within atol
+        np.testing.assert_allclose(got[1].gamma, want[1].gamma, atol=1e-8)
+        assert abs(got[1].log_likelihood - want[1].log_likelihood) < 1e-8
+
+        got_ll = scaled.log_likelihood_batch(startprob, transmat, tables)
+        want_ll = reference.log_likelihood_batch(startprob, transmat, tables)
+        assert got_ll[0] == want_ll[0]
+        assert abs(got_ll[1] - want_ll[1]) < 1e-8
+
+        # Viterbi runs in the log domain: bit-identical with no fallback.
+        got_v = scaled.viterbi_batch(startprob, transmat, tables)
+        want_v = reference.viterbi_batch(startprob, transmat, tables)
+        for (g_path, g_lj), (w_path, w_lj) in zip(got_v, want_v):
+            np.testing.assert_array_equal(g_path, w_path)
+            assert g_lj == w_lj
+
+    def test_impossible_timestep_matches_reference_exactly(self):
+        # A timestep where every state is impossible (-inf row): -inf
+        # likelihood and Viterbi score, exactly as the reference reports.
+        startprob = np.array([0.6, 0.4])
+        transmat = np.array([[0.7, 0.3], [0.2, 0.8]])
+        log_obs = np.array([[-0.5, -1.0], [-np.inf, -np.inf], [-0.3, -0.9]])
+        scaled, reference = _engines()
+        got = scaled.posteriors(startprob, transmat, log_obs)
+        want = reference.posteriors(startprob, transmat, log_obs)
+        assert got.log_likelihood == want.log_likelihood == -np.inf
+        np.testing.assert_array_equal(got.gamma, want.gamma)
+        got_path, got_lj = scaled.viterbi(startprob, transmat, log_obs)
+        want_path, want_lj = reference.viterbi(startprob, transmat, log_obs)
+        np.testing.assert_array_equal(got_path, want_path)
+        assert got_lj == want_lj == -np.inf
+
+
+class TestBackpointerDtype:
+    @pytest.mark.parametrize(
+        "n_states, expected",
+        [
+            (1, np.uint8),
+            (2, np.uint8),
+            (256, np.uint8),
+            (257, np.uint16),
+            (65_536, np.uint16),
+            (65_537, np.int64),
+        ],
+    )
+    def test_smallest_dtype_that_fits(self, n_states, expected):
+        assert viterbi_backpointer_dtype(n_states) == np.dtype(expected)
+
+    def test_rejects_non_positive_state_counts(self):
+        with pytest.raises(ValidationError):
+            viterbi_backpointer_dtype(0)
+
+    def test_paths_survive_small_dtype_round_trip(self):
+        # 300 states forces uint16 backpointers; decoding must still agree
+        # with the log reference bit-for-bit.
+        rng = np.random.default_rng(11)
+        k = 300
+        startprob = rng.dirichlet(np.ones(k))
+        transmat = rng.dirichlet(np.ones(k), size=k)
+        tables = [rng.normal(size=(n, k)) for n in (1, 4, 7)]
+        scaled, reference = _engines()
+        got = scaled.viterbi_batch(startprob, transmat, tables)
+        want = reference.viterbi_batch(startprob, transmat, tables)
+        for (g_path, g_lj), (w_path, w_lj) in zip(got, want):
+            assert g_path.max() < k
+            np.testing.assert_array_equal(g_path, w_path)
+            assert g_lj == w_lj
