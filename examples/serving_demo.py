@@ -10,9 +10,16 @@ then serves it two ways:
   micro-batches a burst of requests through the batched engine and reports
   throughput and batch-occupancy statistics;
 * **routed** — a :class:`~repro.serving.Router` serves two registry
-  models (with per-request deadlines) behind one bounded queue;
+  models (warmed up ahead of traffic, with per-request deadlines) behind
+  one bounded queue under a weighted-fair scheduling policy;
 * **high-fanout online** — a :class:`~repro.serving.StreamPool` steps many
-  concurrent streams per tick through one batched session.
+  concurrent streams per tick through one batched session, and a
+  :class:`~repro.serving.StreamingService` does the same for pushes
+  arriving from independent client threads;
+* **over HTTP** — an :class:`~repro.serving.HTTPServingServer` exposes the
+  whole stack (tag/score/stream/stats/health) to ``urllib``;
+* **housekeeping** — registry retention (:meth:`ModelRegistry.gc`) sweeps
+  old versions while "latest" and router-resident versions survive.
 
 Run with ``PYTHONPATH=src python examples/serving_demo.py``.
 """
@@ -30,9 +37,11 @@ from repro.core.supervised import SupervisedDiversifiedHMM
 from repro.datasets.pos import generate_wsj_like_corpus
 from repro.hmm.emissions.categorical import CategoricalEmission
 from repro.serving import (
+    HTTPServingServer,
     ModelRegistry,
     Router,
     StreamingDecoder,
+    StreamingService,
     StreamPool,
     TaggingService,
     resolve_hmm,
@@ -118,9 +127,12 @@ def main() -> None:
         registry.save("pos-baseline", baseline, metadata={"alpha": 0.0})
         routed_config = ServingConfig(
             max_batch_size=256, max_wait_ms=2.0, queue_capacity=4096,
-            max_loaded_models=2,
+            max_loaded_models=2, scheduling_policy="weighted_fair",
+            model_weights={"pos-tagger": 2.0, "pos-baseline": 1.0},
         )
         with Router(registry, config=routed_config) as router:
+            warmed = router.warm_up(["pos-tagger", "pos-baseline"])
+            print(f"    warmed up before traffic: {warmed}")
             futures = [
                 router.submit_tag(
                     "pos-tagger" if i % 2 == 0 else "pos-baseline",
@@ -152,6 +164,47 @@ def main() -> None:
         ])
         print(f"    {16 * length} tokens over 16 streams in {pooled * 1e3:.1f} ms "
               f"({16 * length / pooled:,.0f} tokens/s), accuracy {match:.2f}")
+
+        print("\n=== 8. StreamingService: the same fanout from independent clients")
+        with StreamingService(served_model, lag=4) as stream_service:
+            handles = [stream_service.open() for _ in range(8)]
+            futures = [
+                handle.submit_push(sent[t])
+                for t in range(length)
+                for handle, sent in zip(handles, sentences)
+            ]
+            for future in futures:
+                future.result()
+            results = [handle.finish() for handle in handles]
+            sstats = stream_service.stats.snapshot()
+        print(f"    {sstats['n_requests']} queued pushes coalesced into "
+              f"{sstats['n_batches']} ticks "
+              f"(mean occupancy {sstats['mean_batch_size']:.1f})")
+
+        print("\n=== 9. The same stack over HTTP (tag/score/stream/stats/health)")
+        import json as _json
+        import urllib.request
+
+        with HTTPServingServer(registry, port=0) as server:
+            base = f"http://{server.host}:{server.port}"
+            request = urllib.request.Request(
+                f"{base}/v1/models/pos-tagger/tag",
+                data=_json.dumps({"sequence": [int(t) for t in sentence]}).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                tags = _json.loads(response.read())["tags"]
+            with urllib.request.urlopen(f"{base}/stats", timeout=10) as response:
+                http_stats = _json.loads(response.read())
+            print(f"    POST /v1/models/pos-tagger/tag -> {tags[:8]}...")
+            print(f"    GET /stats -> router served "
+                  f"{http_stats['router']['n_requests']} request(s)")
+
+        print("\n=== 10. Registry retention: GC old versions, keep what serves")
+        registry.save("pos-tagger", model, metadata={"note": "retrained"})
+        removed = registry.gc(keep_last_n=1)
+        print(f"    collected {removed}; surviving versions: "
+              f"{ {name: registry.versions(name) for name in registry.list_models()} }")
 
 
 if __name__ == "__main__":

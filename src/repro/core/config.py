@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Iterator
+from typing import Iterator, Mapping
 
 from repro.exceptions import ValidationError
 
@@ -102,6 +102,12 @@ def inference_backend(
         set_inference_config(previous)
 
 
+#: Scheduling policies the serving scheduler understands (the canonical
+#: list lives here so config validation does not import the serving layer;
+#: :mod:`repro.serving.scheduler` asserts its registry matches).
+SCHEDULING_POLICIES = ("fifo", "weighted_fair", "edf")
+
+
 @dataclass(frozen=True)
 class ServingConfig:
     """Process-wide defaults for the serving subsystem (:mod:`repro.serving`).
@@ -129,6 +135,15 @@ class ServingConfig:
         Default fixed lag (in tokens) of the sliding-window Viterbi used by
         :class:`~repro.serving.StreamingDecoder`; ``None`` defers all labels
         to the end of the stream (exact full-sequence Viterbi).
+    scheduling_policy:
+        How the scheduler orders pending requests into micro-batches:
+        ``"fifo"`` (arrival order, the default), ``"weighted_fair"``
+        (deficit round-robin across models, weighted by ``model_weights``)
+        or ``"edf"`` (earliest deadline first; deadline-free requests sort
+        last, ties break by arrival).
+    model_weights:
+        Per-model-name weights for the ``weighted_fair`` policy; missing
+        names default to 1.0.  Ignored by the other policies.
     """
 
     max_batch_size: int = 64
@@ -136,6 +151,8 @@ class ServingConfig:
     queue_capacity: int | None = 1024
     max_loaded_models: int = 4
     streaming_lag: int | None = 32
+    scheduling_policy: str = "fifo"
+    model_weights: Mapping[str, float] | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -158,6 +175,21 @@ class ServingConfig:
             raise ValidationError(
                 f"streaming_lag must be at least 1 or None, got {self.streaming_lag}"
             )
+        if self.scheduling_policy not in SCHEDULING_POLICIES:
+            raise ValidationError(
+                f"scheduling_policy must be one of {SCHEDULING_POLICIES}, "
+                f"got {self.scheduling_policy!r}"
+            )
+        if self.model_weights is not None:
+            for name, weight in self.model_weights.items():
+                if not isinstance(name, str):
+                    raise ValidationError(
+                        f"model_weights keys must be model names, got {name!r}"
+                    )
+                if not weight > 0:
+                    raise ValidationError(
+                        f"model weight for {name!r} must be positive, got {weight}"
+                    )
 
 
 _serving_config = ServingConfig()

@@ -1,20 +1,38 @@
-"""Serving subsystem: persistence, registry, streaming, routing, tagging service.
+"""Serving subsystem: a four-layer stack from artifacts to HTTP.
 
-Turns a trained (d)HMM into something deployable:
+Turns a trained (d)HMM into something deployable.  The stack is layered —
+scheduling / transport / storage / execution — so policies, protocols and
+persistence evolve independently:
 
-* :mod:`repro.serving.persistence` — versioned save/load of models as
-  ``.npz``-plus-JSON-manifest artifact directories;
-* :mod:`repro.serving.registry` — a named, versioned on-disk
-  :class:`ModelRegistry` over those artifacts;
-* :mod:`repro.serving.streaming` — :class:`StreamingDecoder`, tagging tokens
-  as they arrive (per-step filtering posteriors + fixed-lag Viterbi), and
-  :class:`StreamPool`, multiplexing many concurrent streams onto one
-  batched session;
-* :mod:`repro.serving.service` — :class:`TaggingService`, a micro-batching
-  front end coalescing concurrent requests into engine length-buckets,
-  with a bounded queue and per-request deadlines;
+**Scheduling core**
+
+* :mod:`repro.serving.scheduler` — the bounded queue, dispatcher thread,
+  deadline expiry and the pluggable :class:`SchedulingPolicy` (FIFO /
+  weighted-fair / EDF, via ``ServingConfig.scheduling_policy``) every
+  service runs on.
+
+**Execution services** (subclasses of :class:`MicroBatchScheduler`)
+
+* :mod:`repro.serving.service` — :class:`TaggingService`, coalescing
+  concurrent tag/score requests into engine length-buckets;
 * :mod:`repro.serving.router` — :class:`Router`, serving every registry
-  model behind one queue with LRU lazy loading;
+  model behind one queue with LRU lazy loading and warm-up;
+* :mod:`repro.serving.streaming_service` — :class:`StreamingService`,
+  collecting concurrent clients' online pushes into batched session ticks;
+* :mod:`repro.serving.streaming` — the caller-driven online primitives
+  (:class:`StreamingDecoder`, :class:`StreamPool`).
+
+**Storage**
+
+* :mod:`repro.serving.persistence` — versioned, checksummed save/load of
+  models as compressed ``.npz``-plus-JSON-manifest artifact directories;
+* :mod:`repro.serving.registry` — a named, versioned on-disk
+  :class:`ModelRegistry` with retention/GC over those artifacts.
+
+**Transport**
+
+* :mod:`repro.serving.http` — a stdlib-only asyncio HTTP front end over
+  the router and streaming service;
 * :mod:`repro.serving.cli` — the ``repro-serve`` console entry point.
 """
 
@@ -27,10 +45,19 @@ from repro.serving.persistence import (
     resolve_hmm,
     save_artifact,
     save_model,
+    verify_checksums,
 )
 from repro.serving.registry import ModelRegistry
 from repro.serving.router import Router
-from repro.serving.service import ServiceStats, TaggingService
+from repro.serving.scheduler import (
+    EDFPolicy,
+    FIFOPolicy,
+    MicroBatchScheduler,
+    SchedulingPolicy,
+    ServiceStats,
+    WeightedFairPolicy,
+)
+from repro.serving.service import TaggingService
 from repro.serving.streaming import (
     PooledStream,
     StreamingDecoder,
@@ -38,6 +65,8 @@ from repro.serving.streaming import (
     StreamResult,
     stream_decode,
 )
+from repro.serving.http import HTTPServingServer
+from repro.serving.streaming_service import ServiceStream, StreamingService
 
 __all__ = [
     "MODEL_TYPES",
@@ -48,13 +77,22 @@ __all__ = [
     "load_model",
     "read_manifest",
     "resolve_hmm",
+    "verify_checksums",
     "ModelRegistry",
     "Router",
     "TaggingService",
     "ServiceStats",
+    "MicroBatchScheduler",
+    "SchedulingPolicy",
+    "FIFOPolicy",
+    "WeightedFairPolicy",
+    "EDFPolicy",
     "StreamingDecoder",
     "StreamPool",
     "PooledStream",
     "StreamResult",
     "stream_decode",
+    "StreamingService",
+    "ServiceStream",
+    "HTTPServingServer",
 ]

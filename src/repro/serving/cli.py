@@ -21,7 +21,13 @@ Subcommands
     queue: each JSON-lines request names its model (and optionally a
     version, a kind and a deadline), the :class:`~repro.serving.Router`
     coalesces per-model micro-batches, loads models lazily (LRU-capped)
-    and applies backpressure/deadline shedding.
+    and applies backpressure/deadline shedding.  ``--scheduling-policy``
+    selects the batch-ordering policy and ``--stats`` prints the final
+    :meth:`ServiceStats.snapshot` as JSON.
+``serve``
+    Run the asyncio HTTP front end
+    (:class:`~repro.serving.HTTPServingServer`) over a registry:
+    tag/score/stream/stats/health endpoints until interrupted.
 ``bench``
     Measure micro-batched service throughput against sequential per-request
     decoding on model-sampled sequences.
@@ -33,7 +39,8 @@ Examples
     repro-serve fit --dataset pos --registry ./registry --name pos-tagger \
         --sample-out ./sample.jsonl
     repro-serve tag --registry ./registry --name pos-tagger --input ./sample.jsonl
-    repro-serve route --registry ./registry --input ./routed.jsonl
+    repro-serve route --registry ./registry --input ./routed.jsonl --stats
+    repro-serve serve --registry ./registry --port 8765 --warm-up pos-tagger
     repro-serve bench --registry ./registry --name pos-tagger --requests 200
 """
 
@@ -47,7 +54,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.config import DHMMConfig, ServingConfig
+from repro.core.config import SCHEDULING_POLICIES, DHMMConfig, ServingConfig
 from repro.core.diversified_hmm import DiversifiedHMM
 from repro.core.supervised import SupervisedDiversifiedHMM
 from repro.datasets.ocr import N_PIXELS, generate_ocr_dataset
@@ -268,6 +275,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         queue_capacity=args.queue_capacity,
         max_loaded_models=args.max_loaded_models,
+        scheduling_policy=args.scheduling_policy,
     )
     started = time.perf_counter()
     with Router(args.registry, config=config) as router:
@@ -361,6 +369,60 @@ def _cmd_route(args: argparse.Namespace) -> int:
         f"{n_errors} errors, {stats['n_expired']} expired, "
         f"{stats['n_rejected']} shed, {stats['n_model_loads']} model loads"
     )
+    if args.stats:
+        # The full ServiceStats snapshot (shed/expiry counters, queue depth,
+        # per-model counts, occupancy) as one JSON object — the
+        # machine-readable companion of the summary line above.  When the
+        # per-request results already own stdout (no --output), the stats
+        # go to stderr so the JSONL stream stays parseable.
+        stats_text = json.dumps(stats, indent=2)
+        if args.output is None:
+            _log(stats_text)
+        else:
+            print(stats_text)
+    return 0
+
+
+# ------------------------------------------------------------------ #
+# serve
+# ------------------------------------------------------------------ #
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serving.http import HTTPServingServer
+
+    config = ServingConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        queue_capacity=args.queue_capacity,
+        max_loaded_models=args.max_loaded_models,
+        scheduling_policy=args.scheduling_policy,
+    )
+    server = HTTPServingServer(
+        args.registry, config=config, host=args.host, port=args.port
+    )
+    server.start()
+    try:
+        if args.warm_up:
+            names = [name for name in args.warm_up.split(",") if name]
+            loaded = server.router.warm_up(names)
+            _log(f"warmed up {', '.join(f'{n} v{v}' for n, v in loaded)}")
+    except Exception:
+        server.close()
+        raise
+    _log(
+        f"serving registry {args.registry} on http://{server.host}:{server.port} "
+        f"(policy={config.scheduling_policy}); Ctrl-C to stop"
+    )
+
+    # SIGTERM (the polite supervisor kill) should flush and exit 0 just
+    # like Ctrl-C.
+    def _interrupt(*_):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _interrupt)
+    server.serve_forever()
+    _log("server stopped")
     return 0
 
 
@@ -480,7 +542,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     route.add_argument("--max-batch-size", type=int, default=serving_defaults.max_batch_size)
     route.add_argument("--max-wait-ms", type=float, default=serving_defaults.max_wait_ms)
+    route.add_argument(
+        "--scheduling-policy",
+        choices=SCHEDULING_POLICIES,
+        default=serving_defaults.scheduling_policy,
+        help="how pending requests are ordered into micro-batches",
+    )
+    route.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the final ServiceStats snapshot as JSON (on stdout when "
+        "results go to --output, on stderr when results own stdout)",
+    )
     route.set_defaults(func=_cmd_route)
+
+    serve = sub.add_parser(
+        "serve", help="HTTP front end (tag/score/stream/stats/health) over a registry"
+    )
+    serve.add_argument("--registry", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765, help="0 picks an ephemeral port")
+    serve.add_argument(
+        "--warm-up",
+        help="comma-separated model names to preload before serving traffic",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=serving_defaults.queue_capacity
+    )
+    serve.add_argument(
+        "--max-loaded-models", type=int, default=serving_defaults.max_loaded_models
+    )
+    serve.add_argument("--max-batch-size", type=int, default=serving_defaults.max_batch_size)
+    serve.add_argument("--max-wait-ms", type=float, default=serving_defaults.max_wait_ms)
+    serve.add_argument(
+        "--scheduling-policy",
+        choices=SCHEDULING_POLICIES,
+        default=serving_defaults.scheduling_policy,
+        help="how pending requests are ordered into micro-batches",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser("bench", help="micro-batched service vs sequential decode")
     bench.add_argument("--registry", required=True)

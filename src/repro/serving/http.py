@@ -1,0 +1,455 @@
+"""Asyncio HTTP front end over the routed serving stack (stdlib only).
+
+:class:`HTTPServingServer` exposes a :class:`~repro.serving.router.Router`
+(and per-model :class:`~repro.serving.streaming_service.StreamingService`
+sessions) over HTTP/1.1 without any third-party dependency: a hand-rolled
+request loop on :func:`asyncio.start_server` parses requests, and the
+thread-based dispatcher futures are bridged onto the event loop —
+blocking calls (submit-time registry scans, stream opens, model loads) run
+via ``loop.run_in_executor`` and the resulting
+:class:`concurrent.futures.Future` handles are awaited through
+:func:`asyncio.wrap_future` — so one asyncio thread multiplexes any number
+of slow clients while the scheduler threads do the compute.
+
+Endpoints (all request/response bodies are JSON):
+
+=======  ==============================  =====================================
+method   path                            body -> response
+=======  ==============================  =====================================
+GET      ``/healthz``                    -> ``{"status": "ok", ...}``
+GET      ``/stats``                      -> scheduler + stream-service stats
+GET      ``/v1/models``                  -> registered names and versions
+POST     ``/v1/models/<name>/tag``       ``{"sequence": [...], "version"?,
+                                         "deadline_ms"?}`` -> ``{"tags"}``
+POST     ``/v1/models/<name>/score``     same -> ``{"score"}``
+POST     ``/v1/streams``                 ``{"model":.., "version"?, "lag"?}``
+                                         -> ``{"stream_id"}``
+POST     ``/v1/streams/<id>/push``       ``{"observation": ..}`` -> one step
+POST     ``/v1/streams/<id>/finish``     -> final path + log-likelihood
+=======  ==============================  =====================================
+
+Error mapping: validation failures are ``400``, unknown routes/streams
+``404``, queue-full backpressure ``429``, expired deadlines ``504``,
+anything else ``500`` — always as ``{"error": <message>}``.
+
+``repro-serve serve`` is the CLI entry point; tests drive the server
+in-process via :meth:`HTTPServingServer.start` on an ephemeral port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import uuid
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import ServingConfig
+from repro.exceptions import (
+    DeadlineExceededError,
+    QueueFullError,
+    ValidationError,
+)
+from repro.serving.registry import ModelRegistry
+from repro.serving.router import Router
+from repro.serving.scheduler import _model_label
+from repro.serving.streaming import _UNSET
+from repro.serving.streaming_service import ServiceStream, StreamingService
+
+_MAX_BODY_BYTES = 16 << 20  # 16 MiB: far beyond any sane request
+
+_STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class HTTPServingServer:
+    """HTTP transport over one registry's router and streaming services.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`~repro.serving.registry.ModelRegistry` or its root path.
+    config:
+        Scheduling/backpressure knobs shared by the router and every
+        per-model streaming service; defaults to the process-wide config.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read ``.port``
+        after :meth:`start`).
+
+    The server owns its :class:`Router` (and lazily, one
+    :class:`StreamingService` per ``(name, version)`` that receives stream
+    traffic); :meth:`close` shuts them all down.  Use :meth:`start` /
+    :meth:`close` (or the context manager) from tests, and
+    :meth:`serve_forever` from the CLI.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry | str | Path,
+        config: ServingConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+    ) -> None:
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        self.registry = registry
+        self.router = Router(registry, config=config)
+        self.config = self.router.config
+        self.host = host
+        self.port = port
+        self._streams: dict[str, tuple[ServiceStream, tuple[str, int]]] = {}
+        self._stream_services: dict[tuple[str, int], StreamingService] = {}
+        self._state_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+    # Lifecycle
+    # -------------------------------------------------------------- #
+    def start(self) -> "HTTPServingServer":
+        """Bind and begin serving on a background event-loop thread.
+
+        Returns once the socket is listening; ``.port`` holds the actual
+        (possibly ephemeral) port.
+        """
+        if self._loop is not None:
+            raise ValidationError("server already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serving-http", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self._bind(), self._loop)
+        future.result(timeout=30)
+        return self
+
+    async def _bind(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop listening, stop the loop, and close every service."""
+        if self._closed:
+            return
+        self._closed = True
+        loop = self._loop
+        if loop is not None:
+
+            def _shutdown() -> None:
+                if self._server is not None:
+                    self._server.close()
+                loop.stop()
+
+            loop.call_soon_threadsafe(_shutdown)
+            if self._thread is not None:
+                self._thread.join(timeout=timeout)
+            loop.close()
+        with self._state_lock:
+            services = list(self._stream_services.values())
+            self._stream_services.clear()
+            self._streams.clear()
+        for service in services:
+            service.close(timeout=timeout)
+        self.router.close(timeout=timeout)
+
+    def serve_forever(self) -> None:
+        """CLI mode: serve until interrupted, then shut down cleanly.
+
+        Starts the server if :meth:`start` was not already called — the CLI
+        starts it first so warm-up runs between binding and blocking.
+        """
+        if self._loop is None:
+            self.start()
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def __enter__(self) -> "HTTPServingServer":
+        return self.start() if self._loop is None else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- #
+    # Connection handling
+    # -------------------------------------------------------------- #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                try:
+                    method, target, _version = (
+                        request_line.decode("latin1").rstrip("\r\n").split(" ", 2)
+                    )
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "malformed request line"})
+                    break
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or 0)
+                except ValueError:
+                    await self._respond(
+                        writer, 400, {"error": "malformed Content-Length header"}
+                    )
+                    break
+                if length < 0:
+                    await self._respond(
+                        writer, 400, {"error": "malformed Content-Length header"}
+                    )
+                    break
+                if length > _MAX_BODY_BYTES:
+                    await self._respond(writer, 413, {"error": "request body too large"})
+                    break
+                body = await reader.readexactly(length) if length else b""
+                status, payload = await self._dispatch(method, target, body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                await self._respond(writer, status, payload, keep_alive=keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool = False,
+    ) -> None:
+        data = json.dumps(payload).encode()
+        phrase = _STATUS_PHRASES.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {phrase}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        )
+        writer.write(head.encode("latin1") + data)
+        await writer.drain()
+
+    # -------------------------------------------------------------- #
+    # Routing
+    # -------------------------------------------------------------- #
+    async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, dict]:
+        try:
+            return 200, await self._route(method, target.split("?", 1)[0], body)
+        except _HTTPError as exc:
+            return exc.status, {"error": str(exc)}
+        except QueueFullError as exc:
+            return 429, {"error": str(exc)}
+        except DeadlineExceededError as exc:
+            return 504, {"error": str(exc)}
+        except ValidationError as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # a corrupt artifact, a numpy error, ...
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    async def _route(self, method: str, path: str, body: bytes) -> dict:
+        parts = [part for part in path.split("/") if part]
+        if method == "GET":
+            if parts in (["healthz"], ["health"]):
+                return {
+                    "status": "ok",
+                    "scheduling_policy": self.router.scheduling_policy,
+                    "queue_depth": self.router.queue_depth,
+                }
+            if parts == ["stats"]:
+                return self._stats_payload()
+            if parts == ["v1", "models"]:
+                return await self._run_blocking(self._list_models)
+            raise _HTTPError(404, f"no such resource: GET {path}")
+        if method != "POST":
+            raise _HTTPError(405, f"unsupported method {method}")
+        payload = self._parse_body(body)
+        if len(parts) == 4 and parts[:2] == ["v1", "models"]:
+            name, action = parts[2], parts[3]
+            if action not in ("tag", "score"):
+                raise _HTTPError(404, f"no such model action: {action}")
+            return await self._tag_or_score(name, action, payload)
+        if parts == ["v1", "streams"]:
+            return await self._open_stream(payload)
+        if len(parts) == 4 and parts[:2] == ["v1", "streams"]:
+            stream_id, action = parts[2], parts[3]
+            if action == "push":
+                return await self._push_stream(stream_id, payload)
+            if action == "finish":
+                return await self._finish_stream(stream_id)
+            raise _HTTPError(404, f"no such stream action: {action}")
+        raise _HTTPError(404, f"no such resource: POST {path}")
+
+    @staticmethod
+    def _parse_body(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HTTPError(400, f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        return payload
+
+    async def _run_blocking(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn, *args)
+
+    # -------------------------------------------------------------- #
+    # Handlers
+    # -------------------------------------------------------------- #
+    def _stats_payload(self) -> dict:
+        with self._state_lock:
+            stream_services = dict(self._stream_services)
+            n_open = len(self._streams)
+        return {
+            "scheduling_policy": self.router.scheduling_policy,
+            "router": self.router.stats.snapshot(),
+            "streams": {
+                _model_label(key): service.stats.snapshot()
+                for key, service in stream_services.items()
+            },
+            "n_open_streams": n_open,
+        }
+
+    def _list_models(self) -> dict:
+        models = []
+        for name in self.registry.list_models():
+            versions = self.registry.versions(name)
+            models.append(
+                {"name": name, "versions": versions, "latest": versions[-1]}
+            )
+        return {"models": models}
+
+    async def _tag_or_score(self, name: str, action: str, payload: dict) -> dict:
+        if "sequence" not in payload:
+            raise _HTTPError(400, "request body needs a 'sequence' field")
+        sequence = np.asarray(payload["sequence"])
+        version = payload.get("version")
+        deadline_ms = payload.get("deadline_ms")
+        submit = self.router.submit_tag if action == "tag" else self.router.submit_score
+        # Submission touches the registry (latest-version scans) and the
+        # queue lock: keep it off the event loop, then await the scheduler
+        # future without blocking anything.
+        future = await self._run_blocking(
+            lambda: submit(name, sequence, version=version, deadline_ms=deadline_ms)
+        )
+        result = await asyncio.wrap_future(future)
+        if action == "tag":
+            return {"model": name, "tags": [int(s) for s in result]}
+        return {"model": name, "score": float(result)}
+
+    def _stream_service_for(self, name: str, version: int | None) -> tuple:
+        key = (name, int(version) if version is not None else self.registry.latest_version(name))
+        with self._state_lock:
+            service = self._stream_services.get(key)
+        if service is None:
+            model = self.registry.load(*key)
+            with self._state_lock:
+                # another request may have won the creation race
+                service = self._stream_services.get(key)
+                if service is None:
+                    service = StreamingService(model, config=self.config)
+                    self._stream_services[key] = service
+        return key, service
+
+    async def _open_stream(self, payload: dict) -> dict:
+        if "model" not in payload:
+            raise _HTTPError(400, "request body needs a 'model' field")
+        lag = payload.get("lag", _UNSET)
+
+        def blocking_open():
+            key, service = self._stream_service_for(
+                payload["model"], payload.get("version")
+            )
+            handle = service.open(lag=lag)
+            stream_id = uuid.uuid4().hex
+            with self._state_lock:
+                self._streams[stream_id] = (handle, key)
+            return stream_id, key
+
+        stream_id, key = await self._run_blocking(blocking_open)
+        return {
+            "stream_id": stream_id,
+            "model": key[0],
+            "version": key[1],
+        }
+
+    async def _push_stream(self, stream_id: str, payload: dict) -> dict:
+        if "observation" not in payload:
+            raise _HTTPError(400, "request body needs an 'observation' field")
+        observation = np.asarray(payload["observation"])
+        # Lookup and submission happen under one lock: a ServiceStream
+        # expects its pushes serialized, but HTTP exposes the stream id to
+        # arbitrary concurrent connections — without the lock a push racing
+        # a finish could slip past the finished check and, after the
+        # session slot is reused, advance another client's stream.
+        with self._state_lock:
+            entry = self._streams.get(stream_id)
+            if entry is None:
+                raise _HTTPError(404, f"no such stream: {stream_id}")
+            handle, _key = entry
+            future = handle.submit_push(observation)
+        step = await asyncio.wrap_future(future)
+        return {
+            "filtering": [float(p) for p in step.filtering],
+            "finalized": [[int(t), int(s)] for t, s in step.finalized],
+            "log_likelihood": float(step.log_likelihood),
+        }
+
+    async def _finish_stream(self, stream_id: str) -> dict:
+        with self._state_lock:
+            entry = self._streams.get(stream_id)
+            if entry is None:
+                raise _HTTPError(404, f"no such stream: {stream_id}")
+            handle, _key = entry
+            # submit_finish flips the handle to finished before we release
+            # the lock, so a concurrent push observes it and fails with 400
+            # instead of landing behind the finish in the queue.
+            future = handle.submit_finish()
+            del self._streams[stream_id]
+        result = await asyncio.wrap_future(future)
+        return {
+            "path": [int(s) for s in result.path],
+            "log_likelihood": float(result.log_likelihood),
+            "n_tokens": int(result.path.shape[0]),
+        }

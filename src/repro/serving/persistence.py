@@ -14,6 +14,23 @@ binary format.  The schema is versioned so future layout changes can keep
 loading old artifacts — :func:`load_artifact` refuses schema versions newer
 than it understands instead of misreading them.
 
+Schema history
+--------------
+* **v1** — uncompressed ``np.savez`` payload, no integrity information.
+* **v2** (current) — the payload is written with ``np.savez_compressed``
+  (large emission tables shrink several-fold) and the manifest records a
+  SHA-256 checksum of the payload file, verified on every load: silent
+  on-disk corruption (a torn copy, bit rot, a truncated download) fails
+  loudly as :class:`~repro.exceptions.ValidationError` instead of decoding
+  garbage parameters.  v1 artifacts (no ``checksums`` entry) still load
+  unchanged.
+
+Both files are written **atomically** — to a temporary file in the target
+directory, flushed, then ``os.replace``-d into place — so a crash mid-save
+can never leave a half-written file under the final name.  The manifest is
+written last: an artifact directory is complete exactly when its manifest
+exists.
+
 Every model class that participates implements ``to_state_dict`` /
 ``from_state_dict``; the mapping between class and the ``model_type``
 string recorded in the manifest lives here, in :data:`MODEL_TYPES`, so the
@@ -22,9 +39,12 @@ model layers stay unaware of the serving subsystem.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -38,7 +58,7 @@ from repro.hmm.model import HMM
 
 #: Current artifact layout version.  Bump on breaking layout changes and
 #: keep a loader branch for every older version still supported.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
@@ -128,8 +148,43 @@ def _unflatten(node: Any, arrays: dict[str, np.ndarray]) -> Any:
 # ------------------------------------------------------------------ #
 # Artifact I/O
 # ------------------------------------------------------------------ #
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _write_atomic(path: Path, writer: Callable[[Any], None], mode: str) -> None:
+    """Write a file via a same-directory temp file plus ``os.replace``.
+
+    A crash mid-``writer`` leaves only a stray ``.tmp-*`` file behind; the
+    destination either keeps its previous content or receives the complete
+    new one — readers can never observe a torn file under the final name.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.tmp-", dir=path.parent
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, mode) as fh:
+            writer(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
 def save_artifact(model: Any, path: str | Path, metadata: dict | None = None) -> Path:
-    """Persist a model (or fitted estimator) as an artifact directory.
+    """Persist a model (or fitted estimator) as a schema-v2 artifact directory.
+
+    The ``arrays.npz`` payload is compressed and its SHA-256 checksum
+    recorded in the manifest; both files are written atomically (temp file
+    + ``os.replace``), the manifest last, so a crash mid-save never leaves
+    a torn artifact that looks complete.
 
     Parameters
     ----------
@@ -148,15 +203,18 @@ def save_artifact(model: Any, path: str | Path, metadata: dict | None = None) ->
     path.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {}
     state = _flatten(model.to_state_dict(), "", arrays)
+    _write_atomic(
+        path / ARRAYS_NAME, lambda fh: np.savez_compressed(fh, **arrays), "wb"
+    )
     manifest = {
         "schema_version": SCHEMA_VERSION,
         "model_type": type_name,
         "metadata": metadata or {},
+        "checksums": {ARRAYS_NAME: _sha256_file(path / ARRAYS_NAME)},
         "state": state,
     }
-    with (path / ARRAYS_NAME).open("wb") as fh:
-        np.savez(fh, **arrays)
-    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    text = json.dumps(manifest, indent=2) + "\n"
+    _write_atomic(path / MANIFEST_NAME, lambda fh: fh.write(text), "w")
     return path
 
 
@@ -183,10 +241,44 @@ def read_manifest(path: str | Path) -> dict:
     return manifest
 
 
+def verify_checksums(path: str | Path, manifest: dict | None = None) -> bool:
+    """Verify an artifact's recorded payload checksums.
+
+    Returns True when every recorded checksum matches, False for a v1
+    artifact that records none; raises
+    :class:`~repro.exceptions.ValidationError` on any mismatch or missing
+    payload file.
+    """
+    path = Path(path)
+    if manifest is None:
+        manifest = read_manifest(path)
+    checksums = manifest.get("checksums")
+    if not checksums:
+        return False  # schema v1: nothing recorded, nothing to verify
+    for filename, expected in checksums.items():
+        payload = path / filename
+        if not payload.is_file():
+            raise ValidationError(f"artifact at {path} is missing payload {filename}")
+        actual = _sha256_file(payload)
+        if actual != expected:
+            raise ValidationError(
+                f"artifact checksum mismatch for {payload}: the manifest "
+                f"records sha256 {expected} but the file hashes to {actual} "
+                "— the artifact is corrupt (torn copy, bit rot, or a "
+                "partial write); re-save or restore it"
+            )
+    return True
+
+
 def load_artifact(path: str | Path) -> Any:
-    """Load an artifact directory back into a model instance."""
+    """Load an artifact directory back into a model instance.
+
+    Schema-v2 artifacts are checksum-verified before any array is decoded;
+    v1 artifacts (which recorded no checksums) load as before.
+    """
     path = Path(path)
     manifest = read_manifest(path)
+    verify_checksums(path, manifest)
     with np.load(path / ARRAYS_NAME) as npz:
         arrays = {key: npz[key] for key in npz.files}
     state = _unflatten(manifest["state"], arrays)

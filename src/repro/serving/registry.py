@@ -17,8 +17,9 @@ even without going through the registry.
 from __future__ import annotations
 
 import re
+import shutil
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro.exceptions import ValidationError
 from repro.serving.persistence import (
@@ -123,6 +124,49 @@ class ModelRegistry:
     def load(self, name: str, version: int | None = None) -> Any:
         """Load a stored model (latest version by default)."""
         return load_artifact(self.artifact_path(name, version))
+
+    def gc(
+        self,
+        keep_last_n: int,
+        name: str | None = None,
+        protect: Iterable[tuple[str, int]] = (),
+    ) -> list[tuple[str, int]]:
+        """Retention: delete all but the newest ``keep_last_n`` versions.
+
+        Parameters
+        ----------
+        keep_last_n:
+            How many of the newest versions of each model to retain (at
+            least 1, so the version pinned as "latest" is never collected).
+        name:
+            Restrict collection to one model; default sweeps every model
+            in the registry.
+        protect:
+            ``(name, version)`` pairs that must survive regardless of age —
+            pass a router's :meth:`~repro.serving.router.Router.loaded_models`
+            so versions currently serving traffic are never deleted under it.
+
+        Returns the deleted ``(name, version)`` pairs (sorted).  Version
+        numbering is append-only: a collected version's number is never
+        reused, because :meth:`save` always allocates past the largest
+        *directory* present and deletion only happens behind the newest
+        ``keep_last_n`` survivors.
+        """
+        if keep_last_n < 1:
+            raise ValidationError(
+                f"keep_last_n must be at least 1, got {keep_last_n}"
+            )
+        protected = set(protect)
+        names = [name] if name is not None else self.list_models()
+        removed: list[tuple[str, int]] = []
+        for model_name in names:
+            versions = self.versions(model_name)
+            for version in versions[:-keep_last_n]:
+                if (model_name, version) in protected:
+                    continue
+                shutil.rmtree(self._model_dir(model_name) / _version_dirname(version))
+                removed.append((model_name, version))
+        return sorted(removed)
 
     def describe(self, name: str, version: int | None = None) -> dict:
         """Manifest header of one artifact: model type, schema, metadata.

@@ -33,16 +33,15 @@ import numpy as np
 
 from repro.core.config import ServingConfig
 from repro.serving.registry import ModelRegistry
-from repro.serving.service import (
-    _SCORE,
-    _TAG,
-    _MicroBatchDispatcher,
-    _ModelExecutor,
-    _Request,
-)
+from repro.serving.scheduler import _SCORE, _TAG, MicroBatchScheduler, Request
+from repro.serving.service import _ModelExecutor
+
+#: internal request kind for Router.warm_up: load the executor, compute
+#: nothing.
+_WARM = "warm"
 
 
-class Router(_MicroBatchDispatcher):
+class Router(MicroBatchScheduler):
     """Routed, load-aware tagging service over a model registry.
 
     Parameters
@@ -150,6 +149,31 @@ class Router(_MicroBatchDispatcher):
         with self._executors_lock:
             return list(self._executors)
 
+    def warm_up(
+        self,
+        names: Sequence[str | tuple[str, int | None]],
+        timeout: float | None = 30.0,
+    ) -> list[tuple[str, int]]:
+        """Preload hot models before first traffic; returns the loaded keys.
+
+        Each entry is a model name (latest version) or a ``(name, version)``
+        pair.  Loading happens on the dispatcher thread — warm-up requests
+        go through the same queue as traffic, so there is no concurrent
+        artifact I/O against the executor cache — and this call blocks
+        until every requested model is resident (or ``timeout`` expires).
+        Listing more models than ``ServingConfig.max_loaded_models`` is
+        allowed but pointless: the earliest ones are evicted again before
+        this returns.
+        """
+        futures = []
+        for entry in names:
+            name, version = entry if isinstance(entry, tuple) else (entry, None)
+            key = self._resolve_key(name, version)
+            futures.append(
+                self._enqueue(_WARM, np.zeros(1, dtype=np.int64), key=key)
+            )
+        return [future.result(timeout=timeout) for future in futures]
+
     # -------------------------------------------------------------- #
     # Dispatcher side
     # -------------------------------------------------------------- #
@@ -172,11 +196,11 @@ class Router(_MicroBatchDispatcher):
                 self.stats.record_model_eviction()
         return executor
 
-    def _execute(self, batch: list[_Request]) -> None:
-        # Group per routing key, preserving arrival order inside each
-        # group, so one drained micro-batch becomes one coalesced engine
-        # call per distinct model.
-        groups: OrderedDict[tuple[str, int], list[_Request]] = OrderedDict()
+    def _execute(self, batch: list[Request]) -> None:
+        # Group per routing key, preserving batch order inside each group,
+        # so one drained micro-batch becomes one coalesced engine call per
+        # distinct model.
+        groups: OrderedDict[tuple[str, int], list[Request]] = OrderedDict()
         for request in batch:
             groups.setdefault(request.key, []).append(request)
         for key, group in groups.items():
@@ -189,11 +213,20 @@ class Router(_MicroBatchDispatcher):
                     if request.future.set_running_or_notify_cancel():
                         request.future.set_exception(exc)
                 continue
+            # Warm-up requests only needed the load above; resolve them and
+            # keep the engine out of it.
+            compute = []
+            for request in group:
+                if request.kind == _WARM:
+                    if request.future.set_running_or_notify_cancel():
+                        request.future.set_result(key)
+                else:
+                    compute.append(request)
             # Deadlines were checked when the batch was drained, but an
             # earlier group's compute (or this group's cold-model load) may
             # have outlived a later group's deadline — re-check immediately
             # before the engine call so the "expired requests never reach
             # the engine" guarantee holds per group, not just per batch.
-            group = self._drop_expired(group)
-            if group:
-                executor.run(group, self.stats)
+            compute = self._drop_expired(compute)
+            if compute:
+                executor.run(compute, self.stats)

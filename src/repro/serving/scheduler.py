@@ -1,0 +1,613 @@
+"""Scheduling core of the serving stack: queueing, coalescing, policies.
+
+This module is the bottom layer of the serving architecture (scheduling /
+transport / storage / execution).  It owns everything between ``submit``
+and the service-specific compute callback:
+
+* a **bounded intake queue** (``ServingConfig.queue_capacity``) whose
+  overflow fast-fails with :class:`~repro.exceptions.QueueFullError`;
+* a single **dispatcher thread** per scheduler that drains the intake
+  queue, waits up to ``max_wait_ms`` for stragglers, and hands batches of
+  at most ``max_batch_size`` requests to the service's ``_execute`` hook;
+* a pluggable :class:`SchedulingPolicy` deciding *which* pending requests
+  form the next batch — :class:`FIFOPolicy` (arrival order, the default
+  and behavior-identical to the pre-policy dispatcher),
+  :class:`WeightedFairPolicy` (deficit-round-robin across models, so one
+  chatty model cannot starve the others) and :class:`EDFPolicy`
+  (earliest-deadline-first) — selected via
+  ``ServingConfig.scheduling_policy``;
+* **deadline expiry**: requests whose ``deadline_ms`` lapsed while queued
+  resolve with :class:`~repro.exceptions.DeadlineExceededError` *before*
+  any engine work is spent on them;
+* :class:`ServiceStats` — throughput, occupancy, shed/expiry counters and
+  the queue-depth gauge, snapshot-able from any thread.
+
+:class:`~repro.serving.service.TaggingService`,
+:class:`~repro.serving.router.Router` and
+:class:`~repro.serving.streaming_service.StreamingService` all subclass
+:class:`MicroBatchScheduler` and implement only their compute
+(`_execute`); transport front ends such as :mod:`repro.serving.http` sit
+on top of their ``submit`` APIs.
+
+The dispatcher is a single thread, so each engine and its parameter cache
+are used from one thread only; submission is thread-safe and can come from
+any number of client threads.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import queue
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.config import SCHEDULING_POLICIES, ServingConfig, get_serving_config
+from repro.exceptions import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServingError,
+    ValidationError,
+)
+
+_TAG = "tag"
+_SCORE = "score"
+
+
+@dataclass
+class Request:
+    """One queued unit of work, resolved through its future."""
+
+    kind: str
+    sequence: np.ndarray
+    future: Future
+    #: absolute ``time.perf_counter()`` deadline; ``None`` = no deadline.
+    deadline: float | None = None
+    #: routing key ``(name, version)``; ``None`` in a single-model service.
+    key: tuple[str, int] | None = None
+    #: service-specific payload (e.g. the stream handle of a push).
+    payload: Any = None
+
+
+def _model_label(key: tuple[str, int]) -> str:
+    name, version = key
+    return f"{name}:v{version:04d}"
+
+
+class ServiceStats:
+    """Running throughput / batch-occupancy counters (thread-safe snapshots).
+
+    Besides the engine-side counters (batches, tokens, busy time) it tracks
+    the load-shedding events of the bounded queue — rejected (queue full)
+    and expired (deadline passed) requests — plus, for routed services,
+    per-model request counts and model load/evict churn.
+    """
+
+    def __init__(self, queue_depth: Callable[[], int] | None = None) -> None:
+        self._lock = threading.Lock()
+        self._queue_depth = queue_depth
+        self.started_at = time.perf_counter()
+        self.n_requests = 0
+        self.n_batches = 0
+        self.n_tokens = 0
+        self.max_batch_size = 0
+        self.busy_seconds = 0.0
+        self.n_rejected = 0
+        self.n_expired = 0
+        self.n_model_loads = 0
+        self.n_model_evictions = 0
+        self.per_model: dict[str, int] = {}
+
+    def record_batch(
+        self, n_requests: int, n_tokens: int, seconds: float, key: tuple | None = None
+    ) -> None:
+        with self._lock:
+            self.n_requests += n_requests
+            self.n_batches += 1
+            self.n_tokens += n_tokens
+            self.max_batch_size = max(self.max_batch_size, n_requests)
+            self.busy_seconds += seconds
+            if key is not None:
+                label = _model_label(key)
+                self.per_model[label] = self.per_model.get(label, 0) + n_requests
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.n_rejected += 1
+
+    def record_expired(self) -> None:
+        with self._lock:
+            self.n_expired += 1
+
+    def record_model_load(self) -> None:
+        with self._lock:
+            self.n_model_loads += 1
+
+    def record_model_eviction(self) -> None:
+        with self._lock:
+            self.n_model_evictions += 1
+
+    def snapshot(self) -> dict:
+        """Point-in-time stats dict (safe to call from any thread)."""
+        with self._lock:
+            wall = time.perf_counter() - self.started_at
+            batches = max(self.n_batches, 1)
+            busy = max(self.busy_seconds, 1e-12)
+            return {
+                "n_requests": self.n_requests,
+                "n_batches": self.n_batches,
+                "n_tokens": self.n_tokens,
+                "mean_batch_size": self.n_requests / batches,
+                "max_batch_size": self.max_batch_size,
+                "busy_seconds": self.busy_seconds,
+                "wall_seconds": wall,
+                "tokens_per_busy_second": self.n_tokens / busy,
+                "queue_depth": self._queue_depth() if self._queue_depth else 0,
+                "n_rejected": self.n_rejected,
+                "n_expired": self.n_expired,
+                "n_model_loads": self.n_model_loads,
+                "n_model_evictions": self.n_model_evictions,
+                "per_model": dict(self.per_model),
+            }
+
+
+# ------------------------------------------------------------------ #
+# Scheduling policies
+# ------------------------------------------------------------------ #
+class SchedulingPolicy:
+    """Orders pending requests into micro-batches.
+
+    A policy is a pure in-memory container used from the dispatcher thread
+    only: the scheduler pushes every drained request into it and asks it
+    for the next batch.  Policies never resolve futures, never drop
+    requests and never block — admission control (backpressure) and
+    deadline expiry stay in the scheduler.
+    """
+
+    #: registry name; also the ``ServingConfig.scheduling_policy`` value.
+    name: str
+
+    def push(self, request: Request) -> None:
+        raise NotImplementedError
+
+    def pop_batch(self, limit: int) -> list[Request]:
+        """Remove and return the next batch (at most ``limit`` requests)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """Arrival order, batch after batch — the pre-policy dispatcher behavior."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._pending: deque[Request] = deque()
+
+    def push(self, request: Request) -> None:
+        self._pending.append(request)
+
+    def pop_batch(self, limit: int) -> list[Request]:
+        take = min(limit, len(self._pending))
+        return [self._pending.popleft() for _ in range(take)]
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+class WeightedFairPolicy(SchedulingPolicy):
+    """Deficit round-robin across models: weighted fairness, no starvation.
+
+    Requests are classed by model name (the first element of the routing
+    key; single-model services form one class).  Each round every backlogged
+    class earns its weight in credits and yields ``floor(credit)`` requests
+    (arrival order within the class), so over time class throughput is
+    proportional to its weight while every backlogged class is served at
+    least once every ``ceil(1 / weight)`` rounds — a flood on one model can
+    delay, but never starve, the others.
+
+    Weights come from ``ServingConfig.model_weights`` (missing names
+    default to 1.0) and must be positive.
+    """
+
+    name = "weighted_fair"
+
+    def __init__(self, weights: Mapping[str, float] | None = None) -> None:
+        weights = dict(weights or {})
+        for name, weight in weights.items():
+            if not weight > 0:
+                raise ValidationError(
+                    f"model weight for {name!r} must be positive, got {weight}"
+                )
+        self._weights = weights
+        self._queues: OrderedDict[str, deque[Request]] = OrderedDict()
+        self._deficits: dict[str, float] = {}
+        self._size = 0
+
+    @staticmethod
+    def _class_of(request: Request) -> str:
+        return request.key[0] if request.key is not None else ""
+
+    def push(self, request: Request) -> None:
+        cls = self._class_of(request)
+        pending = self._queues.get(cls)
+        if pending is None:
+            self._queues[cls] = pending = deque()
+            # a class re-entering the backlog starts with a clean slate, so
+            # idle periods do not bank credit
+            self._deficits[cls] = 0.0
+        pending.append(request)
+        self._size += 1
+
+    def pop_batch(self, limit: int) -> list[Request]:
+        batch: list[Request] = []
+        while self._size and len(batch) < limit:
+            took_any = False
+            for cls in list(self._queues):
+                pending = self._queues[cls]
+                self._deficits[cls] += self._weights.get(cls, 1.0)
+                # forced-progress pops can leave a deficit below -1, so the
+                # credit term must clamp at zero or "take" would go negative
+                take = max(
+                    0,
+                    min(len(pending), int(self._deficits[cls]), limit - len(batch)),
+                )
+                for _ in range(take):
+                    batch.append(pending.popleft())
+                self._size -= take
+                self._deficits[cls] -= take
+                took_any = took_any or take > 0
+                if not pending:
+                    del self._queues[cls]
+                    del self._deficits[cls]
+                if len(batch) >= limit:
+                    break
+            if not took_any:
+                # Every backlogged class has a sub-unit credit (tiny
+                # weights): instead of spinning ~1/weight rounds, force one
+                # request from the class closest to a full credit.  Its
+                # deficit goes negative, which is exactly deficit round
+                # robin's memory — long-run shares stay weight-proportional.
+                cls = max(self._queues, key=self._deficits.__getitem__)
+                batch.append(self._queues[cls].popleft())
+                self._size -= 1
+                self._deficits[cls] -= 1.0
+                if not self._queues[cls]:
+                    del self._queues[cls]
+                    del self._deficits[cls]
+        return batch
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class EDFPolicy(SchedulingPolicy):
+    """Earliest deadline first: the most urgent pending requests batch first.
+
+    Requests without a deadline sort last; ties (equal deadlines, and all
+    deadline-free requests) break by arrival order, so a deadline-free
+    workload degenerates to exact FIFO.
+    """
+
+    name = "edf"
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Request]] = []
+        self._arrivals = itertools.count()
+
+    def push(self, request: Request) -> None:
+        deadline = request.deadline if request.deadline is not None else math.inf
+        heapq.heappush(self._heap, (deadline, next(self._arrivals), request))
+
+    def pop_batch(self, limit: int) -> list[Request]:
+        take = min(limit, len(self._heap))
+        return [heapq.heappop(self._heap)[2] for _ in range(take)]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+#: policy name -> constructor taking the ServingConfig.
+_POLICY_FACTORIES: dict[str, Callable[[ServingConfig], SchedulingPolicy]] = {
+    "fifo": lambda config: FIFOPolicy(),
+    "weighted_fair": lambda config: WeightedFairPolicy(config.model_weights),
+    "edf": lambda config: EDFPolicy(),
+}
+
+assert set(_POLICY_FACTORIES) == set(SCHEDULING_POLICIES)
+
+
+def make_policy(config: ServingConfig) -> SchedulingPolicy:
+    """Instantiate the scheduling policy selected by a serving config."""
+    try:
+        factory = _POLICY_FACTORIES[config.scheduling_policy]
+    except KeyError:
+        raise ValidationError(
+            f"unknown scheduling policy {config.scheduling_policy!r}; "
+            f"available: {sorted(_POLICY_FACTORIES)}"
+        ) from None
+    return factory(config)
+
+
+# ------------------------------------------------------------------ #
+# Scheduler
+# ------------------------------------------------------------------ #
+class MicroBatchScheduler:
+    """Bounded queue + policy + single dispatcher thread, shared by services.
+
+    Subclasses implement :meth:`_execute` (compute one micro-batch of
+    *live* requests and resolve their futures) and call :meth:`_start`
+    once their own state is ready.  Everything else — thread-safe bounded
+    submission, straggler coalescing with ``max_wait_ms``, policy-ordered
+    batch formation, deadline expiry before compute, drain-on-close —
+    lives here.
+    """
+
+    _thread_name = "repro-serving-dispatcher"
+
+    def __init__(self, config: ServingConfig | None = None) -> None:
+        self.config = config or get_serving_config()
+        self._policy = make_policy(self.config)
+        self._queue: queue.Queue = queue.Queue()
+        self.stats = ServiceStats(queue_depth=lambda: self._depth)
+        self._closed = False
+        # Number of accepted-but-undispatched requests: intake queue plus
+        # the policy's pending buffer.  Kept as an explicit counter (not
+        # qsize()) so the capacity check stays exact while the dispatcher
+        # moves requests from the intake queue into the policy.
+        self._depth = 0
+        # Guards the closed/capacity-check-then-enqueue in _enqueue against
+        # close() and concurrent submitters: without it a request could land
+        # behind the shutdown sentinel (its future would never resolve) or
+        # two submitters could both pass the capacity check.
+        self._lifecycle_lock = threading.Lock()
+        #: batch currently being processed; read by _abandon_pending when
+        #: the dispatcher dies mid-batch (single-writer: dispatcher thread).
+        self._in_flight: list[Request] = []
+        self._dispatcher = threading.Thread(
+            target=self._run, name=self._thread_name, daemon=True
+        )
+
+    def _start(self) -> None:
+        self._dispatcher.start()
+
+    @property
+    def queue_depth(self) -> int:
+        """Instantaneous number of accepted, undispatched requests."""
+        return self._depth
+
+    @property
+    def scheduling_policy(self) -> str:
+        """Name of the active scheduling policy."""
+        return self._policy.name
+
+    # -------------------------------------------------------------- #
+    # Submission
+    # -------------------------------------------------------------- #
+    @staticmethod
+    def _absolute_deadline(deadline_ms: float | None) -> float | None:
+        if deadline_ms is None:
+            return None
+        if deadline_ms <= 0:
+            raise ValidationError(
+                f"deadline_ms must be positive, got {deadline_ms}"
+            )
+        return time.perf_counter() + deadline_ms / 1000.0
+
+    def _check_sequence(self, kind: str, sequence: np.ndarray) -> None:
+        """Submit-time payload validation; overridable per service."""
+        if sequence.ndim < 1 or sequence.shape[0] < 1:
+            raise ValidationError(
+                "requests must be sequences with at least one timestep, got "
+                f"shape {sequence.shape}"
+            )
+
+    def _enqueue(
+        self,
+        kind: str,
+        sequence: np.ndarray,
+        deadline_ms: float | None = None,
+        key: tuple[str, int] | None = None,
+        payload: Any = None,
+    ) -> Future:
+        seq = np.asarray(sequence)
+        self._check_sequence(kind, seq)
+        request = Request(
+            kind=kind,
+            sequence=seq,
+            future=Future(),
+            deadline=self._absolute_deadline(deadline_ms),
+            key=key,
+            payload=payload,
+        )
+        capacity = self.config.queue_capacity
+        with self._lifecycle_lock:
+            if self._closed:
+                raise ValidationError(f"{type(self).__name__} is closed")
+            # Only submitters (all serialized by this lock) grow the depth,
+            # so check-then-put cannot overshoot the capacity: the
+            # dispatcher draining concurrently only shrinks it.
+            if capacity is not None and self._depth >= capacity:
+                self.stats.record_rejected()
+                raise QueueFullError(
+                    f"serving queue is at capacity ({capacity}); retry later "
+                    "or raise ServingConfig.queue_capacity"
+                )
+            self._depth += 1
+            self._queue.put(request)
+        return request.future
+
+    # -------------------------------------------------------------- #
+    # Dispatcher
+    # -------------------------------------------------------------- #
+    def _coalesce(self) -> bool:
+        """Pull queued requests into the policy's pending buffer.
+
+        Fast-drains whatever is already queued without touching the clock
+        (under burst load this fills the whole batch with no timed waits at
+        all); once the queue runs dry with fewer than ``max_batch_size``
+        requests pending, waits up to ``max_wait_ms`` for stragglers.  The
+        entire available backlog is drained — not just one batch's worth —
+        so the policy ranks *all* pending requests when it forms the next
+        batch.
+
+        Returns True when the shutdown sentinel was consumed.
+        """
+        deadline: float | None = None  # set lazily on the first empty poll
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                if len(self._policy) >= self.config.max_batch_size:
+                    return False  # a full batch is ready; don't wait
+                if deadline is None:
+                    deadline = time.perf_counter() + self.config.max_wait_ms / 1000.0
+                timeout = deadline - time.perf_counter()
+                if timeout <= 0:
+                    return False
+                try:
+                    item = self._queue.get(timeout=timeout)
+                except queue.Empty:
+                    return False
+            if item is None:
+                return True
+            self._policy.push(item)
+
+    def _next_batch(self) -> list[Request]:
+        """Pop the policy's next micro-batch, keeping the depth gauge exact."""
+        batch = self._policy.pop_batch(self.config.max_batch_size)
+        if batch:
+            with self._lifecycle_lock:
+                self._depth -= len(batch)
+        return batch
+
+    def _drop_expired(self, batch: list[Request]) -> list[Request]:
+        """Resolve expired requests with DeadlineExceededError; return the rest.
+
+        Runs immediately before compute, so an expired request never costs
+        an engine call.
+        """
+        now = time.perf_counter()
+        live: list[Request] = []
+        for request in batch:
+            if request.deadline is not None and now > request.deadline:
+                self.stats.record_expired()
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_exception(
+                        DeadlineExceededError(
+                            "request deadline expired after "
+                            f"{(now - request.deadline) * 1e3:.1f} ms in queue"
+                        )
+                    )
+            else:
+                live.append(request)
+        return live
+
+    def _dispatch(self, batch: list[Request]) -> None:
+        live = self._drop_expired(batch)
+        if live:
+            self._execute(live)
+
+    def _execute(self, batch: list[Request]) -> None:
+        raise NotImplementedError
+
+    def _run(self) -> None:
+        try:
+            self._serve()
+        except BaseException as exc:
+            # The dispatcher is dying (a control-flow exception such as
+            # KeyboardInterrupt escaped a batch, by design uncaught by the
+            # compute path).  No thread will ever drain the queue again, so
+            # fail every accepted-but-unserved future — a client blocked in
+            # an untimed result() must not hang forever — and refuse new
+            # submissions, then let the exception terminate the thread.
+            self._abandon_pending(exc)
+            raise
+
+    def _serve(self) -> None:
+        stopping = False
+        while not stopping:
+            if len(self._policy) == 0:
+                item = self._queue.get()
+                if item is None:
+                    break
+                self._policy.push(item)
+            stopping = self._coalesce()
+            self._in_flight = self._next_batch()
+            self._dispatch(self._in_flight)
+            self._in_flight = []
+        # Shutdown: serve whatever is still pending, in policy-ordered
+        # full batches.
+        for item in self._drain_queue():
+            self._policy.push(item)
+        while len(self._policy):
+            self._in_flight = self._next_batch()
+            self._dispatch(self._in_flight)
+            self._in_flight = []
+
+    def _drain_queue(self) -> list[Request]:
+        drained: list[Request] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return drained
+            if item is not None:
+                drained.append(item)
+
+    def _abandon_pending(self, cause: BaseException) -> None:
+        """Fail the in-flight batch and every pending future after a fatal
+        dispatcher error, so no client waits on a request nobody will serve."""
+        with self._lifecycle_lock:
+            self._closed = True
+        error = ServingError(
+            f"serving dispatcher died ({type(cause).__name__}) before this "
+            "request was served"
+        )
+        pending: Iterable[Request] = [
+            *self._in_flight,
+            *self._policy.pop_batch(len(self._policy)),
+            *self._drain_queue(),
+        ]
+        for request in pending:
+            future = request.future
+            # Requests resolved before the failure (e.g. expired ones) are
+            # kept; only still-pending futures get the abandonment error.
+            if future.done():
+                continue
+            if future.set_running_or_notify_cancel():
+                future.set_exception(error)
+
+    # -------------------------------------------------------------- #
+    def close(self, timeout: float | None = 10.0) -> bool:
+        """Stop accepting requests, flush the queue, join the dispatcher.
+
+        Returns ``True`` when the dispatcher finished flushing within
+        ``timeout``, ``False`` when it is still running (the flush did not
+        complete — accepted futures may still be pending).  Calling
+        ``close`` again re-joins and reports the current status.
+        """
+        with self._lifecycle_lock:
+            if not self._closed:
+                self._closed = True
+                # The sentinel is enqueued under the lock, so it is
+                # guaranteed to be the last item — every accepted request
+                # gets served.
+                self._queue.put(None)
+        self._dispatcher.join(timeout=timeout)
+        return not self._dispatcher.is_alive()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -3,152 +3,50 @@
 :class:`TaggingService` turns the batched :class:`~repro.hmm.engine.InferenceEngine`
 from an offline trick into a serving primitive.  Clients submit individual
 tag (Viterbi) or score (log-likelihood) requests and get
-:class:`concurrent.futures.Future` handles back; a single dispatcher thread
-drains the queue, coalesces up to ``max_batch_size`` requests (waiting at
-most ``max_wait_ms`` for stragglers after the first arrival) and runs each
-micro-batch through one engine call, where the length-bucketed backend does
-the heavy lifting.  Per-request decoding pays the engine's per-call Python
-overhead on every sequence; micro-batching amortizes it across the batch —
-that gap is measured by ``benchmarks/test_bench_serving.py``.
+:class:`concurrent.futures.Future` handles back; the scheduling core
+(:class:`~repro.serving.scheduler.MicroBatchScheduler`) coalesces them
+into micro-batches and this module's :class:`_ModelExecutor` runs each
+micro-batch through one engine call, where the length-bucketed backend
+does the heavy lifting.  Per-request decoding pays the engine's per-call
+Python overhead on every sequence; micro-batching amortizes it across the
+batch — that gap is measured by ``benchmarks/test_bench_serving.py``.
 
-The service is load-aware:
-
-* the request queue is **bounded** (``ServingConfig.queue_capacity``);
-  submissions beyond capacity fast-fail with
-  :class:`~repro.exceptions.QueueFullError` instead of growing an
-  unbounded backlog under overload;
-* requests may carry a **deadline** (``deadline_ms``); requests whose
-  deadline expired while queued are dropped *before* any engine work is
-  spent on them, their futures resolving with
-  :class:`~repro.exceptions.DeadlineExceededError`;
-* :class:`ServiceStats` counts rejected and expired requests and exposes
-  the instantaneous queue depth alongside the throughput counters.
-
-The queue/dispatcher machinery lives in :class:`_MicroBatchDispatcher` and
-is shared with the multi-model :class:`~repro.serving.router.Router`; the
-per-model compute (coalesced engine calls with per-request failure
-isolation) lives in :class:`_ModelExecutor`.
-
-The dispatcher is a single thread, so each engine and its parameter cache
-are used from one thread only; submission is thread-safe and can come from
-any number of client threads.
+Queueing policy — bounded-queue backpressure
+(:class:`~repro.exceptions.QueueFullError`), per-request deadlines
+(:class:`~repro.exceptions.DeadlineExceededError`), straggler coalescing
+and the pluggable batch-ordering :class:`~repro.serving.scheduler.SchedulingPolicy`
+(``ServingConfig.scheduling_policy``) — lives entirely in the scheduler
+layer; this module contributes only the per-model compute (coalesced
+engine calls with per-request failure isolation) that the multi-model
+:class:`~repro.serving.router.Router` and the online
+:class:`~repro.serving.streaming_service.StreamingService` share the
+scheduler with.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
-from repro.core.config import ServingConfig, get_serving_config
-from repro.exceptions import (
-    DeadlineExceededError,
-    QueueFullError,
-    ServingError,
-    ValidationError,
-)
+from repro.core.config import ServingConfig
 from repro.serving.persistence import resolve_hmm
+from repro.serving.scheduler import (
+    _SCORE,
+    _TAG,
+    MicroBatchScheduler,
+    Request,
+    ServiceStats,
+)
 
-_TAG = "tag"
-_SCORE = "score"
+# Backward-compatible aliases: the dispatcher machinery moved to
+# repro.serving.scheduler; the old private names keep working.
+_MicroBatchDispatcher = MicroBatchScheduler
+_Request = Request
 
-
-@dataclass
-class _Request:
-    kind: str
-    sequence: np.ndarray
-    future: Future
-    #: absolute ``time.perf_counter()`` deadline; ``None`` = no deadline.
-    deadline: float | None = None
-    #: routing key ``(name, version)``; ``None`` in a single-model service.
-    key: tuple[str, int] | None = None
-
-
-class ServiceStats:
-    """Running throughput / batch-occupancy counters (thread-safe snapshots).
-
-    Besides the engine-side counters (batches, tokens, busy time) it tracks
-    the load-shedding events of the bounded queue — rejected (queue full)
-    and expired (deadline passed) requests — plus, for routed services,
-    per-model request counts and model load/evict churn.
-    """
-
-    def __init__(self, queue_depth: Callable[[], int] | None = None) -> None:
-        self._lock = threading.Lock()
-        self._queue_depth = queue_depth
-        self.started_at = time.perf_counter()
-        self.n_requests = 0
-        self.n_batches = 0
-        self.n_tokens = 0
-        self.max_batch_size = 0
-        self.busy_seconds = 0.0
-        self.n_rejected = 0
-        self.n_expired = 0
-        self.n_model_loads = 0
-        self.n_model_evictions = 0
-        self.per_model: dict[str, int] = {}
-
-    def record_batch(
-        self, n_requests: int, n_tokens: int, seconds: float, key: tuple | None = None
-    ) -> None:
-        with self._lock:
-            self.n_requests += n_requests
-            self.n_batches += 1
-            self.n_tokens += n_tokens
-            self.max_batch_size = max(self.max_batch_size, n_requests)
-            self.busy_seconds += seconds
-            if key is not None:
-                label = _model_label(key)
-                self.per_model[label] = self.per_model.get(label, 0) + n_requests
-
-    def record_rejected(self) -> None:
-        with self._lock:
-            self.n_rejected += 1
-
-    def record_expired(self) -> None:
-        with self._lock:
-            self.n_expired += 1
-
-    def record_model_load(self) -> None:
-        with self._lock:
-            self.n_model_loads += 1
-
-    def record_model_eviction(self) -> None:
-        with self._lock:
-            self.n_model_evictions += 1
-
-    def snapshot(self) -> dict:
-        """Point-in-time stats dict (safe to call from any thread)."""
-        with self._lock:
-            wall = time.perf_counter() - self.started_at
-            batches = max(self.n_batches, 1)
-            busy = max(self.busy_seconds, 1e-12)
-            return {
-                "n_requests": self.n_requests,
-                "n_batches": self.n_batches,
-                "n_tokens": self.n_tokens,
-                "mean_batch_size": self.n_requests / batches,
-                "max_batch_size": self.max_batch_size,
-                "busy_seconds": self.busy_seconds,
-                "wall_seconds": wall,
-                "tokens_per_busy_second": self.n_tokens / busy,
-                "queue_depth": self._queue_depth() if self._queue_depth else 0,
-                "n_rejected": self.n_rejected,
-                "n_expired": self.n_expired,
-                "n_model_loads": self.n_model_loads,
-                "n_model_evictions": self.n_model_evictions,
-                "per_model": dict(self.per_model),
-            }
-
-
-def _model_label(key: tuple[str, int]) -> str:
-    name, version = key
-    return f"{name}:v{version:04d}"
+__all__ = ["TaggingService", "ServiceStats"]
 
 
 class _ModelExecutor:
@@ -163,7 +61,7 @@ class _ModelExecutor:
         self._hmm = resolve_hmm(model)
         self._engine = self._hmm.inference_engine
 
-    def run(self, batch: list[_Request], stats: ServiceStats) -> None:
+    def run(self, batch: list[Request], stats: ServiceStats) -> None:
         """Compute one micro-batch and resolve its futures (stats first)."""
         started = time.perf_counter()
         try:
@@ -197,7 +95,7 @@ class _ModelExecutor:
             else:
                 future.set_exception(value)
 
-    def _compute_coalesced(self, batch: list[_Request]) -> list[tuple[bool, Any]]:
+    def _compute_coalesced(self, batch: list[Request]) -> list[tuple[bool, Any]]:
         """One engine call per request kind; results in batch order."""
         tables = self._hmm.emissions.log_likelihoods_batch(
             [request.sequence for request in batch]
@@ -219,7 +117,7 @@ class _ModelExecutor:
                 outcomes[i] = (True, float(value))
         return outcomes
 
-    def _compute_individually(self, batch: list[_Request]) -> list[tuple[bool, Any]]:
+    def _compute_individually(self, batch: list[Request]) -> list[tuple[bool, Any]]:
         """Slow path: isolate failures to the requests that caused them."""
         outcomes: list[tuple[bool, Any]] = []
         for request in batch:
@@ -244,242 +142,7 @@ class _ModelExecutor:
         return outcomes
 
 
-class _MicroBatchDispatcher:
-    """Bounded queue + single dispatcher thread, shared by the services.
-
-    Subclasses implement :meth:`_execute` (compute one micro-batch of
-    *live* requests and resolve their futures) and call :meth:`_start`
-    once their own state is ready.  Everything else — thread-safe bounded
-    submission, coalescing with ``max_wait_ms``, deadline expiry before
-    compute, drain-on-close — lives here.
-    """
-
-    _thread_name = "repro-serving-dispatcher"
-
-    def __init__(self, config: ServingConfig | None = None) -> None:
-        self.config = config or get_serving_config()
-        # queue.Queue rather than SimpleQueue: qsize() is exact in CPython,
-        # which the bounded-capacity check and the queue_depth gauge need.
-        self._queue: queue.Queue = queue.Queue()
-        self.stats = ServiceStats(queue_depth=self._queue.qsize)
-        self._closed = False
-        # Guards the closed/capacity-check-then-enqueue in _enqueue against
-        # close() and concurrent submitters: without it a request could land
-        # behind the shutdown sentinel (its future would never resolve) or
-        # two submitters could both pass the capacity check.
-        self._lifecycle_lock = threading.Lock()
-        #: batch currently being processed; read by _abandon_pending when
-        #: the dispatcher dies mid-batch (single-writer: dispatcher thread).
-        self._in_flight: list[_Request] = []
-        self._dispatcher = threading.Thread(
-            target=self._run, name=self._thread_name, daemon=True
-        )
-
-    def _start(self) -> None:
-        self._dispatcher.start()
-
-    @property
-    def queue_depth(self) -> int:
-        """Instantaneous number of queued requests (the stats gauge)."""
-        return self._queue.qsize()
-
-    # -------------------------------------------------------------- #
-    # Submission
-    # -------------------------------------------------------------- #
-    @staticmethod
-    def _absolute_deadline(deadline_ms: float | None) -> float | None:
-        if deadline_ms is None:
-            return None
-        if deadline_ms <= 0:
-            raise ValidationError(
-                f"deadline_ms must be positive, got {deadline_ms}"
-            )
-        return time.perf_counter() + deadline_ms / 1000.0
-
-    def _enqueue(
-        self,
-        kind: str,
-        sequence: np.ndarray,
-        deadline_ms: float | None = None,
-        key: tuple[str, int] | None = None,
-    ) -> Future:
-        seq = np.asarray(sequence)
-        if seq.ndim < 1 or seq.shape[0] < 1:
-            raise ValidationError(
-                "requests must be sequences with at least one timestep, got "
-                f"shape {seq.shape}"
-            )
-        request = _Request(
-            kind=kind,
-            sequence=seq,
-            future=Future(),
-            deadline=self._absolute_deadline(deadline_ms),
-            key=key,
-        )
-        capacity = self.config.queue_capacity
-        with self._lifecycle_lock:
-            if self._closed:
-                raise ValidationError(f"{type(self).__name__} is closed")
-            # Only submitters (all serialized by this lock) grow the queue,
-            # so check-then-put cannot overshoot the capacity: the
-            # dispatcher draining concurrently only shrinks it.
-            if capacity is not None and self._queue.qsize() >= capacity:
-                self.stats.record_rejected()
-                raise QueueFullError(
-                    f"serving queue is at capacity ({capacity}); retry later "
-                    "or raise ServingConfig.queue_capacity"
-                )
-            self._queue.put(request)
-        return request.future
-
-    # -------------------------------------------------------------- #
-    # Dispatcher
-    # -------------------------------------------------------------- #
-    def _gather_batch(self, first: _Request) -> tuple[list[_Request], bool]:
-        """Coalesce up to ``max_batch_size`` requests around ``first``.
-
-        Returns the batch plus a flag signalling that the shutdown sentinel
-        was consumed while gathering.
-        """
-        batch = [first]
-        saw_sentinel = False
-        deadline: float | None = None  # set lazily on the first empty poll
-        while len(batch) < self.config.max_batch_size:
-            try:
-                # Fast path: drain whatever is already queued without
-                # touching the clock — under burst load this fills the
-                # whole batch with no timed waits at all.
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                if deadline is None:
-                    deadline = time.perf_counter() + self.config.max_wait_ms / 1000.0
-                timeout = deadline - time.perf_counter()
-                if timeout <= 0:
-                    break
-                try:
-                    item = self._queue.get(timeout=timeout)
-                except queue.Empty:
-                    break
-            if item is None:
-                saw_sentinel = True
-                break
-            batch.append(item)
-        return batch, saw_sentinel
-
-    def _drop_expired(self, batch: list[_Request]) -> list[_Request]:
-        """Resolve expired requests with DeadlineExceededError; return the rest.
-
-        Runs immediately before compute, so an expired request never costs
-        an engine call.
-        """
-        now = time.perf_counter()
-        live: list[_Request] = []
-        for request in batch:
-            if request.deadline is not None and now > request.deadline:
-                self.stats.record_expired()
-                if request.future.set_running_or_notify_cancel():
-                    request.future.set_exception(
-                        DeadlineExceededError(
-                            "request deadline expired after "
-                            f"{(now - request.deadline) * 1e3:.1f} ms in queue"
-                        )
-                    )
-            else:
-                live.append(request)
-        return live
-
-    def _dispatch(self, batch: list[_Request]) -> None:
-        live = self._drop_expired(batch)
-        if live:
-            self._execute(live)
-
-    def _execute(self, batch: list[_Request]) -> None:
-        raise NotImplementedError
-
-    def _run(self) -> None:
-        try:
-            self._serve()
-        except BaseException as exc:
-            # The dispatcher is dying (a control-flow exception such as
-            # KeyboardInterrupt escaped a batch, by design uncaught by the
-            # compute path).  No thread will ever drain the queue again, so
-            # fail every accepted-but-unserved future — a client blocked in
-            # an untimed result() must not hang forever — and refuse new
-            # submissions, then let the exception terminate the thread.
-            self._abandon_pending(exc)
-            raise
-
-    def _serve(self) -> None:
-        stopping = False
-        while not stopping:
-            item = self._queue.get()
-            if item is None:
-                break
-            self._in_flight, stopping = self._gather_batch(item)
-            self._dispatch(self._in_flight)
-            self._in_flight = []
-        # Shutdown: serve whatever is still queued, in full batches.
-        leftovers = self._drain_queue()
-        for start in range(0, len(leftovers), self.config.max_batch_size):
-            self._in_flight = leftovers[start : start + self.config.max_batch_size]
-            self._dispatch(self._in_flight)
-            self._in_flight = []
-
-    def _drain_queue(self) -> list[_Request]:
-        drained: list[_Request] = []
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                return drained
-            if item is not None:
-                drained.append(item)
-
-    def _abandon_pending(self, cause: BaseException) -> None:
-        """Fail the in-flight batch and every queued future after a fatal
-        dispatcher error, so no client waits on a request nobody will serve."""
-        with self._lifecycle_lock:
-            self._closed = True
-        error = ServingError(
-            f"serving dispatcher died ({type(cause).__name__}) before this "
-            "request was served"
-        )
-        for request in [*self._in_flight, *self._drain_queue()]:
-            future = request.future
-            # Requests resolved before the failure (e.g. expired ones) are
-            # kept; only still-pending futures get the abandonment error.
-            if future.done():
-                continue
-            if future.set_running_or_notify_cancel():
-                future.set_exception(error)
-
-    # -------------------------------------------------------------- #
-    def close(self, timeout: float | None = 10.0) -> bool:
-        """Stop accepting requests, flush the queue, join the dispatcher.
-
-        Returns ``True`` when the dispatcher finished flushing within
-        ``timeout``, ``False`` when it is still running (the flush did not
-        complete — accepted futures may still be pending).  Calling
-        ``close`` again re-joins and reports the current status.
-        """
-        with self._lifecycle_lock:
-            if not self._closed:
-                self._closed = True
-                # The sentinel is enqueued under the lock, so it is
-                # guaranteed to be the last item — every accepted request
-                # gets served.
-                self._queue.put(None)
-        self._dispatcher.join(timeout=timeout)
-        return not self._dispatcher.is_alive()
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-
-class TaggingService(_MicroBatchDispatcher):
+class TaggingService(MicroBatchScheduler):
     """Queue-and-coalesce front end over one model's inference engine.
 
     Parameters
@@ -488,7 +151,8 @@ class TaggingService(_MicroBatchDispatcher):
         An :class:`~repro.hmm.model.HMM` or a fitted estimator wrapper.
     config:
         Batching and backpressure knobs (``max_batch_size``,
-        ``max_wait_ms``, ``queue_capacity``); defaults to the process-wide
+        ``max_wait_ms``, ``queue_capacity``, ``scheduling_policy``);
+        defaults to the process-wide
         :func:`~repro.core.config.get_serving_config`.
 
     Use as a context manager (or call :meth:`close`) so the dispatcher
@@ -543,5 +207,5 @@ class TaggingService(_MicroBatchDispatcher):
         return [future.result() for future in futures]
 
     # -------------------------------------------------------------- #
-    def _execute(self, batch: list[_Request]) -> None:
+    def _execute(self, batch: list[Request]) -> None:
         self._executor.run(batch, self.stats)

@@ -1,0 +1,286 @@
+"""Dispatcher-driven online tagging: concurrent client pushes, batched ticks.
+
+:class:`StreamingService` is the streaming analogue of
+:class:`~repro.serving.service.TaggingService`: where
+:class:`~repro.serving.streaming.StreamPool` requires one caller to drive
+``push_tick`` with everything that advances together, the service runs on
+the scheduling core (:class:`~repro.serving.scheduler.MicroBatchScheduler`)
+— any number of client threads push observations into their own streams,
+a single dispatcher thread collects the queued pushes and advances them as
+batched :class:`~repro.hmm.backends.BatchedStreamingSession` ticks (one
+vectorized emission-scoring call plus one ``(M, K, K)`` propagation per
+tick), and every stream's output stays bit-identical to a dedicated
+:class:`~repro.serving.streaming.StreamingDecoder`.
+
+Ordering
+--------
+A stream's pushes must reach the session in submission order, so streaming
+requests are deadline-free and keyed to a single scheduling class: under
+every :class:`~repro.serving.scheduler.SchedulingPolicy` they drain in
+exact arrival order.  Within one drained micro-batch the dispatcher packs
+consecutive pushes of *distinct* streams into one tick and cuts a new tick
+whenever a stream re-appears (or an open/finish control request
+interleaves), preserving per-stream order while still coalescing
+concurrent clients.
+
+Failure isolation mirrors the tagging service: a malformed observation
+poisoning a shared tick is retried per stream, so only the offending push
+fails (its stream simply does not advance) and every other stream's step
+resolves normally.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import ServingConfig
+from repro.exceptions import ValidationError
+from repro.hmm.backends import StreamStep
+from repro.serving.persistence import resolve_hmm
+from repro.serving.scheduler import MicroBatchScheduler, Request
+from repro.serving.streaming import _UNSET, StreamResult, _StreamState
+
+_OPEN = "open"
+_PUSH = "push"
+_FINISH = "finish"
+
+#: placeholder payload array for control (open/finish) requests.
+_CONTROL_SEQUENCE = np.zeros(1, dtype=np.int64)
+
+
+class ServiceStream:
+    """Client handle for one stream served by a :class:`StreamingService`.
+
+    Mirrors the :class:`~repro.serving.streaming.StreamingDecoder` surface
+    (``push``/``finish``, ``n_tokens``, ``finalized_labels``) with async
+    variants (``submit_push``/``submit_finish``) returning futures.  A
+    handle belongs to the client that opened it: drive each stream from one
+    thread (or otherwise serialize its pushes) so observations reach the
+    session in a well-defined order.
+    """
+
+    def __init__(self, service: "StreamingService", keep_history: bool) -> None:
+        self._service = service
+        self._state = _StreamState(keep_history=keep_history)
+        #: session slot; assigned by the dispatcher when the open executes.
+        self._slot: int | None = None
+        self._finished = False
+        self._n_pushed = 0
+
+    @property
+    def n_tokens(self) -> int:
+        """Number of observations consumed so far (completed pushes)."""
+        return self._n_pushed
+
+    @property
+    def finalized_labels(self) -> list[int]:
+        """Labels finalized so far, in token order (prefix of the path)."""
+        labels = self._state.labels
+        return [labels[t] for t in range(len(labels))]
+
+    def submit_push(self, observation: Any) -> Future:
+        """Enqueue one observation; resolves to its :class:`StreamStep`."""
+        if self._finished:
+            raise ValidationError("cannot push to a finished stream")
+        return self._service._enqueue(
+            _PUSH, np.asarray(observation), payload=self
+        )
+
+    def push(self, observation: Any) -> StreamStep:
+        """Synchronous push: submit one observation and wait for its step."""
+        return self.submit_push(observation).result()
+
+    def push_many(self, observations: Any) -> list[StreamStep]:
+        """Submit several observations at once and gather their steps.
+
+        Submitting before waiting is the high-throughput client pattern:
+        the queued pushes (typically interleaved with other clients') drain
+        into near-full batched ticks.
+        """
+        futures = [self.submit_push(obs) for obs in observations]
+        return [future.result() for future in futures]
+
+    def submit_finish(self) -> Future:
+        """Enqueue the finish; resolves to the stream's :class:`StreamResult`.
+
+        The stream refuses further pushes immediately.
+        """
+        if self._finished:
+            raise ValidationError("stream already finished")
+        self._finished = True
+        return self._service._enqueue(_FINISH, _CONTROL_SEQUENCE, payload=self)
+
+    def finish(self) -> StreamResult:
+        """Flush the remaining window and assemble the final result."""
+        return self.submit_finish().result()
+
+
+class StreamingService(MicroBatchScheduler):
+    """Micro-batching front end over one model's batched streaming session.
+
+    Parameters
+    ----------
+    model:
+        An :class:`~repro.hmm.model.HMM` or a fitted estimator wrapper.
+    lag:
+        Default fixed lag for streams opened without an explicit one; falls
+        back to ``ServingConfig.streaming_lag`` when omitted.
+    keep_history:
+        Default history retention for opened streams (see
+        :class:`~repro.serving.streaming.StreamingDecoder`).
+    config:
+        Batching and backpressure knobs; defaults to the process-wide
+        :func:`~repro.core.config.get_serving_config`.
+
+    Use as a context manager (or call :meth:`close`); queued pushes are
+    still served during shutdown.  Streams left unfinished at close simply
+    never produce a :class:`StreamResult`.
+    """
+
+    _thread_name = "repro-streaming-service"
+
+    def __init__(
+        self,
+        model: Any,
+        lag: int | None | object = _UNSET,
+        keep_history: bool = True,
+        config: ServingConfig | None = None,
+    ) -> None:
+        super().__init__(config)
+        hmm = resolve_hmm(model)
+        if lag is _UNSET:
+            lag = self.config.streaming_lag
+        self._emissions = hmm.emissions
+        self._session = hmm.stream_batch()
+        self._default_lag = lag
+        self._default_keep_history = keep_history
+        self._start()
+
+    # -------------------------------------------------------------- #
+    # Client API
+    # -------------------------------------------------------------- #
+    def open(
+        self,
+        lag: int | None | object = _UNSET,
+        keep_history: bool | None = None,
+        timeout: float | None = 30.0,
+    ) -> ServiceStream:
+        """Open one more client stream; blocks until the dispatcher admits it.
+
+        Slots of finished streams are reused by the underlying session.
+        """
+        if lag is _UNSET:
+            lag = self._default_lag
+        if keep_history is None:
+            keep_history = self._default_keep_history
+        handle = ServiceStream(self, keep_history=keep_history)
+        future = self._enqueue(_OPEN, _CONTROL_SEQUENCE, payload=(handle, lag))
+        return future.result(timeout=timeout)
+
+    @property
+    def n_streams(self) -> int:
+        """Number of currently open (unfinished) streams."""
+        return self._session.n_streams
+
+    # -------------------------------------------------------------- #
+    # Dispatcher side
+    # -------------------------------------------------------------- #
+    def _check_sequence(self, kind: str, sequence: np.ndarray) -> None:
+        # Streaming payloads are single observations: a 0-d int symbol
+        # (categorical) or a feature vector (Bernoulli) — the batch
+        # services' "at least one timestep" shape check does not apply.
+        pass
+
+    def _execute(self, batch: list[Request]) -> None:
+        # Pack consecutive pushes of distinct streams into one tick; cut the
+        # tick when a stream re-appears or a control request interleaves, so
+        # per-stream request order is preserved exactly.
+        tick: list[Request] = []
+        tick_slots: set[int] = set()
+
+        def flush() -> None:
+            nonlocal tick, tick_slots
+            if tick:
+                self._run_tick(tick)
+                tick, tick_slots = [], set()
+
+        for request in batch:
+            if request.kind == _PUSH:
+                slot = request.payload._slot
+                if slot in tick_slots:
+                    flush()
+                tick.append(request)
+                tick_slots.add(request.payload._slot)
+            else:
+                flush()
+                self._run_control(request)
+        flush()
+
+    def _run_control(self, request: Request) -> None:
+        future = request.future
+        if not future.set_running_or_notify_cancel():
+            return
+        try:
+            if request.kind == _OPEN:
+                handle, lag = request.payload
+                handle._slot = self._session.add_stream(lag=lag)
+                future.set_result(handle)
+            else:  # _FINISH
+                handle = request.payload
+                remaining = self._session.finish(handle._slot)
+                future.set_result(handle._state.assemble(remaining))
+        except Exception as exc:
+            future.set_exception(exc)
+
+    def _run_tick(self, tick: list[Request]) -> None:
+        """Advance one tick's streams together; fall back per stream on error."""
+        started = time.perf_counter()
+        try:
+            stacked = np.stack([request.sequence for request in tick])
+            rows = self._emissions.log_likelihoods(stacked)
+            steps = self._session.step_many(
+                rows, [request.payload._slot for request in tick]
+            )
+        except Exception:
+            # One malformed observation poisons the shared scoring call (or
+            # ragged observations break the stack): advance each stream on
+            # its own so only the offending pushes fail.  Control-flow
+            # exceptions are deliberately not caught — they must stop the
+            # dispatcher, not be swallowed into a client future.
+            outcomes = self._step_individually(tick)
+        else:
+            outcomes = [(True, step) for step in steps]
+        self.stats.record_batch(
+            n_requests=len(tick),
+            n_tokens=len(tick),
+            seconds=time.perf_counter() - started,
+        )
+        for request, (ok, value) in zip(tick, outcomes):
+            handle = request.payload
+            future = request.future
+            if ok:
+                handle._state.record(value)
+                handle._n_pushed += 1
+            if not future.set_running_or_notify_cancel():
+                continue
+            if ok:
+                future.set_result(value)
+            else:
+                future.set_exception(value)
+
+    def _step_individually(self, tick: list[Request]) -> list[tuple[bool, Any]]:
+        outcomes: list[tuple[bool, Any]] = []
+        for request in tick:
+            try:
+                row = self._emissions.log_likelihoods(request.sequence[None, ...])
+                steps = self._session.step_many(row, [request.payload._slot])
+                outcomes.append((True, steps[0]))
+            except Exception as exc:
+                # the stream did not advance; the client may retry with a
+                # corrected observation
+                outcomes.append((False, exc))
+        return outcomes

@@ -40,3 +40,29 @@ class TestDHMMConfig:
     def test_invalid_values_raise(self, kwargs):
         with pytest.raises(ValidationError):
             DHMMConfig(**kwargs)
+
+
+class TestServingConfig:
+    def test_scheduling_defaults(self):
+        from repro.core.config import SCHEDULING_POLICIES, ServingConfig
+
+        config = ServingConfig()
+        assert config.scheduling_policy == "fifo"
+        assert config.model_weights is None
+        assert config.scheduling_policy in SCHEDULING_POLICIES
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scheduling_policy": "lifo"},
+            {"scheduling_policy": ""},
+            {"model_weights": {"m": 0.0}},
+            {"model_weights": {"m": -2.0}},
+            {"model_weights": {3: 1.0}},
+        ],
+    )
+    def test_invalid_scheduling_values_raise(self, kwargs):
+        from repro.core.config import ServingConfig
+
+        with pytest.raises(ValidationError):
+            ServingConfig(**kwargs)

@@ -1,6 +1,12 @@
 """End-to-end ``repro-serve`` CLI tests (driven in-process via ``main``)."""
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
 
 import numpy as np
 import pytest
@@ -222,6 +228,112 @@ class TestRoute:
         assert _run(
             ["route", "--registry", two_model_registry, "--input", requests]
         ) == 2
+
+
+class TestRouteStats:
+    def test_stats_flag_prints_snapshot_json(self, tmp_path, capsys):
+        from repro.hmm import HMM, CategoricalEmission
+
+        registry_root = tmp_path / "registry"
+        registry = ModelRegistry(registry_root)
+        rng = np.random.default_rng(0)
+        registry.save(
+            "red",
+            HMM(
+                rng.dirichlet(np.ones(4)),
+                rng.dirichlet(np.ones(4), size=4),
+                CategoricalEmission(rng.dirichlet(np.ones(8), size=4)),
+            ),
+        )
+        requests = tmp_path / "requests.jsonl"
+        with requests.open("w") as fh:
+            for _ in range(6):
+                record = {
+                    "model": "red",
+                    "sequence": [int(s) for s in rng.integers(0, 8, size=5)],
+                }
+                fh.write(json.dumps(record) + "\n")
+        output = tmp_path / "routed.jsonl"
+        assert _run(
+            ["route", "--registry", registry_root, "--input", requests,
+             "--output", output, "--stats", "--scheduling-policy", "weighted_fair"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["n_requests"] == 6
+        assert stats["per_model"] == {"red:v0001": 6}
+        for key in ("queue_depth", "n_rejected", "n_expired", "mean_batch_size"):
+            assert key in stats
+
+
+class TestServe:
+    def test_serve_subprocess_end_to_end(self, fitted_registry, tmp_path):
+        """Start ``repro-serve serve`` as a real subprocess, drive it over
+        HTTP, and check it shuts down cleanly on SIGINT."""
+        registry, sample = fitted_registry
+        # grab a free ephemeral port; the tiny close-to-rebind window is the
+        # best a subprocess-spawning test can do
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            server_port = probe.getsockname()[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            "src" + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else "src"
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.serving.cli", "serve",
+                "--registry", str(registry), "--port", str(server_port),
+                "--warm-up", "pos-tagger",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        base = f"http://127.0.0.1:{server_port}"
+        try:
+            deadline = time.time() + 30
+            last_error = None
+            while time.time() < deadline:
+                if process.poll() is not None:
+                    raise AssertionError(
+                        f"server exited early: {process.stderr.read().decode()}"
+                    )
+                try:
+                    with urllib.request.urlopen(f"{base}/healthz", timeout=2) as r:
+                        assert json.loads(r.read())["status"] == "ok"
+                    break
+                except OSError as exc:
+                    last_error = exc
+                    time.sleep(0.1)
+            else:
+                raise AssertionError(f"server never came up: {last_error}")
+
+            sequence = json.loads(sample.read_text().splitlines()[0])
+            request = urllib.request.Request(
+                f"{base}/v1/models/pos-tagger/tag",
+                data=json.dumps({"sequence": sequence}).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=10) as r:
+                tags = json.loads(r.read())["tags"]
+            assert len(tags) == len(sequence)
+
+            with urllib.request.urlopen(f"{base}/stats", timeout=10) as r:
+                stats = json.loads(r.read())
+            assert stats["router"]["n_requests"] >= 1
+            # warm-up preloaded the model before the first request
+            assert stats["router"]["n_model_loads"] == 1
+
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
 
 
 class TestBench:
