@@ -144,6 +144,31 @@ class ServingConfig:
     model_weights:
         Per-model-name weights for the ``weighted_fair`` policy; missing
         names default to 1.0.  Ignored by the other policies.
+    request_timeout_s:
+        How long transport front ends (the HTTP server, client helpers)
+        wait on a scheduler future before answering 503 with a
+        ``Retry-After`` hint; ``None`` waits forever.
+    max_dispatcher_restarts:
+        How many times the scheduler's supervisor restarts a dispatcher
+        thread that died on an unexpected exception before declaring the
+        service ``failed`` (counted over the service lifetime; control-flow
+        exceptions such as ``KeyboardInterrupt`` are never restarted).
+    restart_backoff_ms / restart_backoff_max_ms:
+        Initial and maximum delay of the capped exponential backoff between
+        supervised dispatcher restarts.
+    breaker_threshold:
+        Consecutive model load/execute failures that open a per-model
+        circuit breaker in the router (requests then fast-fail with
+        :class:`~repro.exceptions.ModelUnavailableError` instead of re-paying
+        the doomed load).
+    breaker_cooldown_s:
+        How long an open breaker fast-fails before letting one half-open
+        probe batch through; a successful probe closes it again.
+    drain_timeout_s:
+        Graceful-drain budget of ``close(drain=...)`` shutdowns: already
+        accepted work is still served for this long, the remainder is shed
+        with :class:`~repro.exceptions.ServiceShuttingDownError`.  ``None``
+        (the default) flushes everything, however long it takes.
     """
 
     max_batch_size: int = 64
@@ -153,6 +178,13 @@ class ServingConfig:
     streaming_lag: int | None = 32
     scheduling_policy: str = "fifo"
     model_weights: Mapping[str, float] | None = None
+    request_timeout_s: float | None = 30.0
+    max_dispatcher_restarts: int = 3
+    restart_backoff_ms: float = 20.0
+    restart_backoff_max_ms: float = 2000.0
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    drain_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -190,6 +222,29 @@ class ServingConfig:
                     raise ValidationError(
                         f"model weight for {name!r} must be positive, got {weight}"
                     )
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValidationError(
+                f"request_timeout_s must be positive or None, got {self.request_timeout_s}"
+            )
+        if self.max_dispatcher_restarts < 0:
+            raise ValidationError(
+                "max_dispatcher_restarts must be non-negative, got "
+                f"{self.max_dispatcher_restarts}"
+            )
+        if self.restart_backoff_ms < 0 or self.restart_backoff_max_ms < 0:
+            raise ValidationError("restart backoff delays must be non-negative")
+        if self.breaker_threshold < 1:
+            raise ValidationError(
+                f"breaker_threshold must be at least 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_s < 0:
+            raise ValidationError(
+                f"breaker_cooldown_s must be non-negative, got {self.breaker_cooldown_s}"
+            )
+        if self.drain_timeout_s is not None and self.drain_timeout_s < 0:
+            raise ValidationError(
+                f"drain_timeout_s must be non-negative or None, got {self.drain_timeout_s}"
+            )
 
 
 _serving_config = ServingConfig()
@@ -210,6 +265,132 @@ def set_serving_config(config: ServingConfig) -> ServingConfig:
     previous = _serving_config
     _serving_config = config
     return previous
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry budget: exponential backoff, jitter, deadlines.
+
+    Used by the serving client helpers (``repro-serve route`` and the HTTP
+    :class:`~repro.serving.client.ServingClient`) to retry *transient*
+    serving failures — queue-full backpressure
+    (:class:`~repro.exceptions.QueueFullError`) and open circuit breakers
+    (:class:`~repro.exceptions.ModelUnavailableError` / a 503 with
+    ``Retry-After``).  Permanent failures are **never** retried:
+    :meth:`call` re-raises :class:`~repro.exceptions.ValidationError` and
+    :class:`~repro.exceptions.DeadlineExceededError` immediately even if a
+    caller lists them as retryable — a malformed request does not become
+    well-formed by waiting, and a missed deadline is already final.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first (1 = no retries).
+    initial_backoff_ms / backoff_multiplier / max_backoff_ms:
+        Exponential backoff schedule: attempt ``k`` (0-based retry index)
+        waits ``initial * multiplier**k`` ms, capped at ``max_backoff_ms``.
+    jitter:
+        Fraction of each backoff randomized uniformly in ``±jitter`` (from
+        the seeded RNG passed to :meth:`call`, so tests replay exactly).
+    deadline_s:
+        Overall wall-clock budget across all attempts; ``None`` = attempts
+        bound only.  No retry is started past the deadline.
+    """
+
+    max_attempts: int = 4
+    initial_backoff_ms: float = 25.0
+    backoff_multiplier: float = 2.0
+    max_backoff_ms: float = 2000.0
+    jitter: float = 0.1
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.initial_backoff_ms < 0 or self.max_backoff_ms < 0:
+            raise ValidationError("backoff delays must be non-negative")
+        if self.backoff_multiplier < 1:
+            raise ValidationError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ValidationError(f"jitter must lie in [0, 1], got {self.jitter}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValidationError(
+                f"deadline_s must be positive or None, got {self.deadline_s}"
+            )
+
+    def backoff_s(self, retry_index: int, rng=None) -> float:
+        """Backoff before the ``retry_index``-th retry (0-based), in seconds."""
+        backoff_ms = min(
+            self.initial_backoff_ms * self.backoff_multiplier**retry_index,
+            self.max_backoff_ms,
+        )
+        if rng is not None and self.jitter > 0:
+            backoff_ms *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return backoff_ms / 1000.0
+
+    def call(
+        self,
+        fn,
+        *,
+        retryable: tuple = None,
+        sleep=None,
+        rng=None,
+        min_backoff_s=None,
+    ):
+        """Run ``fn()`` under this retry budget; returns its result.
+
+        Parameters
+        ----------
+        retryable:
+            Exception types worth retrying; defaults to
+            (:class:`~repro.exceptions.QueueFullError`,
+            :class:`~repro.exceptions.ModelUnavailableError`).
+        sleep / rng:
+            Injectable for tests (``sleep`` defaults to :func:`time.sleep`;
+            ``rng`` is an optional seeded :class:`random.Random` for
+            jitter — no rng means no jitter).
+        min_backoff_s:
+            Callback mapping the caught exception to a server-suggested
+            minimum wait (e.g. a ``Retry-After`` header); the actual wait
+            is the max of it and the schedule's backoff.
+        """
+        import time as _time
+
+        from repro.exceptions import (
+            DeadlineExceededError as _Deadline,
+            ModelUnavailableError as _Unavailable,
+            QueueFullError as _QueueFull,
+            ValidationError as _Invalid,
+        )
+
+        if retryable is None:
+            retryable = (_QueueFull, _Unavailable)
+        if sleep is None:
+            sleep = _time.sleep
+        deadline = (
+            None if self.deadline_s is None else _time.perf_counter() + self.deadline_s
+        )
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except (_Invalid, _Deadline):
+                raise  # permanent: retrying cannot help
+            except retryable as exc:
+                if attempt + 1 >= self.max_attempts:
+                    raise
+                backoff = self.backoff_s(attempt, rng=rng)
+                if min_backoff_s is not None:
+                    suggested = min_backoff_s(exc)
+                    if suggested is not None:
+                        backoff = max(backoff, float(suggested))
+                if deadline is not None and _time.perf_counter() + backoff > deadline:
+                    raise
+                sleep(backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
 
 
 @dataclass(frozen=True)

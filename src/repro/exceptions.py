@@ -41,6 +41,55 @@ class DeadlineExceededError(ServingError):
     """
 
 
+class ModelUnavailableError(ServingError):
+    """Raised when a model's circuit breaker is open.
+
+    After ``ServingConfig.breaker_threshold`` consecutive load/execute
+    failures the router stops paying the doomed load attempt for that
+    ``(name, version)`` and fast-fails requests with this error instead —
+    without touching the registry — until a cooldown elapses and a
+    half-open probe succeeds.  ``retry_after_s`` is the breaker's remaining
+    cooldown, surfaced as the HTTP ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceShuttingDownError(ServingError):
+    """Raised when a request meets a service that is draining or closed.
+
+    During a graceful drain the service stops intake immediately, keeps
+    serving already-accepted work until the drain deadline, and resolves
+    anything still pending past it with this error — clients should retry
+    against another instance.
+    """
+
+
+class ArtifactCorruptError(ServingError):
+    """Raised when a stored artifact fails its integrity check.
+
+    Carries the payload ``path`` and the ``expected``/``actual`` SHA-256
+    digests (``actual`` is ``None`` when the payload file is missing
+    entirely), so operators can tell a torn copy from bit rot without
+    re-hashing by hand.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path=None,
+        expected: str | None = None,
+        actual: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.expected = expected
+        self.actual = actual
+
+
 class ConvergenceWarning(UserWarning):
     """Warning emitted when an iterative solver stops before converging."""
 

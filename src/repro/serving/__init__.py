@@ -33,9 +33,25 @@ persistence evolve independently:
 
 * :mod:`repro.serving.http` — a stdlib-only asyncio HTTP front end over
   the router and streaming service;
+* :mod:`repro.serving.client` — :class:`ServingClient`, the typed-error
+  stdlib HTTP client with :class:`~repro.core.config.RetryPolicy` support;
 * :mod:`repro.serving.cli` — the ``repro-serve`` console entry point.
+
+**Resilience** (spanning all layers)
+
+* :mod:`repro.serving.faults` — deterministic fault injection behind the
+  named points the chaos suite drives;
+* supervised dispatcher restarts with a ``healthy``/``degraded``/
+  ``failed`` state machine (scheduler), per-model circuit breakers
+  (router), graceful drain (``close(drain_timeout_s=...)`` everywhere,
+  SIGTERM on the HTTP server) and typed unavailability errors
+  (:class:`~repro.exceptions.ModelUnavailableError`,
+  :class:`~repro.exceptions.ServiceShuttingDownError`,
+  :class:`~repro.exceptions.ArtifactCorruptError`).
 """
 
+from repro.serving import faults
+from repro.serving.client import ServingClient
 from repro.serving.persistence import (
     MODEL_TYPES,
     SCHEMA_VERSION,
@@ -48,7 +64,7 @@ from repro.serving.persistence import (
     verify_checksums,
 )
 from repro.serving.registry import ModelRegistry
-from repro.serving.router import Router
+from repro.serving.router import Router, WarmUpReport
 from repro.serving.scheduler import (
     EDFPolicy,
     FIFOPolicy,
@@ -80,6 +96,7 @@ __all__ = [
     "verify_checksums",
     "ModelRegistry",
     "Router",
+    "WarmUpReport",
     "TaggingService",
     "ServiceStats",
     "MicroBatchScheduler",
@@ -95,4 +112,6 @@ __all__ = [
     "StreamingService",
     "ServiceStream",
     "HTTPServingServer",
+    "ServingClient",
+    "faults",
 ]

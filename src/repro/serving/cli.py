@@ -54,13 +54,18 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.config import SCHEDULING_POLICIES, DHMMConfig, ServingConfig
+from repro.core.config import (
+    SCHEDULING_POLICIES,
+    DHMMConfig,
+    RetryPolicy,
+    ServingConfig,
+)
 from repro.core.diversified_hmm import DiversifiedHMM
 from repro.core.supervised import SupervisedDiversifiedHMM
 from repro.datasets.ocr import N_PIXELS, generate_ocr_dataset
 from repro.datasets.pos import generate_wsj_like_corpus
 from repro.datasets.toy import generate_toy_dataset
-from repro.exceptions import QueueFullError, ReproError
+from repro.exceptions import ModelUnavailableError, QueueFullError, ReproError
 from repro.hmm.emissions.categorical import CategoricalEmission
 from repro.hmm.emissions.gaussian import GaussianEmission
 from repro.serving.persistence import load_artifact, resolve_hmm, save_artifact
@@ -330,27 +335,69 @@ def _cmd_route(args: argparse.Namespace) -> int:
                 except Exception as exc:
                     futures.append(exc)
                 break
+        retry_policy = (
+            RetryPolicy(
+                max_attempts=args.retries,
+                initial_backoff_ms=args.retry_backoff_ms,
+            )
+            if args.retries > 0
+            else None
+        )
+        n_retried = 0
+
+        def retry_request(request: dict, cause: Exception):
+            # Transient failures (queue-full backpressure, an open circuit
+            # breaker) are worth re-submitting under the retry budget.
+            # Permanent ones (validation, expired deadlines) never reach
+            # here — RetryPolicy.call re-raises them unconditionally.
+            nonlocal n_retried
+            n_retried += 1
+            suggested = getattr(cause, "retry_after_s", None)
+            if suggested:
+                time.sleep(min(float(suggested), 30.0))
+            submit = (
+                router.submit_score
+                if request.get("kind") == "score"
+                else router.submit_tag
+            )
+            return retry_policy.call(
+                lambda: submit(
+                    request["model"],
+                    np.asarray(request["sequence"]),
+                    version=request.get("version"),
+                    deadline_ms=request.get("deadline_ms", args.deadline_ms),
+                ).result(),
+                min_backoff_s=lambda exc: getattr(exc, "retry_after_s", None),
+            )
+
         outcomes = []
         for request, future in zip(requests, futures):
             record = {"model": request["model"]}
             if request.get("version") is not None:
                 record["version"] = request["version"]
-            if isinstance(future, Exception):
-                record["error"] = str(future)
-            else:
-                # The dispatcher resolves futures with whatever exception
-                # the failure produced (a corrupt artifact surfaces as
-                # FileNotFoundError, a bad observation as a numpy error) —
-                # report them all per-request.
-                try:
-                    value = future.result()
-                except Exception as exc:
+            # The dispatcher resolves futures with whatever exception the
+            # failure produced (a corrupt artifact surfaces as
+            # FileNotFoundError, a bad observation as a numpy error) —
+            # report them all per-request.
+            try:
+                if isinstance(future, Exception):
+                    raise future
+                value = future.result()
+            except (QueueFullError, ModelUnavailableError) as exc:
+                if retry_policy is None:
                     record["error"] = str(exc)
                 else:
-                    if request.get("kind") == "score":
-                        record["score"] = float(value)
-                    else:
-                        record["tags"] = [int(s) for s in value]
+                    try:
+                        value = retry_request(request, exc)
+                    except Exception as retry_exc:
+                        record["error"] = str(retry_exc)
+            except Exception as exc:
+                record["error"] = str(exc)
+            if "error" not in record:
+                if request.get("kind") == "score":
+                    record["score"] = float(value)
+                else:
+                    record["tags"] = [int(s) for s in value]
             outcomes.append(record)
         stats = router.stats.snapshot()
     elapsed = time.perf_counter() - started
@@ -366,7 +413,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
     per_model = ", ".join(f"{k}={v}" for k, v in sorted(stats["per_model"].items()))
     _log(
         f"routed {len(requests)} requests ({per_model}) in {elapsed * 1e3:.1f} ms; "
-        f"{n_errors} errors, {stats['n_expired']} expired, "
+        f"{n_errors} errors, {n_retried} retried, {stats['n_expired']} expired, "
         f"{stats['n_rejected']} shed, {stats['n_model_loads']} model loads"
     )
     if args.stats:
@@ -397,6 +444,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         max_loaded_models=args.max_loaded_models,
         scheduling_policy=args.scheduling_policy,
+        request_timeout_s=args.request_timeout_s,
+        drain_timeout_s=args.drain_timeout_s,
     )
     server = HTTPServingServer(
         args.registry, config=config, host=args.host, port=args.port
@@ -405,8 +454,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         if args.warm_up:
             names = [name for name in args.warm_up.split(",") if name]
-            loaded = server.router.warm_up(names)
-            _log(f"warmed up {', '.join(f'{n} v{v}' for n, v in loaded)}")
+            report = server.router.warm_up(names)
+            if report.loaded:
+                _log(
+                    "warmed up "
+                    + ", ".join(f"{n} v{v}" for n, v in report.loaded)
+                )
+            for name, exc in report.errors.items():
+                # a broken model is logged, not fatal: the healthy fleet
+                # still serves
+                _log(f"warm-up failed for {name}: {type(exc).__name__}: {exc}")
     except Exception:
         server.close()
         raise
@@ -415,13 +472,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"(policy={config.scheduling_policy}); Ctrl-C to stop"
     )
 
-    # SIGTERM (the polite supervisor kill) should flush and exit 0 just
-    # like Ctrl-C.
+    # SIGTERM (the polite supervisor kill) should drain and exit 0 just
+    # like Ctrl-C: with --drain-timeout-s the server refuses new work,
+    # serves out in-flight requests and open streams, and sheds whatever
+    # outlives the deadline.
     def _interrupt(*_):
         raise KeyboardInterrupt
 
     signal.signal(signal.SIGTERM, _interrupt)
-    server.serve_forever()
+    server.serve_forever(drain_timeout_s=args.drain_timeout_s)
     _log("server stopped")
     return 0
 
@@ -549,6 +608,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="how pending requests are ordered into micro-batches",
     )
     route.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per request for transient failures (queue-full "
+        "backpressure, open circuit breakers); 0 disables retries",
+    )
+    route.add_argument(
+        "--retry-backoff-ms",
+        type=float,
+        default=25.0,
+        help="initial exponential backoff between retries",
+    )
+    route.add_argument(
         "--stats",
         action="store_true",
         help="print the final ServiceStats snapshot as JSON (on stdout when "
@@ -579,6 +651,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=SCHEDULING_POLICIES,
         default=serving_defaults.scheduling_policy,
         help="how pending requests are ordered into micro-batches",
+    )
+    serve.add_argument(
+        "--request-timeout-s",
+        type=float,
+        default=serving_defaults.request_timeout_s,
+        help="per-request HTTP bridge timeout (503 + Retry-After on expiry)",
+    )
+    serve.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=None,
+        help="graceful-drain budget on SIGTERM/Ctrl-C: refuse new work, "
+        "serve accepted requests up to this many seconds, shed the rest "
+        "(default: hard shutdown after the classic flush)",
     )
     serve.set_defaults(func=_cmd_serve)
 

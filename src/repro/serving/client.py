@@ -1,0 +1,191 @@
+"""Stdlib HTTP client for the serving server, with typed errors and retries.
+
+:class:`ServingClient` is the client-side counterpart of
+:class:`~repro.serving.http.HTTPServingServer`: a thin
+:mod:`urllib.request` wrapper that maps the server's error contract back
+onto the library's exception hierarchy —
+
+=======  ==========================================================
+status   raised as
+=======  ==========================================================
+400/404  :class:`~repro.exceptions.ValidationError`
+429      :class:`~repro.exceptions.QueueFullError`
+503      :class:`~repro.exceptions.ModelUnavailableError` (with
+         ``retry_after_s`` parsed from the ``Retry-After`` header)
+504      :class:`~repro.exceptions.DeadlineExceededError`
+other    :class:`~repro.exceptions.ServingError`
+=======  ==========================================================
+
+— and, when constructed with a :class:`~repro.core.config.RetryPolicy`,
+retries the transient ones (429 and 503) with exponential backoff,
+honoring the server's ``Retry-After`` suggestion as the minimum wait.
+Permanent failures (400/404/504) are never retried.
+
+The client is deliberately stdlib-only and synchronous: it exists for the
+CLI, tests and smoke checks, not as a high-throughput SDK.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Sequence
+
+from repro.core.config import RetryPolicy
+from repro.exceptions import (
+    DeadlineExceededError,
+    ModelUnavailableError,
+    QueueFullError,
+    ServingError,
+    ValidationError,
+)
+
+__all__ = ["ServingClient"]
+
+
+def _error_for(status: int, message: str, retry_after_s: float | None):
+    if status in (400, 404):
+        return ValidationError(message)
+    if status == 429:
+        return QueueFullError(message)
+    if status == 503:
+        return ModelUnavailableError(message, retry_after_s=retry_after_s)
+    if status == 504:
+        return DeadlineExceededError(message)
+    return ServingError(f"HTTP {status}: {message}")
+
+
+class ServingClient:
+    """Synchronous JSON client for one serving server.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of the server (trailing slash tolerated).
+    retry_policy:
+        A :class:`~repro.core.config.RetryPolicy` applied to transient
+        failures (queue-full 429, breaker/drain/timeout 503); ``None``
+        disables retries entirely.
+    timeout_s:
+        Socket timeout of each individual HTTP attempt.
+    rng:
+        Optional seeded :class:`random.Random` for backoff jitter.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        retry_policy: RetryPolicy | None = None,
+        timeout_s: float = 30.0,
+        rng=None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.retry_policy = retry_policy
+        self.timeout_s = timeout_s
+        self._rng = rng
+
+    # -------------------------------------------------------------- #
+    # Transport
+    # -------------------------------------------------------------- #
+    def _attempt(self, method: str, path: str, payload: dict | None) -> dict:
+        """One HTTP round trip; raises the mapped typed error on >= 400."""
+        body = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read() or b"{}").get("error", str(exc))
+            except (json.JSONDecodeError, OSError):
+                message = str(exc)
+            retry_after = exc.headers.get("Retry-After") if exc.headers else None
+            raise _error_for(
+                exc.code,
+                message,
+                float(retry_after) if retry_after is not None else None,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServingError(f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
+        if self.retry_policy is None:
+            return self._attempt(method, path, payload)
+        return self.retry_policy.call(
+            lambda: self._attempt(method, path, payload),
+            rng=self._rng,
+            min_backoff_s=lambda exc: getattr(exc, "retry_after_s", None),
+        )
+
+    # -------------------------------------------------------------- #
+    # Endpoints
+    # -------------------------------------------------------------- #
+    def healthz(self) -> dict:
+        """The health payload, whatever the status code (no retries).
+
+        A failed or draining server answers 503 with a regular health
+        body; this returns that body instead of raising, so callers can
+        inspect ``status`` / ``health`` directly.
+        """
+        try:
+            return self._attempt("GET", "/healthz", None)
+        except ModelUnavailableError as exc:
+            return {"status": "unavailable", "error": str(exc)}
+
+    def stats(self) -> dict:
+        return self._call("GET", "/stats")
+
+    def models(self) -> dict:
+        return self._call("GET", "/v1/models")
+
+    def tag(
+        self,
+        name: str,
+        sequence: Sequence[int] | Any,
+        version: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> list[int]:
+        payload: dict = {"sequence": [int(s) for s in sequence]}
+        if version is not None:
+            payload["version"] = version
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self._call("POST", f"/v1/models/{name}/tag", payload)["tags"]
+
+    def score(
+        self,
+        name: str,
+        sequence: Sequence[int] | Any,
+        version: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> float:
+        payload: dict = {"sequence": [int(s) for s in sequence]}
+        if version is not None:
+            payload["version"] = version
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return float(self._call("POST", f"/v1/models/{name}/score", payload)["score"])
+
+    def open_stream(
+        self, model: str, version: int | None = None, lag: int | None = None
+    ) -> str:
+        payload: dict = {"model": model}
+        if version is not None:
+            payload["version"] = version
+        if lag is not None:
+            payload["lag"] = lag
+        return self._call("POST", "/v1/streams", payload)["stream_id"]
+
+    def push(self, stream_id: str, observation: Any) -> dict:
+        return self._call(
+            "POST", f"/v1/streams/{stream_id}/push", {"observation": observation}
+        )
+
+    def finish(self, stream_id: str) -> dict:
+        return self._call("POST", f"/v1/streams/{stream_id}/finish", {})

@@ -1,0 +1,247 @@
+"""Deterministic fault injection for the serving stack.
+
+Production code in the serving subsystem calls :func:`fire` at a handful of
+**named injection points**; tests arm a point with :func:`inject` (a context
+manager) to *raise*, *delay* or *corrupt* on a chosen hit, and read back
+exact hit counts afterwards.  This is what makes the failure drills in
+``tests/test_serving_chaos.py`` deterministic: a "dispatcher crash on the
+third batch" or a "model whose artifact load always fails" is expressed as
+data, not as monkey-patching internals.
+
+Design constraints (all load-bearing):
+
+* **Zero overhead disarmed.**  :func:`fire` first checks a module-level
+  boolean; with no fault armed anywhere in the process, an injection point
+  costs one attribute load and one branch — nothing measurable next to an
+  engine call (the serving benchmark gates enforce this).
+* **Thread-safe.**  Points are hit from dispatcher threads, client threads
+  and the asyncio loop concurrently; arming, firing and hit counting are
+  guarded by one lock.  Sleeps (``delay_s``) happen outside the lock.
+* **Deterministic.**  Triggering is hit-count based (``first_hit`` /
+  ``n_failures``); the optional ``probability`` mode draws from a
+  *seeded* per-fault RNG so even randomized chaos replays identically.
+
+Injection points
+----------------
+=====================  ====================================================
+:data:`ARTIFACT_LOAD`  ``ModelRegistry.load`` — an artifact read
+:data:`EXECUTOR_RUN`   ``_ModelExecutor.run`` — one coalesced engine call
+:data:`DISPATCHER_LOOP`  one scheduler dispatch iteration (batch in flight)
+:data:`REGISTRY_WRITE` ``ModelRegistry.save`` — an artifact write
+:data:`STREAM_TICK`    ``StreamingService`` — one batched streaming tick
+=====================  ====================================================
+
+Example
+-------
+>>> from repro.serving import faults
+>>> with faults.inject(faults.ARTIFACT_LOAD, error=OSError("disk gone"),
+...                    n_failures=2) as fault:
+...     pass  # the first two loads raise; later ones succeed
+>>> fault.hits, fault.n_triggered
+(0, 0)
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Callable
+
+from repro.exceptions import ValidationError
+
+#: ``ModelRegistry.load`` — every artifact read (cold model loads).
+ARTIFACT_LOAD = "artifact.load"
+#: ``_ModelExecutor.run`` — every coalesced engine call of a batch service.
+EXECUTOR_RUN = "executor.run"
+#: One scheduler dispatch iteration, fired with the batch already in flight.
+DISPATCHER_LOOP = "dispatcher.loop"
+#: ``ModelRegistry.save`` — every artifact write.
+REGISTRY_WRITE = "registry.write"
+#: One batched streaming tick (the shared scoring + propagation call).
+STREAM_TICK = "stream.tick"
+
+#: Every point the serving stack fires; :func:`inject` validates against
+#: this so a typo in a test fails loudly instead of silently never firing.
+KNOWN_POINTS = frozenset(
+    {ARTIFACT_LOAD, EXECUTOR_RUN, DISPATCHER_LOOP, REGISTRY_WRITE, STREAM_TICK}
+)
+
+_lock = threading.Lock()
+_faults: dict[str, "Fault"] = {}
+#: Fast-path flag consulted by :func:`fire` before anything else; True only
+#: while at least one fault is armed.  Plain bool read — no lock on the
+#: disarmed path.
+_active = False
+
+
+class Fault:
+    """One armed fault: trigger schedule, action, and hit accounting.
+
+    Returned by :func:`inject`; tests read :attr:`hits` (times the point
+    was reached while armed — also counts non-triggering passes, which is
+    how "the breaker fast-fails without an artifact load" is asserted) and
+    :attr:`n_triggered` (times the action actually fired).
+    """
+
+    def __init__(
+        self,
+        point: str,
+        *,
+        error: BaseException | type[BaseException] | Callable[[], BaseException] | None,
+        delay_s: float,
+        corrupt: Callable[[Any], Any] | None,
+        first_hit: int,
+        n_failures: int | None,
+        probability: float | None,
+        seed: int,
+    ) -> None:
+        self.point = point
+        self._error = error
+        self._delay_s = delay_s
+        self._corrupt = corrupt
+        self._first_hit = first_hit
+        self._n_failures = n_failures
+        self._probability = probability
+        self._rng = random.Random(seed)
+        self.hits = 0
+        self.n_triggered = 0
+
+    def _should_trigger(self) -> bool:
+        """Decide (under the module lock) whether this hit fires the action."""
+        if self.hits < self._first_hit:
+            return False
+        if self._n_failures is not None and self.n_triggered >= self._n_failures:
+            return False
+        if self._probability is not None and self._rng.random() >= self._probability:
+            return False
+        return True
+
+    def _make_error(self) -> BaseException:
+        error = self._error
+        if isinstance(error, BaseException):
+            return error
+        return error()  # a class or zero-arg factory
+
+
+def inject(
+    point: str,
+    *,
+    error: BaseException | type[BaseException] | Callable[[], BaseException] | None = None,
+    delay_s: float = 0.0,
+    corrupt: Callable[[Any], Any] | None = None,
+    first_hit: int = 1,
+    n_failures: int | None = None,
+    probability: float | None = None,
+    seed: int = 0,
+):
+    """Arm one fault at a named injection point (context manager).
+
+    Parameters
+    ----------
+    point:
+        One of :data:`KNOWN_POINTS`.
+    error:
+        Exception instance, class or zero-arg factory raised on trigger.
+        ``None`` with no ``delay_s``/``corrupt`` arms a pure *probe*: the
+        point only counts hits (useful for "this path was never taken"
+        assertions).
+    delay_s:
+        Sleep this long on trigger (before raising, if ``error`` is set) —
+        models slow disks and stalled loads.
+    corrupt:
+        Transform the payload flowing through the point on trigger.
+    first_hit:
+        1-based hit number the fault starts triggering at (``3`` = the
+        first two passes succeed untouched).
+    n_failures:
+        Trigger at most this many times; ``None`` = keep triggering.
+    probability:
+        Trigger each eligible hit with this probability, drawn from a RNG
+        seeded with ``seed`` — randomized but replayable chaos.
+    """
+    if point not in KNOWN_POINTS:
+        raise ValidationError(
+            f"unknown fault injection point {point!r}; known: {sorted(KNOWN_POINTS)}"
+        )
+    if first_hit < 1:
+        raise ValidationError(f"first_hit must be >= 1, got {first_hit}")
+    if n_failures is not None and n_failures < 1:
+        raise ValidationError(f"n_failures must be >= 1 or None, got {n_failures}")
+    if delay_s < 0:
+        raise ValidationError(f"delay_s must be non-negative, got {delay_s}")
+    if probability is not None and not 0.0 <= probability <= 1.0:
+        raise ValidationError(f"probability must lie in [0, 1], got {probability}")
+    fault = Fault(
+        point,
+        error=error,
+        delay_s=delay_s,
+        corrupt=corrupt,
+        first_hit=first_hit,
+        n_failures=n_failures,
+        probability=probability,
+        seed=seed,
+    )
+    return _Armed(fault)
+
+
+class _Armed:
+    """Arms a fault on ``__enter__``, guarantees disarming on ``__exit__``."""
+
+    def __init__(self, fault: Fault) -> None:
+        self._fault = fault
+
+    def __enter__(self) -> Fault:
+        global _active
+        with _lock:
+            if self._fault.point in _faults:
+                raise ValidationError(
+                    f"a fault is already armed at {self._fault.point!r}"
+                )
+            _faults[self._fault.point] = self._fault
+            _active = True
+        return self._fault
+
+    def __exit__(self, *exc_info) -> None:
+        global _active
+        with _lock:
+            _faults.pop(self._fault.point, None)
+            if not _faults:
+                _active = False
+
+
+def reset() -> None:
+    """Disarm everything (test-teardown safety net)."""
+    global _active
+    with _lock:
+        _faults.clear()
+        _active = False
+
+
+def fire(point: str, payload: Any = None) -> Any:
+    """Injection hook called by production code; returns the payload.
+
+    Disarmed (the normal case) this is one boolean check.  Armed, it counts
+    the hit and applies the fault's action: sleep ``delay_s``, transform the
+    payload via ``corrupt``, raise ``error`` — in that order.
+    """
+    if not _active:
+        return payload
+    with _lock:
+        fault = _faults.get(point)
+        if fault is None:
+            return payload
+        fault.hits += 1
+        triggered = fault._should_trigger()
+        if triggered:
+            fault.n_triggered += 1
+        delay = fault._delay_s if triggered else 0.0
+    if not triggered:
+        return payload
+    if delay > 0.0:
+        time.sleep(delay)
+    if fault._corrupt is not None:
+        payload = fault._corrupt(payload)
+    if fault._error is not None:
+        raise fault._make_error()
+    return payload

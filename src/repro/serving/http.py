@@ -29,8 +29,12 @@ POST     ``/v1/streams/<id>/finish``     -> final path + log-likelihood
 =======  ==============================  =====================================
 
 Error mapping: validation failures are ``400``, unknown routes/streams
-``404``, queue-full backpressure ``429``, expired deadlines ``504``,
-anything else ``500`` — always as ``{"error": <message>}``.
+``404``, queue-full backpressure ``429`` (+ ``Retry-After``), an open
+circuit breaker / a draining or failed server / a request that outlived
+``ServingConfig.request_timeout_s`` all ``503`` (+ ``Retry-After``),
+expired deadlines ``504``, anything else ``500`` — always as
+``{"error": <message>}``.  ``/healthz`` reports the dispatcher health
+state machine: ``ok``/``degraded`` are 200, ``failed``/``draining`` 503.
 
 ``repro-serve serve`` is the CLI entry point; tests drive the server
 in-process via :meth:`HTTPServingServer.start` on an ephemeral port.
@@ -40,7 +44,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
+import signal
 import threading
+import time
 import uuid
 from pathlib import Path
 from typing import Any
@@ -50,12 +57,14 @@ import numpy as np
 from repro.core.config import ServingConfig
 from repro.exceptions import (
     DeadlineExceededError,
+    ModelUnavailableError,
     QueueFullError,
+    ServiceShuttingDownError,
     ValidationError,
 )
 from repro.serving.registry import ModelRegistry
 from repro.serving.router import Router
-from repro.serving.scheduler import _model_label
+from repro.serving.scheduler import FAILED, _model_label
 from repro.serving.streaming import _UNSET
 from repro.serving.streaming_service import ServiceStream, StreamingService
 
@@ -69,8 +78,16 @@ _STATUS_PHRASES = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+
+def _retry_after_header(seconds: float | None) -> dict[str, str]:
+    """``Retry-After`` header dict from a backoff hint (>= 1 whole second)."""
+    if seconds is None or seconds <= 0:
+        seconds = 1.0
+    return {"Retry-After": str(max(1, int(math.ceil(seconds))))}
 
 
 class _HTTPError(Exception):
@@ -121,6 +138,12 @@ class HTTPServingServer:
         self._thread: threading.Thread | None = None
         self._server: asyncio.AbstractServer | None = None
         self._closed = False
+        #: drain mode: new work is refused (503) but accepted requests and
+        #: open streams keep being served until the drain deadline.
+        self._draining = False
+        #: requests currently inside _dispatch; touched only on the event
+        #: loop thread, read (a plain int) by the draining thread.
+        self._inflight = 0
 
     # -------------------------------------------------------------- #
     # Lifecycle
@@ -148,10 +171,46 @@ class HTTPServingServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
-    def close(self, timeout: float | None = 10.0) -> None:
-        """Stop listening, stop the loop, and close every service."""
+    def close(
+        self,
+        timeout: float | None = 10.0,
+        drain: bool = False,
+        drain_timeout_s: float | None = None,
+    ) -> None:
+        """Stop listening, stop the loop, and close every service.
+
+        ``drain=True`` makes the shutdown graceful: new work is refused
+        immediately (503 + ``Retry-After``) while in-flight requests and
+        open streams keep being served, up to ``drain_timeout_s``
+        (defaulting to ``ServingConfig.drain_timeout_s``, else 30s);
+        whatever the scheduler still holds past the deadline is shed with
+        :class:`~repro.exceptions.ServiceShuttingDownError`.
+        """
         if self._closed:
             return
+        drain_budget: float | None = None
+        if drain:
+            effective = (
+                drain_timeout_s
+                if drain_timeout_s is not None
+                else (
+                    self.config.drain_timeout_s
+                    if self.config.drain_timeout_s is not None
+                    else 30.0
+                )
+            )
+            deadline = time.monotonic() + effective
+            self._draining = True
+            # Serve out the accepted work: in-flight requests and open
+            # streams.  The event loop is still running, so clients keep
+            # getting real responses during this window.
+            while time.monotonic() < deadline:
+                with self._state_lock:
+                    n_streams = len(self._streams)
+                if self._inflight == 0 and n_streams == 0:
+                    break
+                time.sleep(0.02)
+            drain_budget = max(0.0, deadline - time.monotonic())
         self._closed = True
         loop = self._loop
         if loop is not None:
@@ -170,23 +229,43 @@ class HTTPServingServer:
             self._stream_services.clear()
             self._streams.clear()
         for service in services:
-            service.close(timeout=timeout)
-        self.router.close(timeout=timeout)
+            service.close(timeout=timeout, drain_timeout_s=drain_budget)
+        self.router.close(timeout=timeout, drain_timeout_s=drain_budget)
 
-    def serve_forever(self) -> None:
+    def serve_forever(self, drain_timeout_s: float | None = None) -> None:
         """CLI mode: serve until interrupted, then shut down cleanly.
 
         Starts the server if :meth:`start` was not already called — the CLI
-        starts it first so warm-up runs between binding and blocking.
+        starts it first so warm-up runs between binding and blocking.  A
+        ``drain_timeout_s`` (or ``ServingConfig.drain_timeout_s``) turns
+        the interrupt-triggered shutdown into a graceful drain.
         """
         if self._loop is None:
             self.start()
+        wants_drain = (
+            drain_timeout_s is not None or self.config.drain_timeout_s is not None
+        )
+        stop = threading.Event()
+        previous_handler = None
+        installed = False
         try:
-            threading.Event().wait()
+            # SIGTERM (the orchestrator's stop signal) takes the same clean
+            # shutdown path as Ctrl-C — with a drain timeout configured,
+            # that path is a graceful drain.
+            previous_handler = signal.signal(
+                signal.SIGTERM, lambda _signum, _frame: stop.set()
+            )
+            installed = True
+        except ValueError:
+            pass  # not the main thread: SIGINT-only mode
+        try:
+            stop.wait()
         except KeyboardInterrupt:
             pass
         finally:
-            self.close()
+            if installed:
+                signal.signal(signal.SIGTERM, previous_handler)
+            self.close(drain=wants_drain, drain_timeout_s=drain_timeout_s)
 
     def __enter__(self) -> "HTTPServingServer":
         return self.start() if self._loop is None else self
@@ -235,9 +314,14 @@ class HTTPServingServer:
                     await self._respond(writer, 413, {"error": "request body too large"})
                     break
                 body = await reader.readexactly(length) if length else b""
-                status, payload = await self._dispatch(method, target, body)
+                status, payload, extra_headers = await self._dispatch(
+                    method, target, body
+                )
                 keep_alive = headers.get("connection", "").lower() != "close"
-                await self._respond(writer, status, payload, keep_alive=keep_alive)
+                await self._respond(
+                    writer, status, payload,
+                    keep_alive=keep_alive, headers=extra_headers,
+                )
                 if not keep_alive:
                     break
         except (asyncio.IncompleteReadError, ConnectionError):
@@ -255,14 +339,19 @@ class HTTPServingServer:
         status: int,
         payload: dict,
         keep_alive: bool = False,
+        headers: dict[str, str] | None = None,
     ) -> None:
         data = json.dumps(payload).encode()
         phrase = _STATUS_PHRASES.get(status, "Unknown")
         connection = "keep-alive" if keep_alive else "close"
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {phrase}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{extra}"
             f"Connection: {connection}\r\n\r\n"
         )
         writer.write(head.encode("latin1") + data)
@@ -271,29 +360,50 @@ class HTTPServingServer:
     # -------------------------------------------------------------- #
     # Routing
     # -------------------------------------------------------------- #
-    async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, dict]:
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        self._inflight += 1
         try:
-            return 200, await self._route(method, target.split("?", 1)[0], body)
+            result = await self._route(method, target.split("?", 1)[0], body)
+            if isinstance(result, tuple):  # (status, payload) — healthz
+                status, payload = result
+                return status, payload, None
+            return 200, result, None
         except _HTTPError as exc:
-            return exc.status, {"error": str(exc)}
+            return exc.status, {"error": str(exc)}, None
         except QueueFullError as exc:
-            return 429, {"error": str(exc)}
+            return 429, {"error": str(exc)}, _retry_after_header(1.0)
+        except ModelUnavailableError as exc:
+            # breaker open: tell the client when the cooldown lets a retry in
+            return 503, {"error": str(exc)}, _retry_after_header(exc.retry_after_s)
+        except ServiceShuttingDownError as exc:
+            return 503, {"error": str(exc)}, _retry_after_header(1.0)
+        except (TimeoutError, asyncio.TimeoutError) as exc:
+            # the scheduler future outlived request_timeout_s: the server is
+            # overloaded, not broken — 503 + Retry-After, never a raw 500
+            return (
+                503,
+                {
+                    "error": "request timed out after "
+                    f"{self.config.request_timeout_s}s in the serving queue"
+                },
+                _retry_after_header(1.0),
+            )
         except DeadlineExceededError as exc:
-            return 504, {"error": str(exc)}
+            return 504, {"error": str(exc)}, None
         except ValidationError as exc:
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc)}, None
         except Exception as exc:  # a corrupt artifact, a numpy error, ...
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
+        finally:
+            self._inflight -= 1
 
     async def _route(self, method: str, path: str, body: bytes) -> dict:
         parts = [part for part in path.split("/") if part]
         if method == "GET":
             if parts in (["healthz"], ["health"]):
-                return {
-                    "status": "ok",
-                    "scheduling_policy": self.router.scheduling_policy,
-                    "queue_depth": self.router.queue_depth,
-                }
+                return self._healthz()
             if parts == ["stats"]:
                 return self._stats_payload()
             if parts == ["v1", "models"]:
@@ -301,6 +411,14 @@ class HTTPServingServer:
             raise _HTTPError(404, f"no such resource: GET {path}")
         if method != "POST":
             raise _HTTPError(405, f"unsupported method {method}")
+        if self._draining and not (
+            len(parts) == 4 and parts[:2] == ["v1", "streams"]
+        ):
+            # Pushes/finishes on already-open streams stay allowed so the
+            # drain can complete them; everything else is new work.
+            raise ServiceShuttingDownError(
+                "server is draining; retry against another instance"
+            )
         payload = self._parse_body(body)
         if len(parts) == 4 and parts[:2] == ["v1", "models"]:
             name, action = parts[2], parts[3]
@@ -334,9 +452,42 @@ class HTTPServingServer:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(None, fn, *args)
 
+    async def _await_scheduler(self, future):
+        """Await a scheduler future, bounded by ``request_timeout_s``.
+
+        The timeout comes from config (no more hardcoded bridge timeouts);
+        ``None`` waits forever.  On expiry the scheduler-side request keeps
+        its queue slot (its future simply loses its HTTP waiter) and the
+        client sees 503 + ``Retry-After`` via the dispatch error mapping.
+        """
+        wrapped = asyncio.wrap_future(future)
+        timeout = self.config.request_timeout_s
+        if timeout is None:
+            return await wrapped
+        return await asyncio.wait_for(wrapped, timeout=timeout)
+
     # -------------------------------------------------------------- #
     # Handlers
     # -------------------------------------------------------------- #
+    def _healthz(self) -> tuple[int, dict]:
+        """Health state machine -> HTTP status: ok/degraded 200, else 503."""
+        health = self.router.health
+        if self._draining:
+            status, state = 503, "draining"
+        elif health == FAILED:
+            status, state = 503, "failed"
+        else:
+            status, state = 200, "ok" if health == "healthy" else health
+        return status, {
+            "status": state,
+            "health": health,
+            "n_dispatcher_restarts": self.router.stats.snapshot()[
+                "n_dispatcher_restarts"
+            ],
+            "scheduling_policy": self.router.scheduling_policy,
+            "queue_depth": self.router.queue_depth,
+        }
+
     def _stats_payload(self) -> dict:
         with self._state_lock:
             stream_services = dict(self._stream_services)
@@ -373,7 +524,7 @@ class HTTPServingServer:
         future = await self._run_blocking(
             lambda: submit(name, sequence, version=version, deadline_ms=deadline_ms)
         )
-        result = await asyncio.wrap_future(future)
+        result = await self._await_scheduler(future)
         if action == "tag":
             return {"model": name, "tags": [int(s) for s in result]}
         return {"model": name, "score": float(result)}
@@ -429,7 +580,7 @@ class HTTPServingServer:
                 raise _HTTPError(404, f"no such stream: {stream_id}")
             handle, _key = entry
             future = handle.submit_push(observation)
-        step = await asyncio.wrap_future(future)
+        step = await self._await_scheduler(future)
         return {
             "filtering": [float(p) for p in step.filtering],
             "finalized": [[int(t), int(s)] for t, s in step.finalized],
@@ -447,7 +598,7 @@ class HTTPServingServer:
             # instead of landing behind the finish in the queue.
             future = handle.submit_finish()
             del self._streams[stream_id]
-        result = await asyncio.wrap_future(future)
+        result = await self._await_scheduler(future)
         return {
             "path": [int(s) for s in result.path],
             "log_likelihood": float(result.log_likelihood),

@@ -21,9 +21,9 @@ Schema history
   (large emission tables shrink several-fold) and the manifest records a
   SHA-256 checksum of the payload file, verified on every load: silent
   on-disk corruption (a torn copy, bit rot, a truncated download) fails
-  loudly as :class:`~repro.exceptions.ValidationError` instead of decoding
-  garbage parameters.  v1 artifacts (no ``checksums`` entry) still load
-  unchanged.
+  loudly as :class:`~repro.exceptions.ArtifactCorruptError` (carrying the
+  payload path and both digests) instead of decoding garbage parameters.
+  v1 artifacts (no ``checksums`` entry) still load unchanged.
 
 Both files are written **atomically** — to a temporary file in the target
 directory, flushed, then ``os.replace``-d into place — so a crash mid-save
@@ -53,7 +53,7 @@ from repro.baselines.naive_bayes import BernoulliNaiveBayes
 from repro.baselines.optimized_hmm import OptimizedHMMClassifier
 from repro.core.diversified_hmm import DiversifiedHMM
 from repro.core.supervised import SupervisedDiversifiedHMM
-from repro.exceptions import ValidationError
+from repro.exceptions import ArtifactCorruptError, ValidationError
 from repro.hmm.model import HMM
 
 #: Current artifact layout version.  Bump on breaking layout changes and
@@ -246,7 +246,8 @@ def verify_checksums(path: str | Path, manifest: dict | None = None) -> bool:
 
     Returns True when every recorded checksum matches, False for a v1
     artifact that records none; raises
-    :class:`~repro.exceptions.ValidationError` on any mismatch or missing
+    :class:`~repro.exceptions.ArtifactCorruptError` — carrying the payload
+    path and the expected/actual digests — on any mismatch or missing
     payload file.
     """
     path = Path(path)
@@ -258,14 +259,22 @@ def verify_checksums(path: str | Path, manifest: dict | None = None) -> bool:
     for filename, expected in checksums.items():
         payload = path / filename
         if not payload.is_file():
-            raise ValidationError(f"artifact at {path} is missing payload {filename}")
+            raise ArtifactCorruptError(
+                f"artifact at {path} is missing payload {filename}",
+                path=payload,
+                expected=expected,
+                actual=None,
+            )
         actual = _sha256_file(payload)
         if actual != expected:
-            raise ValidationError(
+            raise ArtifactCorruptError(
                 f"artifact checksum mismatch for {payload}: the manifest "
                 f"records sha256 {expected} but the file hashes to {actual} "
                 "— the artifact is corrupt (torn copy, bit rot, or a "
-                "partial write); re-save or restore it"
+                "partial write); re-save or restore it",
+                path=payload,
+                expected=expected,
+                actual=actual,
             )
     return True
 

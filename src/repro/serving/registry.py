@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from repro.exceptions import ValidationError
+from repro.serving import faults
 from repro.serving.persistence import (
     MANIFEST_NAME,
     load_artifact,
@@ -118,12 +119,20 @@ class ModelRegistry:
                 break
             except FileExistsError:
                 version += 1
+        faults.fire(faults.REGISTRY_WRITE)
         save_artifact(model, target, metadata=metadata)
         return version
 
     def load(self, name: str, version: int | None = None) -> Any:
-        """Load a stored model (latest version by default)."""
-        return load_artifact(self.artifact_path(name, version))
+        """Load a stored model (latest version by default).
+
+        A checksum-mismatched or truncated v2 artifact surfaces as
+        :class:`~repro.exceptions.ArtifactCorruptError` (see
+        :func:`~repro.serving.persistence.verify_checksums`).
+        """
+        path = self.artifact_path(name, version)
+        faults.fire(faults.ARTIFACT_LOAD)
+        return load_artifact(path)
 
     def gc(
         self,
@@ -174,17 +183,30 @@ class ModelRegistry:
         "latest" is resolved exactly once, so the reported version number
         always belongs to the manifest that was read — a concurrent
         ``save`` cannot make this pair versions N and N+1.
+
+        An unreadable manifest (torn write, invalid JSON, missing fields)
+        does not crash the call: the returned dict carries
+        ``"unreadable": True`` and the error string instead, so operators
+        can inventory a registry with one rotten version in it.
         """
         if version is None:
             version = self.latest_version(name)
-        manifest = read_manifest(self.artifact_path(name, version))
-        return {
-            "name": name,
-            "version": version,
-            "model_type": manifest["model_type"],
-            "schema_version": manifest["schema_version"],
-            "metadata": manifest.get("metadata", {}),
-        }
+        try:
+            manifest = read_manifest(self.artifact_path(name, version))
+            return {
+                "name": name,
+                "version": version,
+                "model_type": manifest["model_type"],
+                "schema_version": manifest["schema_version"],
+                "metadata": manifest.get("metadata", {}),
+            }
+        except Exception as exc:
+            return {
+                "name": name,
+                "version": version,
+                "unreadable": True,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ModelRegistry(root={str(self.root)!r})"

@@ -53,9 +53,16 @@ from repro.core.config import SCHEDULING_POLICIES, ServingConfig, get_serving_co
 from repro.exceptions import (
     DeadlineExceededError,
     QueueFullError,
+    ServiceShuttingDownError,
     ServingError,
     ValidationError,
 )
+from repro.serving import faults
+
+#: Dispatcher health states (see :attr:`MicroBatchScheduler.health`).
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+FAILED = "failed"
 
 _TAG = "tag"
 _SCORE = "score"
@@ -90,9 +97,18 @@ class ServiceStats:
     per-model request counts and model load/evict churn.
     """
 
-    def __init__(self, queue_depth: Callable[[], int] | None = None) -> None:
+    def __init__(
+        self,
+        queue_depth: Callable[[], int] | None = None,
+        extra: Callable[[], dict] | None = None,
+    ) -> None:
         self._lock = threading.Lock()
         self._queue_depth = queue_depth
+        #: lock-free provider of additional snapshot entries (the owning
+        #: service's health / breaker states).  Must not acquire locks that
+        #: are ever held while calling into this stats object, or snapshot
+        #: could deadlock against a recording thread.
+        self._extra = extra
         self.started_at = time.perf_counter()
         self.n_requests = 0
         self.n_batches = 0
@@ -101,6 +117,7 @@ class ServiceStats:
         self.busy_seconds = 0.0
         self.n_rejected = 0
         self.n_expired = 0
+        self.n_shed = 0
         self.n_model_loads = 0
         self.n_model_evictions = 0
         self.per_model: dict[str, int] = {}
@@ -126,6 +143,10 @@ class ServiceStats:
         with self._lock:
             self.n_expired += 1
 
+    def record_shed(self) -> None:
+        with self._lock:
+            self.n_shed += 1
+
     def record_model_load(self) -> None:
         with self._lock:
             self.n_model_loads += 1
@@ -140,7 +161,7 @@ class ServiceStats:
             wall = time.perf_counter() - self.started_at
             batches = max(self.n_batches, 1)
             busy = max(self.busy_seconds, 1e-12)
-            return {
+            snapshot = {
                 "n_requests": self.n_requests,
                 "n_batches": self.n_batches,
                 "n_tokens": self.n_tokens,
@@ -152,10 +173,14 @@ class ServiceStats:
                 "queue_depth": self._queue_depth() if self._queue_depth else 0,
                 "n_rejected": self.n_rejected,
                 "n_expired": self.n_expired,
+                "n_shed": self.n_shed,
                 "n_model_loads": self.n_model_loads,
                 "n_model_evictions": self.n_model_evictions,
                 "per_model": dict(self.per_model),
             }
+            if self._extra is not None:
+                snapshot.update(self._extra())
+            return snapshot
 
 
 # ------------------------------------------------------------------ #
@@ -358,8 +383,22 @@ class MicroBatchScheduler:
         self.config = config or get_serving_config()
         self._policy = make_policy(self.config)
         self._queue: queue.Queue = queue.Queue()
-        self.stats = ServiceStats(queue_depth=lambda: self._depth)
+        #: dispatcher health: HEALTHY, DEGRADED (running on a supervised
+        #: restart that has not completed a batch yet) or FAILED (restart
+        #: budget exhausted / control-flow exception; nothing drains the
+        #: queue anymore).  Written by the dispatcher/supervisor, read
+        #: lock-free from any thread.
+        self._health = HEALTHY
+        #: lifetime count of supervised dispatcher restarts.
+        self._restarts = 0
+        self.stats = ServiceStats(
+            queue_depth=lambda: self._depth, extra=self._stats_extra
+        )
         self._closed = False
+        #: absolute perf_counter deadline of a drain-mode close; ``None``
+        #: means flush everything (the classic close).  Written once under
+        #: the lifecycle lock before the shutdown sentinel is enqueued.
+        self._drain_deadline: float | None = None
         # Number of accepted-but-undispatched requests: intake queue plus
         # the policy's pending buffer.  Kept as an explicit counter (not
         # qsize()) so the capacity check stays exact while the dispatcher
@@ -380,10 +419,26 @@ class MicroBatchScheduler:
     def _start(self) -> None:
         self._dispatcher.start()
 
+    def _stats_extra(self) -> dict:
+        """Resilience entries merged into ``ServiceStats.snapshot()``.
+
+        Called under the stats lock — must stay lock-free (plain attribute
+        reads only) so it can never deadlock against a recording thread.
+        """
+        return {
+            "health": self._health,
+            "n_dispatcher_restarts": self._restarts,
+        }
+
     @property
     def queue_depth(self) -> int:
         """Instantaneous number of accepted, undispatched requests."""
         return self._depth
+
+    @property
+    def health(self) -> str:
+        """Dispatcher health: ``healthy``, ``degraded`` or ``failed``."""
+        return self._health
 
     @property
     def scheduling_policy(self) -> str:
@@ -432,7 +487,10 @@ class MicroBatchScheduler:
         capacity = self.config.queue_capacity
         with self._lifecycle_lock:
             if self._closed:
-                raise ValidationError(f"{type(self).__name__} is closed")
+                raise ServiceShuttingDownError(
+                    f"{type(self).__name__} is closed"
+                    + (" (dispatcher failed)" if self._health == FAILED else "")
+                )
             # Only submitters (all serialized by this lock) grow the depth,
             # so check-then-put cannot overshoot the capacity: the
             # dispatcher draining concurrently only shrinks it.
@@ -523,19 +581,101 @@ class MicroBatchScheduler:
     def _run(self) -> None:
         try:
             self._serve()
+        except Exception as exc:
+            # An unexpected exception escaped the compute path and killed
+            # this dispatcher thread.  Supervision: fail only the batch
+            # that was in flight, keep every queued request, and restart
+            # the dispatcher with capped exponential backoff — until the
+            # restart budget is spent, at which point the service is
+            # `failed` and everything pending is abandoned.
+            self._supervise(exc)
         except BaseException as exc:
-            # The dispatcher is dying (a control-flow exception such as
-            # KeyboardInterrupt escaped a batch, by design uncaught by the
-            # compute path).  No thread will ever drain the queue again, so
-            # fail every accepted-but-unserved future — a client blocked in
-            # an untimed result() must not hang forever — and refuse new
-            # submissions, then let the exception terminate the thread.
+            # Control-flow exceptions (KeyboardInterrupt, SystemExit) are
+            # deliberate stops: never restart.  No thread will ever drain
+            # the queue again, so fail every accepted-but-unserved future —
+            # a client blocked in an untimed result() must not hang forever
+            # — and refuse new submissions, then let the exception
+            # terminate the thread.
+            self._fail_in_flight(exc)
             self._abandon_pending(exc)
             raise
+
+    def _fail_in_flight(self, cause: BaseException) -> None:
+        """Resolve the dying dispatch's in-flight batch with a ServingError."""
+        in_flight, self._in_flight = self._in_flight, []
+        error = ServingError(
+            f"serving dispatcher crashed ({type(cause).__name__}: {cause}) "
+            "while this request was in flight"
+        )
+        for request in in_flight:
+            future = request.future
+            if future.done():
+                continue
+            if future.set_running_or_notify_cancel():
+                future.set_exception(error)
+
+    def _supervise(self, cause: Exception) -> None:
+        """Handle an unexpected dispatcher death: restart or declare failure.
+
+        Runs on the dying dispatcher thread.  The in-flight batch is failed
+        immediately (its futures must never hang), then either a fresh
+        dispatcher thread is started after a capped exponential backoff —
+        queued requests survive untouched and are served by the successor —
+        or, with the restart budget exhausted, the service flips to
+        ``failed``: pending work is abandoned and intake refused.
+        """
+        self._fail_in_flight(cause)
+        with self._lifecycle_lock:
+            if self._restarts >= self.config.max_dispatcher_restarts:
+                restart = False
+            else:
+                restart = True
+                self._restarts += 1
+                self._health = DEGRADED
+                attempt = self._restarts
+        if not restart:
+            self._health = FAILED
+            self._abandon_pending(cause)
+            return  # swallow: the failure is fully reported through futures
+        backoff_s = (
+            min(
+                self.config.restart_backoff_ms * 2 ** (attempt - 1),
+                self.config.restart_backoff_max_ms,
+            )
+            / 1000.0
+        )
+        if backoff_s > 0:
+            time.sleep(backoff_s)
+        with self._lifecycle_lock:
+            successor = threading.Thread(
+                target=self._run, name=f"{self._thread_name}-r{attempt}", daemon=True
+            )
+            # started before being published, so close() never joins an
+            # unstarted thread
+            successor.start()
+            self._dispatcher = successor
+            if self._closed:
+                # close() raced the crash: its sentinel may have been
+                # consumed by the dead dispatcher.  Re-enqueue one so the
+                # successor still terminates after flushing (submissions
+                # are refused once closed, so a duplicate sentinel is
+                # harmless — extra Nones just re-trigger the shutdown
+                # flush of an empty backlog).
+                self._queue.put(None)
+
+    def _drain_expired(self) -> bool:
+        deadline = self._drain_deadline
+        return deadline is not None and time.perf_counter() > deadline
 
     def _serve(self) -> None:
         stopping = False
         while not stopping:
+            # A drain deadline (set by close()) bounds the backlog too: the
+            # batch already dispatched finishes, everything still queued
+            # past the deadline is shed, not served.
+            if self._drain_expired():
+                self._shed_pending()
+                return
             if len(self._policy) == 0:
                 item = self._queue.get()
                 if item is None:
@@ -543,16 +683,42 @@ class MicroBatchScheduler:
                 self._policy.push(item)
             stopping = self._coalesce()
             self._in_flight = self._next_batch()
+            faults.fire(faults.DISPATCHER_LOOP)
             self._dispatch(self._in_flight)
             self._in_flight = []
+            if self._health == DEGRADED:
+                # a supervised restart served a batch end to end: recovered
+                self._health = HEALTHY
         # Shutdown: serve whatever is still pending, in policy-ordered
-        # full batches.
+        # full batches — until the drain deadline (if any); everything
+        # past it is shed with ServiceShuttingDownError.
         for item in self._drain_queue():
             self._policy.push(item)
         while len(self._policy):
+            if self._drain_expired():
+                self._shed_pending()
+                break
             self._in_flight = self._next_batch()
             self._dispatch(self._in_flight)
             self._in_flight = []
+
+    def _shed_pending(self) -> None:
+        """Drain-deadline shedding: fail the remaining backlog, keep exact
+        depth accounting."""
+        error = ServiceShuttingDownError(
+            "service drained past its deadline "
+            f"({self.config.drain_timeout_s}s); this request was shed — "
+            "retry against another instance"
+        )
+        remainder = self._policy.pop_batch(len(self._policy))
+        remainder.extend(self._drain_queue())
+        if remainder:
+            with self._lifecycle_lock:
+                self._depth -= len(remainder)
+        for request in remainder:
+            self.stats.record_shed()
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(error)
 
     def _drain_queue(self) -> list[Request]:
         drained: list[Request] = []
@@ -588,22 +754,45 @@ class MicroBatchScheduler:
                 future.set_exception(error)
 
     # -------------------------------------------------------------- #
-    def close(self, timeout: float | None = 10.0) -> bool:
+    def close(
+        self, timeout: float | None = 10.0, drain_timeout_s: float | None = None
+    ) -> bool:
         """Stop accepting requests, flush the queue, join the dispatcher.
 
-        Returns ``True`` when the dispatcher finished flushing within
-        ``timeout``, ``False`` when it is still running (the flush did not
-        complete — accepted futures may still be pending).  Calling
-        ``close`` again re-joins and reports the current status.
+        ``drain_timeout_s`` (defaulting to ``ServingConfig.drain_timeout_s``)
+        turns the flush into a bounded *drain*: queued work keeps being
+        served until the deadline, and whatever remains past it is shed
+        with :class:`~repro.exceptions.ServiceShuttingDownError`.  ``None``
+        in both places keeps the classic unbounded flush.
+
+        Returns ``True`` when the dispatcher finished within ``timeout``,
+        ``False`` when it is still running (the flush did not complete —
+        accepted futures may still be pending).  Calling ``close`` again
+        re-joins and reports the current status.
         """
+        if drain_timeout_s is None:
+            drain_timeout_s = self.config.drain_timeout_s
         with self._lifecycle_lock:
             if not self._closed:
                 self._closed = True
+                if drain_timeout_s is not None:
+                    self._drain_deadline = time.perf_counter() + drain_timeout_s
                 # The sentinel is enqueued under the lock, so it is
                 # guaranteed to be the last item — every accepted request
-                # gets served.
+                # gets served (or shed at the drain deadline).
                 self._queue.put(None)
-        self._dispatcher.join(timeout=timeout)
+        # A supervised restart can swap self._dispatcher while we wait, so
+        # re-join whichever thread is current until it stays put or the
+        # timeout budget runs out.
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while True:
+            dispatcher = self._dispatcher
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.perf_counter())
+            )
+            dispatcher.join(timeout=remaining)
+            if dispatcher.is_alive() or dispatcher is self._dispatcher:
+                break
         return not self._dispatcher.is_alive()
 
     def __enter__(self):

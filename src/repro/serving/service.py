@@ -32,6 +32,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.config import ServingConfig
+from repro.serving import faults
 from repro.serving.persistence import resolve_hmm
 from repro.serving.scheduler import (
     _SCORE,
@@ -64,6 +65,12 @@ class _ModelExecutor:
     def run(self, batch: list[Request], stats: ServiceStats) -> None:
         """Compute one micro-batch and resolve its futures (stats first)."""
         started = time.perf_counter()
+        # Fired before the isolation try-block: an injected executor fault
+        # models the whole engine call hard-failing (not one bad sequence),
+        # so it must propagate to the caller — the router's circuit breaker
+        # or the scheduler's supervisor — instead of being re-run per
+        # request.
+        faults.fire(faults.EXECUTOR_RUN)
         try:
             outcomes = self._compute_coalesced(batch)
         except Exception:

@@ -40,6 +40,7 @@ import numpy as np
 from repro.core.config import ServingConfig
 from repro.exceptions import ValidationError
 from repro.hmm.backends import StreamStep
+from repro.serving import faults
 from repro.serving.persistence import resolve_hmm
 from repro.serving.scheduler import MicroBatchScheduler, Request
 from repro.serving.streaming import _UNSET, StreamResult, _StreamState
@@ -240,6 +241,10 @@ class StreamingService(MicroBatchScheduler):
         """Advance one tick's streams together; fall back per stream on error."""
         started = time.perf_counter()
         try:
+            # Inside the isolation block on purpose: an injected tick fault
+            # behaves like a poisoned shared call — the per-stream fallback
+            # must absorb it with every stream's output unchanged.
+            faults.fire(faults.STREAM_TICK)
             stacked = np.stack([request.sequence for request in tick])
             rows = self._emissions.log_likelihoods(stacked)
             steps = self._session.step_many(

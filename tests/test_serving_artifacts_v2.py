@@ -7,7 +7,7 @@ import pytest
 
 from repro.datasets.ocr import generate_ocr_dataset
 from repro.core import SupervisedDiversifiedHMM
-from repro.exceptions import ValidationError
+from repro.exceptions import ArtifactCorruptError, ValidationError
 from repro.hmm import HMM, CategoricalEmission
 from repro.serving import ModelRegistry, Router, load_artifact, save_artifact
 from repro.serving.persistence import (
@@ -75,14 +75,19 @@ class TestSchemaV2:
         blob = bytearray(payload.read_bytes())
         blob[len(blob) // 2] ^= 0xFF
         payload.write_bytes(bytes(blob))
-        with pytest.raises(ValidationError, match="checksum mismatch"):
+        with pytest.raises(ArtifactCorruptError, match="checksum mismatch") as info:
             load_artifact(tmp_path / "m")
+        # the typed error carries path + digests so operators can triage
+        assert info.value.path == payload
+        assert info.value.expected != info.value.actual
+        assert info.value.actual is not None
 
     def test_missing_payload_reported(self, tmp_path):
         save_artifact(_random_hmm(0), tmp_path / "m")
         (tmp_path / "m" / ARRAYS_NAME).unlink()
-        with pytest.raises(ValidationError, match="missing payload"):
+        with pytest.raises(ArtifactCorruptError, match="missing payload") as info:
             load_artifact(tmp_path / "m")
+        assert info.value.actual is None  # payload gone, nothing to hash
 
     def test_v1_artifact_loads_unchanged(self, tmp_path):
         model = _random_hmm(3)

@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.core.config import ServingConfig
-from repro.exceptions import DeadlineExceededError, QueueFullError, ValidationError
+from repro.exceptions import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceShuttingDownError,
+    ValidationError,
+)
 from repro.hmm import HMM, CategoricalEmission
 from repro.serving import ModelRegistry, Router
 
@@ -148,7 +153,7 @@ class TestLifecycle:
     def test_submit_after_close_raises(self, registry, sequences):
         router = Router(registry)
         router.close()
-        with pytest.raises(ValidationError, match="closed"):
+        with pytest.raises(ServiceShuttingDownError, match="closed"):
             router.submit_tag("alpha", sequences[0])
 
     def test_queue_capacity_applies(self, registry, sequences):

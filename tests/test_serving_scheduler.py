@@ -295,8 +295,9 @@ class TestWarmUp:
 
     def test_warm_up_preloads_before_traffic(self, registry):
         with Router(registry) as router:
-            loaded = router.warm_up(["alpha", "beta"])
-            assert loaded == [("alpha", 1), ("beta", 2)]
+            report = router.warm_up(["alpha", "beta"])
+            assert report.ok
+            assert report.loaded == [("alpha", 1), ("beta", 2)]
             assert set(router.loaded_models()) == {("alpha", 1), ("beta", 2)}
             assert router.stats.snapshot()["n_model_loads"] == 2
             # traffic hits warm executors: no further loads
@@ -310,12 +311,15 @@ class TestWarmUp:
 
     def test_warm_up_pins_explicit_versions(self, registry):
         with Router(registry) as router:
-            assert router.warm_up([("beta", 1)]) == [("beta", 1)]
+            assert list(router.warm_up([("beta", 1)])) == [("beta", 1)]
             assert router.loaded_models() == [("beta", 1)]
 
-    def test_warm_up_unknown_model_fails_at_submit(self, registry):
+    def test_warm_up_continues_past_broken_models(self, registry):
+        """One bad entry lands in .errors; the healthy fleet still loads."""
         with Router(registry) as router:
-            with pytest.raises(ValidationError, match="no versions"):
-                router.warm_up(["ghost"])
-            with pytest.raises(ValidationError, match="version"):
-                router.warm_up([("alpha", 5)])
+            report = router.warm_up(["ghost", "alpha", ("beta", 5)])
+            assert not report.ok
+            assert report.loaded == [("alpha", 1)]
+            assert isinstance(report.errors["ghost"], ValidationError)
+            assert isinstance(report.errors["beta"], ValidationError)
+            assert router.loaded_models() == [("alpha", 1)]

@@ -10,6 +10,7 @@ from repro.core.config import ServingConfig
 from repro.exceptions import (
     DeadlineExceededError,
     QueueFullError,
+    ServiceShuttingDownError,
     ServingError,
     ValidationError,
 )
@@ -166,7 +167,7 @@ class TestLifecycle:
     def test_submit_after_close_raises(self, model, sequences):
         service = TaggingService(model)
         service.close()
-        with pytest.raises(ValidationError, match="closed"):
+        with pytest.raises(ServiceShuttingDownError, match="closed"):
             service.submit_tag(sequences[0])
 
     def test_close_is_idempotent(self, model):
@@ -267,14 +268,15 @@ class TestLifecycle:
             future = service.submit_tag(sequences[0])
             service._dispatcher.join(timeout=10)
             assert not service._dispatcher.is_alive()
-            # The interrupt stopped the dispatcher instead of being
-            # swallowed into the future as the result; the abandoned
-            # request resolves with ServingError (never the interrupt, and
-            # never a silent hang for a client blocked in result()).
-            with pytest.raises(ServingError, match="dispatcher died"):
+            # The interrupt stopped the dispatcher — no supervised restart
+            # for control-flow exceptions — instead of being swallowed into
+            # the future as the result; the in-flight request resolves with
+            # ServingError (never the interrupt, and never a silent hang
+            # for a client blocked in result()).
+            with pytest.raises(ServingError, match="dispatcher crashed"):
                 future.result(timeout=10)
             # the dead service refuses new work instead of queueing it
-            with pytest.raises(ValidationError, match="closed"):
+            with pytest.raises(ServiceShuttingDownError, match="closed"):
                 service.submit_tag(sequences[1])
             assert service.close(timeout=1.0) is True
         finally:
