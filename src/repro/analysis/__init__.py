@@ -1,0 +1,64 @@
+"""Static analysis and runtime concurrency instrumentation for repro.
+
+Two halves:
+
+* :mod:`repro.analysis.framework` + the ``rules_*`` modules — the
+  stdlib-``ast`` lint pass behind the ``repro-lint`` CLI
+  (:mod:`repro.analysis.cli`): guarded-by lock coverage, async-blocking
+  detection, hot-path purity, error-taxonomy enforcement and hygiene
+  sweeps, with ``# repro:`` pragmas for declarations and justified
+  suppressions.
+* :mod:`repro.analysis.lockorder` — the runtime lock-order tracker the
+  serving layer's locks are created through (:func:`make_lock`); armed
+  via ``REPRO_LOCK_TRACKER=1`` it turns an ABBA acquisition-order cycle
+  observed during the test suites into a failure.
+
+This package intentionally imports nothing from the serving or hmm layers
+so that instrumentation (``lockorder``) stays import-cycle-free.
+"""
+
+from repro.analysis.framework import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    Finding,
+    LintResult,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_sources,
+    render_json,
+    render_text,
+)
+from repro.analysis.lockorder import (
+    LockOrderError,
+    LockOrderTracker,
+    TrackedLock,
+    arm,
+    disarm,
+    get_tracker,
+    is_armed,
+    make_lock,
+)
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "Finding",
+    "LintResult",
+    "LockOrderError",
+    "LockOrderTracker",
+    "Rule",
+    "TrackedLock",
+    "all_rules",
+    "arm",
+    "disarm",
+    "get_tracker",
+    "is_armed",
+    "lint_paths",
+    "lint_sources",
+    "make_lock",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,84 @@
+"""``repro-lint``: the project's static-analysis entry point.
+
+Usage::
+
+    repro-lint [PATH ...] [--format text|json] [--select RULES]
+               [--ignore RULES] [--list-rules]
+
+Paths default to ``src``.  Exit codes are stable: 0 clean, 1 findings,
+2 usage/parse errors — CI treats anything non-zero as a failed gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.framework import (
+    EXIT_CLEAN,
+    EXIT_USAGE,
+    all_rules,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+
+def _split_rules(value: str | None) -> list[str] | None:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-specific static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            print(f"{rule_id:24s} {rule.summary}")
+        print(f"{'suppression':24s} unjustified/unused/malformed repro pragmas")
+        return EXIT_CLEAN
+    result = lint_paths(
+        args.paths,
+        select=_split_rules(args.select),
+        ignore=_split_rules(args.ignore),
+    )
+    if result.n_files == 0 and not result.errors:
+        print("repro-lint: no Python files found", file=sys.stderr)
+        return EXIT_USAGE
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""Runtime lock-order tracker: ABBA deadlock detection for the serving tier.
+
+The static ``guarded-by`` rule proves each shared attribute is accessed
+under its lock; this module covers the orthogonal hazard — two locks taken
+in opposite orders by two threads.  Serving locks are created through
+:func:`make_lock`:
+
+* **disarmed** (the default): :func:`make_lock` returns a plain
+  ``threading.Lock`` — zero overhead, so the serving/streaming bench
+  gates are untouched;
+* **armed** (``REPRO_LOCK_TRACKER=1`` in the environment, or
+  :func:`arm` from a test): it returns a :class:`TrackedLock` that
+  maintains a per-thread stack of held locks and a global acquisition-
+  order graph keyed by lock *name*.  Acquiring ``B`` while holding ``A``
+  adds the edge ``A -> B``; if ``B -> … -> A`` is already reachable, the
+  two orders can interleave into a deadlock and a :class:`Violation` is
+  recorded (or raised, in ``strict`` mode).  Re-acquiring a held
+  non-reentrant lock name is recorded as a self-deadlock.
+
+Edges are keyed by the name passed to :func:`make_lock`, so all instances
+of a class share one node — the graph checks the *locking discipline*,
+not individual objects.  The serving and chaos suites run armed in CI;
+``tests/conftest.py`` fails the session if any violation was recorded.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+__all__ = [
+    "LockOrderError",
+    "LockOrderTracker",
+    "TrackedLock",
+    "Violation",
+    "arm",
+    "disarm",
+    "get_tracker",
+    "is_armed",
+    "make_lock",
+]
+
+
+class LockOrderError(AssertionError):
+    """Raised on a lock-order violation when the tracker runs in strict mode."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed deadlock risk."""
+
+    #: ``"cycle"`` (ABBA order inversion) or ``"reentry"`` (self-deadlock).
+    kind: str
+    #: the closed chain of lock names, e.g. ``("A", "B", "A")``.
+    cycle: tuple[str, ...]
+    #: name of the thread whose acquisition closed the cycle.
+    thread: str
+
+    def describe(self) -> str:
+        chain = " -> ".join(self.cycle)
+        return f"{self.kind}: {chain} (thread {self.thread})"
+
+
+class LockOrderTracker:
+    """Acquisition-order graph over named locks; cycle ⇒ deadlock risk."""
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self._mutex = threading.Lock()
+        self._edges: dict[str, set[str]] = {}
+        self._local = threading.local()
+        self.violations: list[Violation] = []
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _reaches(self, source: str, target: str) -> list[str] | None:
+        """A path ``source -> … -> target`` in the edge graph, if any."""
+        seen = {source}
+        frontier: list[tuple[str, list[str]]] = [(source, [source])]
+        while frontier:
+            node, path = frontier.pop()
+            for successor in self._edges.get(node, ()):
+                if successor == target:
+                    return path + [successor]
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append((successor, path + [successor]))
+        return None
+
+    def _record(self, violation: Violation) -> None:
+        self.violations.append(violation)
+        if self.strict:
+            raise LockOrderError(violation.describe())
+
+    # ------------------------------------------------------------------
+    def note_acquire(self, name: str) -> None:
+        """Called *before* a potentially blocking acquire of ``name``."""
+        stack = self._stack()
+        if not stack:
+            return
+        thread = threading.current_thread().name
+        with self._mutex:
+            if name in stack:
+                self._record(Violation("reentry", (name, name), thread))
+                return
+            for held in stack:
+                successors = self._edges.setdefault(held, set())
+                if name in successors:
+                    continue
+                # adding held -> name: a pre-existing name ->* held path
+                # means the opposite order was already observed
+                path = self._reaches(name, held)
+                successors.add(name)
+                if path is not None:
+                    self._record(Violation("cycle", (held, *path, name), thread))
+
+    def note_acquired(self, name: str) -> None:
+        self._stack().append(name)
+
+    def note_release(self, name: str) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    def assert_clean(self) -> None:
+        """Raise :class:`LockOrderError` if any violation was recorded."""
+        if self.violations:
+            details = "\n".join(v.describe() for v in self.violations)
+            raise LockOrderError(
+                f"{len(self.violations)} lock-order violation(s):\n{details}"
+            )
+
+
+class TrackedLock:
+    """A ``threading.Lock`` wrapper feeding the acquisition-order graph."""
+
+    __slots__ = ("name", "_lock", "_tracker")
+
+    def __init__(self, name: str, tracker: LockOrderTracker) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._tracker = tracker
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._tracker.note_acquire(self.name)
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._tracker.note_acquired(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._tracker.note_release(self.name)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+_tracker: LockOrderTracker | None = None
+
+
+def arm(strict: bool = False) -> LockOrderTracker:
+    """Switch :func:`make_lock` to tracked locks; returns the tracker."""
+    global _tracker
+    _tracker = LockOrderTracker(strict=strict)
+    return _tracker
+
+
+def disarm() -> None:
+    """Back to plain ``threading.Lock`` factories (zero overhead)."""
+    global _tracker
+    _tracker = None
+
+
+def is_armed() -> bool:
+    return _tracker is not None
+
+
+def get_tracker() -> LockOrderTracker | None:
+    return _tracker
+
+
+def make_lock(name: str):
+    """A lock for serving-layer shared state.
+
+    Plain ``threading.Lock`` while disarmed; a :class:`TrackedLock` wired
+    into the acquisition-order graph while armed.  ``name`` should be
+    stable per call site (``"scheduler.lifecycle"``, ``"stats"``, …) —
+    instances created at the same site share a graph node.
+    """
+    tracker = _tracker
+    if tracker is None:
+        return threading.Lock()
+    return TrackedLock(name, tracker)
+
+
+if os.environ.get("REPRO_LOCK_TRACKER", "").strip().lower() in ("1", "true", "yes"):
+    arm()

@@ -1,0 +1,265 @@
+"""Concurrency-discipline rules: ``guarded-by`` coverage and async purity.
+
+These rules mechanize the invariants the serving layer's docstrings used
+to carry as prose:
+
+``guarded-by``
+    Attributes initialized with a trailing ``# repro: guarded-by[<lock>]``
+    pragma are *shared state*: every later ``self.<attr>`` read or write
+    must happen inside ``with self.<lock>:`` (any enclosing ``with`` on
+    that lock attribute), in ``__init__`` (construction precedes
+    publication), or in a method whose ``def`` line carries
+    ``# repro: confined[<owning thread>]``.  Nested functions and lambdas
+    are analyzed with an *empty* lock context — a closure may run on any
+    thread, so it cannot inherit the enclosing scope's critical section.
+
+``async-blocking``
+    Inside ``async def`` bodies, flags the blocking primitives that stall
+    the event loop: ``time.sleep``, ``Future.result()``/``join()``,
+    ``queue`` module calls, file I/O (``open``/``json.load``/``np.load``…),
+    scheduler submission and stats-snapshot calls (they acquire
+    cross-thread locks), and ``with`` on a ``self.*lock*`` attribute.
+    Work deferred into a nested ``def``/``lambda`` (the
+    ``run_in_executor`` pattern) is exempt — that is the fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Rule, SourceModule, register
+
+__all__ = ["GuardedByRule", "AsyncBlockingRule"]
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``attr`` when ``node`` is ``self.<attr>``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@register
+class GuardedByRule(Rule):
+    id = "guarded-by"
+    summary = (
+        "reads/writes of a `# repro: guarded-by[lock]` attribute must hold "
+        "the declared lock (or run in a `# repro: confined[...]` method)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    # ------------------------------------------------------------------
+    def _collect_guarded(
+        self, module: SourceModule, cls: ast.ClassDef
+    ) -> tuple[dict[str, str], set[int]]:
+        """Map guarded attribute -> lock attribute; remember declaration lines."""
+        guarded: dict[str, str] = {}
+        declaration_lines: set[int] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            pragma = module.pragma_in_range(
+                "guarded-by", node.lineno, node.end_lineno or node.lineno
+            )
+            if pragma is None or not pragma.args:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None and isinstance(target, ast.Name):
+                    attr = target.id  # class-level declaration
+                if attr is not None:
+                    guarded[attr] = pragma.args[0]
+                    declaration_lines.add(node.lineno)
+        return guarded, declaration_lines
+
+    def _check_class(
+        self, module: SourceModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        self._guarded, self._declaration_lines = self._collect_guarded(module, cls)
+        if not self._guarded:
+            return
+        self._module = module
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__":
+                continue  # construction precedes publication
+            if module.header_pragma(item, "confined") is not None:
+                continue
+            yield from self._scan_block(item.body, frozenset())
+
+    def _scan_block(
+        self, stmts: list[ast.stmt], held: frozenset[str]
+    ) -> Iterator[Finding]:
+        for stmt in stmts:
+            yield from self._scan_stmt(stmt, held)
+
+    def _scan_stmt(
+        self, stmt: ast.stmt, held: frozenset[str]
+    ) -> Iterator[Finding]:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in stmt.items:
+                yield from self._scan_expr(item.context_expr, held)
+                attr = _self_attr(item.context_expr)
+                if attr is not None:
+                    acquired.add(attr)
+            yield from self._scan_block(stmt.body, frozenset(acquired))
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested function may run on another thread: empty context
+            # (unless it is itself declared confined).
+            if self._module.header_pragma(stmt, "confined") is None:
+                yield from self._scan_block(stmt.body, frozenset())
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                yield from self._scan_stmt(child, held)
+            elif isinstance(child, ast.ExceptHandler):
+                yield from self._scan_block(child.body, held)
+            elif isinstance(child, ast.expr):
+                yield from self._scan_expr(child, held)
+
+    def _scan_expr(
+        self, node: ast.expr, held: frozenset[str]
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Lambda):
+            yield from self._scan_expr(node.body, frozenset())
+            return
+        attr = _self_attr(node)
+        if (
+            attr is not None
+            and attr in self._guarded
+            and node.lineno not in self._declaration_lines
+        ):
+            lock = self._guarded[attr]
+            if lock not in held:
+                yield self.finding(
+                    self._module,
+                    node,
+                    f"'{attr}' is guarded by '{lock}' but accessed without "
+                    f"holding it — wrap in `with self.{lock}:` or mark the "
+                    "method `# repro: confined[owning thread]`",
+                )
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                yield from self._scan_expr(child, held)
+            elif isinstance(child, ast.comprehension):
+                for sub in (child.target, child.iter, *child.ifs):
+                    yield from self._scan_expr(sub, held)
+
+
+_BLOCKING_CALL_ATTRS = {
+    "result": "blocks on a concurrent future",
+    "snapshot": "acquires the stats lock",
+    "submit_tag": "scheduler submission takes the lifecycle lock",
+    "submit_score": "scheduler submission takes the lifecycle lock",
+    "submit_push": "scheduler submission takes the lifecycle lock",
+    "submit_finish": "scheduler submission takes the lifecycle lock",
+    "_enqueue": "scheduler submission takes the lifecycle lock",
+    "read_text": "file I/O",
+    "write_text": "file I/O",
+    "read_bytes": "file I/O",
+    "write_bytes": "file I/O",
+    "latest_version": "registry directory scan",
+    "artifact_path": "registry directory scan",
+    "list_models": "registry directory scan",
+    "versions": "registry directory scan",
+}
+
+_BLOCKING_MODULE_CALLS = {
+    ("time", "sleep"): "sleeps the event loop",
+    ("json", "load"): "file I/O",
+    ("json", "dump"): "file I/O",
+    ("np", "load"): "file I/O",
+    ("np", "save"): "file I/O",
+    ("np", "savez"): "file I/O",
+    ("numpy", "load"): "file I/O",
+    ("numpy", "save"): "file I/O",
+}
+
+
+@register
+class AsyncBlockingRule(Rule):
+    id = "async-blocking"
+    summary = (
+        "no blocking calls (sleep/result/locks/file I/O/scheduler submission) "
+        "directly inside `async def` bodies — defer them via run_in_executor"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                for stmt in node.body:
+                    yield from self._scan_node(module, stmt)
+
+    def _scan_node(self, module: SourceModule, node: ast.AST) -> Iterator[Finding]:
+        # Nested sync functions / lambdas run in an executor (or at least
+        # not necessarily on the loop); nested async defs are visited by
+        # check() on their own.  Skip their bodies entirely.
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        if isinstance(node, ast.With):
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None and "lock" in attr:
+                    yield self.finding(
+                        module,
+                        item.context_expr,
+                        f"`with self.{attr}:` holds a cross-thread lock on "
+                        "the event loop — move the critical section into a "
+                        "function run via run_in_executor",
+                    )
+        if isinstance(node, ast.Call):
+            yield from self._check_call(module, node)
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan_node(module, child)
+
+    def _check_call(self, module: SourceModule, call: ast.Call) -> Iterator[Finding]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            yield self.finding(
+                module, call,
+                "open() performs file I/O on the event loop — use "
+                "run_in_executor",
+            )
+            return
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                why = _BLOCKING_MODULE_CALLS.get((func.value.id, func.attr))
+                if why is not None:
+                    yield self.finding(
+                        module, call,
+                        f"{func.value.id}.{func.attr}() {why} — use "
+                        "run_in_executor",
+                    )
+                    return
+                if func.value.id == "queue":
+                    yield self.finding(
+                        module, call,
+                        f"queue.{func.attr}() is a blocking queue primitive — "
+                        "bridge through run_in_executor / asyncio.wrap_future",
+                    )
+                    return
+            why = _BLOCKING_CALL_ATTRS.get(func.attr)
+            if why is not None:
+                yield self.finding(
+                    module, call,
+                    f".{func.attr}() {why}; awaiting it on the event loop "
+                    "stalls every connection — use run_in_executor (futures: "
+                    "asyncio.wrap_future)",
+                )

@@ -1,0 +1,100 @@
+"""Code-hygiene rules: unused imports and unreachable statements.
+
+``unused-import``
+    A module-level import whose bound name is never referenced (by a
+    ``Name`` node anywhere in the module, or listed as a string in
+    ``__all__``).  ``__init__.py`` files are exempt — their imports *are*
+    the re-export surface.  Deletions are the expected fix; suppress only
+    genuine import-for-side-effect cases.
+
+``unreachable-code``
+    Statements in the same block after an unconditional ``return``,
+    ``raise``, ``break`` or ``continue``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Rule, SourceModule, register
+
+__all__ = ["UnusedImportRule", "UnreachableCodeRule"]
+
+
+@register
+class UnusedImportRule(Rule):
+    id = "unused-import"
+    summary = (
+        "imports bound to names the module never uses (delete them; "
+        "__init__.py re-export surfaces are exempt)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.path.endswith("__init__.py"):
+            return
+        bindings: list[tuple[str, ast.stmt]] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    bindings.append((name, node))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bindings.append((alias.asname or alias.name, node))
+        if not bindings:
+            return
+        used: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # covers __all__ entries and string annotations alike
+                used.add(node.value)
+        seen: set[tuple[str, int]] = set()
+        for name, node in bindings:
+            if name in used:
+                continue
+            key = (name, node.lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                module,
+                node,
+                f"import '{name}' is never used in this module — delete it "
+                "(or suppress with a justification if imported for its "
+                "side effects)",
+            )
+
+
+_TERMINAL = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+@register
+class UnreachableCodeRule(Rule):
+    id = "unreachable-code"
+    summary = "statements after an unconditional return/raise/break/continue"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            for block_name in ("body", "orelse", "finalbody"):
+                block = getattr(node, block_name, None)
+                if not isinstance(block, list):
+                    continue
+                terminated = False
+                for stmt in block:
+                    if terminated and isinstance(stmt, ast.stmt):
+                        yield self.finding(
+                            module,
+                            stmt,
+                            "unreachable: the block already terminated with "
+                            "return/raise/break/continue — delete this code",
+                        )
+                        break  # one finding per block is enough
+                    if isinstance(stmt, _TERMINAL):
+                        terminated = True

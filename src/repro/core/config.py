@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import random
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.exceptions import ValidationError
 
@@ -92,7 +93,7 @@ def inference_backend(
     >>> with inference_backend("log"):
     ...     pass  # models built/used here run the log-domain reference
     """
-    overrides = {"backend": backend}
+    overrides: dict[str, object] = {"backend": backend}
     if bucket_size is not None:
         overrides["bucket_size"] = bucket_size
     previous = set_inference_config(replace(get_inference_config(), **overrides))
@@ -322,7 +323,9 @@ class RetryPolicy:
                 f"deadline_s must be positive or None, got {self.deadline_s}"
             )
 
-    def backoff_s(self, retry_index: int, rng=None) -> float:
+    def backoff_s(
+        self, retry_index: int, rng: random.Random | None = None
+    ) -> float:
         """Backoff before the ``retry_index``-th retry (0-based), in seconds."""
         backoff_ms = min(
             self.initial_backoff_ms * self.backoff_multiplier**retry_index,
@@ -334,13 +337,13 @@ class RetryPolicy:
 
     def call(
         self,
-        fn,
+        fn: Callable[[], Any],
         *,
-        retryable: tuple = None,
-        sleep=None,
-        rng=None,
-        min_backoff_s=None,
-    ):
+        retryable: tuple[type[BaseException], ...] | None = None,
+        sleep: Callable[[float], object] | None = None,
+        rng: random.Random | None = None,
+        min_backoff_s: Callable[[BaseException], float | None] | None = None,
+    ) -> Any:
         """Run ``fn()`` under this retry budget; returns its result.
 
         Parameters

@@ -80,7 +80,7 @@ class ArtifactCorruptError(ServingError):
         self,
         message: str,
         *,
-        path=None,
+        path: object = None,
         expected: str | None = None,
         actual: str | None = None,
     ) -> None:

@@ -24,7 +24,7 @@ from repro.hmm.corpus import compile_corpus
 from repro.hmm.emissions.gaussian import GaussianEmission
 from repro.metrics.accuracy import one_to_one_accuracy
 from repro.metrics.diversity import average_pairwise_bhattacharyya
-from repro.utils.maths import normalize_rows, safe_log
+from repro.utils.maths import normalize_rows
 from repro.utils.rng import SeedLike
 
 

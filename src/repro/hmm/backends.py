@@ -354,7 +354,7 @@ class ScaledBatchedBackend(InferenceBackend):
     # -------------------------------------------------------------- #
     # Bucket kernels
     # -------------------------------------------------------------- #
-    def _forward_bucket(
+    def _forward_bucket(  # repro: hot-path
         self,
         startprob: np.ndarray,
         transmat: np.ndarray,
@@ -390,7 +390,7 @@ class ScaledBatchedBackend(InferenceBackend):
         alpha_hat[:, 0] = alpha
         scale[:, 0] = c0
 
-        for t in range(1, max_len):
+        for t in range(1, max_len):  # repro: loop-ok[inherent time recursion]
             active = t < lengths
             propagated = (alpha @ transmat) * obs[:, t]
             raw = propagated.sum(axis=1)
@@ -401,10 +401,13 @@ class ScaledBatchedBackend(InferenceBackend):
             scale[:, t] = c_t
 
         mask = np.arange(max_len)[None, :] < lengths[:, None]
-        log_likelihoods = (np.log(scale) + np.where(mask, shift, 0.0)).sum(axis=1)
+        log_likelihoods = (
+            np.log(scale)  # repro: ignore[hot-path-unguarded-log] -- scale is clamped to _TINY by the recursion above
+            + np.where(mask, shift, 0.0)
+        ).sum(axis=1)
         return alpha_hat, scale, obs, shift, log_likelihoods, underflow
 
-    def _posterior_bucket_arrays(
+    def _posterior_bucket_arrays(  # repro: hot-path
         self,
         startprob: np.ndarray,
         transmat: np.ndarray,
@@ -433,7 +436,7 @@ class ScaledBatchedBackend(InferenceBackend):
             beta_hat = np.empty_like(obs)
             beta = np.ones((batch, n_states))
             beta_hat[:, max_len - 1] = beta
-            for t in range(max_len - 2, -1, -1):
+            for t in range(max_len - 2, -1, -1):  # repro: loop-ok[inherent backward time recursion]
                 update = (t + 1) < lengths
                 weighted = obs[:, t + 1] * beta
                 propagated = (weighted @ transmat.T) / scale[:, t + 1, None]
@@ -448,7 +451,7 @@ class ScaledBatchedBackend(InferenceBackend):
             xi_weight = obs * beta_hat / scale[:, :, None]
         return alpha_hat, gamma, xi_weight, log_likelihoods, underflow
 
-    def _forward_backward_bucket(
+    def _forward_backward_bucket(  # repro: hot-path
         self,
         startprob: np.ndarray,
         transmat: np.ndarray,
@@ -461,7 +464,7 @@ class ScaledBatchedBackend(InferenceBackend):
         )
 
         results: list[SequencePosteriors] = []
-        for b in range(batch):
+        for b in range(batch):  # repro: loop-ok[ragged per-sequence xi assembly]
             length = int(lengths[b])
             if length > 1:
                 xi_sum = transmat * (
@@ -478,13 +481,13 @@ class ScaledBatchedBackend(InferenceBackend):
             )
         if underflow.any():
             log_pi, log_A = safe_log(startprob), safe_log(transmat)
-            for b in np.flatnonzero(underflow):
+            for b in np.flatnonzero(underflow):  # repro: loop-ok[rare underflow repair]
                 results[b] = compute_posteriors_from_log(
                     log_pi, log_A, log_b[b, : lengths[b]]
                 )
         return results
 
-    def _fb_corpus_bucket(
+    def _fb_corpus_bucket(  # repro: hot-path
         self,
         startprob: np.ndarray,
         transmat: np.ndarray,
@@ -527,7 +530,7 @@ class ScaledBatchedBackend(InferenceBackend):
 
         if underflow.any():
             log_pi, log_A = safe_log(startprob), safe_log(transmat)
-            for b in np.flatnonzero(underflow):
+            for b in np.flatnonzero(underflow):  # repro: loop-ok[rare underflow repair]
                 length = int(lengths[b])
                 ref = compute_posteriors_from_log(log_pi, log_A, log_b[b, :length])
                 gamma[b, :length] = ref.gamma
@@ -638,7 +641,7 @@ class ScaledBatchedBackend(InferenceBackend):
             lls[bucket.idx] = bucket_lls
         return lls
 
-    def _viterbi_bucket(
+    def _viterbi_bucket(  # repro: hot-path
         self,
         log_startprob: np.ndarray,
         log_transmat_T: np.ndarray,
@@ -679,7 +682,7 @@ class ScaledBatchedBackend(InferenceBackend):
                 log_startprob, log_transmat_T, log_b[order], lengths[order]
             )
             results: list[tuple[np.ndarray, float]] = [None] * lengths.size
-            for pos, res in zip(order, sorted_results):
+            for pos, res in zip(order, sorted_results):  # repro: loop-ok[defensive unsort]
                 results[pos] = res
             return results
 
@@ -696,7 +699,7 @@ class ScaledBatchedBackend(InferenceBackend):
         best = np.empty(batch * n_states)
         gather_idx = np.empty(batch * n_states, dtype=np.intp)
         flat_offsets = np.arange(batch * n_states, dtype=np.intp) * n_states
-        for t in range(1, max_len):
+        for t in range(1, max_len):  # repro: loop-ok[inherent time recursion]
             # First row still alive at time t (lengths are sorted ascending).
             first = int(np.searchsorted(lengths, t, side="right"))
             n_active = batch - first
@@ -723,7 +726,7 @@ class ScaledBatchedBackend(InferenceBackend):
 
         paths = np.zeros((batch, max_len), dtype=np.int64)
         paths[rows, lengths - 1] = final_state
-        for t in range(max_len - 2, -1, -1):
+        for t in range(max_len - 2, -1, -1):  # repro: loop-ok[inherent backtrack recursion]
             within = (t + 1) < lengths
             follow = backpointers[rows, t + 1, paths[:, t + 1]]
             paths[:, t] = np.where(within, follow, paths[:, t])
@@ -1132,7 +1135,7 @@ class BatchedStreamingSession:
         states.reverse()
         return list(zip(range(down_to, slot.t + 1), states))
 
-    def step_many(
+    def step_many(  # repro: hot-path
         self,
         log_obs_rows: np.ndarray,
         streams: Sequence[int] | None = None,
@@ -1165,7 +1168,7 @@ class BatchedStreamingSession:
             )
         if len(set(streams)) != len(streams):
             raise ValidationError("duplicate stream ids in one tick")
-        for i in streams:
+        for i in streams:  # repro: loop-ok[pre-flight validation, M small]
             if self._slot(i).finished:
                 raise ValidationError(f"cannot step finished stream {i}")
         if not streams:
@@ -1217,7 +1220,7 @@ class BatchedStreamingSession:
 
         steps: list[StreamStep] = []
         ongoing_row = 0
-        for m, i in enumerate(streams):
+        for m, i in enumerate(streams):  # repro: loop-ok[per-stream step assembly]
             slot = self._slots[i]
             slot.t += 1
             if not fresh[m]:
@@ -1231,7 +1234,7 @@ class BatchedStreamingSession:
                     i, slot.next_emit, best_state=int(best_states[m])
                 )[: last - slot.next_emit + 1]
                 slot.next_emit = last + 1
-                while len(slot.bp) > slot.t - slot.next_emit:
+                while len(slot.bp) > slot.t - slot.next_emit:  # repro: loop-ok[bounded window trim]
                     slot.bp.popleft()
             steps.append(
                 StreamStep(

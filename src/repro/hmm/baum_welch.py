@@ -91,7 +91,7 @@ class BaumWelchTrainer:
         update_emissions: bool = True,
         update_transitions: bool = True,
         warn_on_no_convergence: bool = False,
-        engine: "InferenceEngine | None" = None,
+        engine: InferenceEngine | None = None,
     ) -> None:
         if max_iter < 1:
             raise ValidationError(f"max_iter must be at least 1, got {max_iter}")

@@ -146,7 +146,7 @@ class CompiledCorpus:
         return int(self.offsets[-1])
 
     # -------------------------------------------------------------- #
-    def score(self, emissions: "EmissionModel") -> np.ndarray:
+    def score(self, emissions: "EmissionModel") -> np.ndarray:  # repro: hot-path
         """Emission log-likelihoods of the whole corpus, ready to gather.
 
         Returns an ``(n_tokens + 1, K)`` table: the concatenated corpus is
@@ -158,7 +158,7 @@ class CompiledCorpus:
         """
         return self.extend_scores(emissions.log_likelihoods_concat(self.concat))
 
-    def extend_scores(self, scores: np.ndarray) -> np.ndarray:
+    def extend_scores(self, scores: np.ndarray) -> np.ndarray:  # repro: hot-path
         """Append the padding sentinel row to a custom ``(n_tokens, K)`` table.
 
         For callers that derive their own corpus-level emission scores
@@ -176,7 +176,9 @@ class CompiledCorpus:
         ext[-1] = 0.0
         return ext
 
-    def gather(self, scores_ext: np.ndarray, bucket: CorpusBucket) -> np.ndarray:
+    def gather(
+        self, scores_ext: np.ndarray, bucket: CorpusBucket
+    ) -> np.ndarray:  # repro: hot-path
         """Padded ``(B, L_max, K)`` emission tensor of one bucket (one fancy-index)."""
         return scores_ext[bucket.positions]
 

@@ -44,10 +44,10 @@ Example
 from __future__ import annotations
 
 import random
-import threading
 import time
 from typing import Any, Callable
 
+from repro.analysis.lockorder import make_lock
 from repro.exceptions import ValidationError
 
 #: ``ModelRegistry.load`` — every artifact read (cold model loads).
@@ -67,7 +67,7 @@ KNOWN_POINTS = frozenset(
     {ARTIFACT_LOAD, EXECUTOR_RUN, DISPATCHER_LOOP, REGISTRY_WRITE, STREAM_TICK}
 )
 
-_lock = threading.Lock()
+_lock = make_lock("faults")
 _faults: dict[str, "Fault"] = {}
 #: Fast-path flag consulted by :func:`fire` before anything else; True only
 #: while at least one fault is armed.  Plain bool read — no lock on the

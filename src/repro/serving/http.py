@@ -50,16 +50,17 @@ import threading
 import time
 import uuid
 from pathlib import Path
-from typing import Any
 
 import numpy as np
 
+from repro.analysis.lockorder import make_lock
 from repro.core.config import ServingConfig
 from repro.exceptions import (
     DeadlineExceededError,
     ModelUnavailableError,
     QueueFullError,
     ServiceShuttingDownError,
+    ServingError,
     ValidationError,
 )
 from repro.serving.registry import ModelRegistry
@@ -90,7 +91,9 @@ def _retry_after_header(seconds: float | None) -> dict[str, str]:
     return {"Retry-After": str(max(1, int(math.ceil(seconds))))}
 
 
-class _HTTPError(Exception):
+class _HTTPError(ServingError):
+    """A request failure that already knows its HTTP status code."""
+
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
@@ -131,9 +134,13 @@ class HTTPServingServer:
         self.config = self.router.config
         self.host = host
         self.port = port
-        self._streams: dict[str, tuple[ServiceStream, tuple[str, int]]] = {}
-        self._stream_services: dict[tuple[str, int], StreamingService] = {}
-        self._state_lock = threading.Lock()
+        self._state_lock = make_lock("http.state")
+        self._streams: dict[str, tuple[ServiceStream, tuple[str, int]]] = (
+            {}
+        )  # repro: guarded-by[_state_lock]
+        self._stream_services: dict[tuple[str, int], StreamingService] = (
+            {}
+        )  # repro: guarded-by[_state_lock]
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -399,13 +406,18 @@ class HTTPServingServer:
         finally:
             self._inflight -= 1
 
-    async def _route(self, method: str, path: str, body: bytes) -> dict:
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> dict | tuple[int, dict]:
         parts = [part for part in path.split("/") if part]
         if method == "GET":
+            # Health and stats take cross-thread locks (stats, lifecycle,
+            # stream state): keep them off the event loop like any other
+            # blocking work.
             if parts in (["healthz"], ["health"]):
-                return self._healthz()
+                return await self._run_blocking(self._healthz)
             if parts == ["stats"]:
-                return self._stats_payload()
+                return await self._run_blocking(self._stats_payload)
             if parts == ["v1", "models"]:
                 return await self._run_blocking(self._list_models)
             raise _HTTPError(404, f"no such resource: GET {path}")
@@ -573,13 +585,18 @@ class HTTPServingServer:
         # expects its pushes serialized, but HTTP exposes the stream id to
         # arbitrary concurrent connections — without the lock a push racing
         # a finish could slip past the finished check and, after the
-        # session slot is reused, advance another client's stream.
-        with self._state_lock:
-            entry = self._streams.get(stream_id)
-            if entry is None:
-                raise _HTTPError(404, f"no such stream: {stream_id}")
-            handle, _key = entry
-            future = handle.submit_push(observation)
+        # session slot is reused, advance another client's stream.  The
+        # critical section runs in the executor (the lock and scheduler
+        # submission both block), never on the event loop.
+        def blocking_push():
+            with self._state_lock:
+                entry = self._streams.get(stream_id)
+                if entry is None:
+                    raise _HTTPError(404, f"no such stream: {stream_id}")
+                handle, _key = entry
+                return handle.submit_push(observation)
+
+        future = await self._run_blocking(blocking_push)
         step = await self._await_scheduler(future)
         return {
             "filtering": [float(p) for p in step.filtering],
@@ -588,16 +605,21 @@ class HTTPServingServer:
         }
 
     async def _finish_stream(self, stream_id: str) -> dict:
-        with self._state_lock:
-            entry = self._streams.get(stream_id)
-            if entry is None:
-                raise _HTTPError(404, f"no such stream: {stream_id}")
-            handle, _key = entry
-            # submit_finish flips the handle to finished before we release
-            # the lock, so a concurrent push observes it and fails with 400
-            # instead of landing behind the finish in the queue.
-            future = handle.submit_finish()
-            del self._streams[stream_id]
+        def blocking_finish():
+            with self._state_lock:
+                entry = self._streams.get(stream_id)
+                if entry is None:
+                    raise _HTTPError(404, f"no such stream: {stream_id}")
+                handle, _key = entry
+                # submit_finish flips the handle to finished before we
+                # release the lock, so a concurrent push observes it and
+                # fails with 400 instead of landing behind the finish in
+                # the queue.
+                future = handle.submit_finish()
+                del self._streams[stream_id]
+                return future
+
+        future = await self._run_blocking(blocking_finish)
         result = await self._await_scheduler(future)
         return {
             "path": [int(s) for s in result.path],

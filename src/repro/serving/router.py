@@ -23,7 +23,6 @@ even while new versions are being saved concurrently.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
@@ -33,6 +32,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.lockorder import make_lock
 from repro.core.config import ServingConfig
 from repro.exceptions import ModelUnavailableError
 from repro.serving.registry import ModelRegistry
@@ -132,15 +132,21 @@ class Router(MicroBatchScheduler):
         if not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry)
         self.registry = registry
+        self._executors_lock = make_lock("router.executors")
+        self._breakers_lock = make_lock("router.breakers")
         #: LRU of resident models, keyed by ``(name, version)``; mutated by
         #: the dispatcher thread, read by ``loaded_models`` from any thread.
-        self._executors: OrderedDict[tuple[str, int], _ModelExecutor] = OrderedDict()
-        self._executors_lock = threading.Lock()
-        #: per-key circuit breakers.  Invariant: no stats method is ever
-        #: called while holding this lock (snapshot's extra callback takes
-        #: it under the stats lock, so the reverse order would deadlock).
-        self._breakers: dict[tuple[str, int], _CircuitBreaker] = {}
-        self._breakers_lock = threading.Lock()
+        #: Invariant: no stats method is ever called while holding either
+        #: lock below (snapshot's extra callback takes the breakers lock
+        #: under the stats lock, so the reverse order would deadlock; the
+        #: lock-order tracker enforces stats -> breakers).
+        self._executors: OrderedDict[tuple[str, int], _ModelExecutor] = (
+            OrderedDict()
+        )  # repro: guarded-by[_executors_lock]
+        #: per-key circuit breakers.
+        self._breakers: dict[tuple[str, int], _CircuitBreaker] = (
+            {}
+        )  # repro: guarded-by[_breakers_lock]
         self._start()
 
     # -------------------------------------------------------------- #
@@ -364,11 +370,17 @@ class Router(MicroBatchScheduler):
         name, version = key
         executor = _ModelExecutor(self.registry.load(name, version))
         self.stats.record_model_load()
+        n_evicted = 0
         with self._executors_lock:
             self._executors[key] = executor
             while len(self._executors) > self.config.max_loaded_models:
                 self._executors.popitem(last=False)
-                self.stats.record_model_eviction()
+                n_evicted += 1
+        # Recorded after releasing the executors lock: stats methods take
+        # the stats lock, and a lock held while calling into stats would
+        # invert the documented stats-first order.
+        for _ in range(n_evicted):
+            self.stats.record_model_eviction()
         return executor
 
     def _execute(self, batch: list[Request]) -> None:
@@ -377,6 +389,7 @@ class Router(MicroBatchScheduler):
         # distinct model.
         groups: OrderedDict[tuple[str, int], list[Request]] = OrderedDict()
         for request in batch:
+            assert request.key is not None, "router requests always carry a key"
             groups.setdefault(request.key, []).append(request)
         for key, group in groups.items():
             try:

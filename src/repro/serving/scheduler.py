@@ -49,6 +49,7 @@ from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
+from repro.analysis.lockorder import make_lock
 from repro.core.config import SCHEDULING_POLICIES, ServingConfig, get_serving_config
 from repro.exceptions import (
     DeadlineExceededError,
@@ -102,25 +103,27 @@ class ServiceStats:
         queue_depth: Callable[[], int] | None = None,
         extra: Callable[[], dict] | None = None,
     ) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("stats")
+        #: providers of the queue-depth gauge and additional snapshot
+        #: entries (the owning service's health / breaker states).  Called
+        #: under the stats lock, so they may only take locks that are
+        #: *never* held while calling into this stats object — the
+        #: documented order is stats -> {lifecycle, breakers}; the
+        #: lock-order tracker verifies it at runtime.
         self._queue_depth = queue_depth
-        #: lock-free provider of additional snapshot entries (the owning
-        #: service's health / breaker states).  Must not acquire locks that
-        #: are ever held while calling into this stats object, or snapshot
-        #: could deadlock against a recording thread.
         self._extra = extra
         self.started_at = time.perf_counter()
-        self.n_requests = 0
-        self.n_batches = 0
-        self.n_tokens = 0
-        self.max_batch_size = 0
-        self.busy_seconds = 0.0
-        self.n_rejected = 0
-        self.n_expired = 0
-        self.n_shed = 0
-        self.n_model_loads = 0
-        self.n_model_evictions = 0
-        self.per_model: dict[str, int] = {}
+        self.n_requests = 0  # repro: guarded-by[_lock]
+        self.n_batches = 0  # repro: guarded-by[_lock]
+        self.n_tokens = 0  # repro: guarded-by[_lock]
+        self.max_batch_size = 0  # repro: guarded-by[_lock]
+        self.busy_seconds = 0.0  # repro: guarded-by[_lock]
+        self.n_rejected = 0  # repro: guarded-by[_lock]
+        self.n_expired = 0  # repro: guarded-by[_lock]
+        self.n_shed = 0  # repro: guarded-by[_lock]
+        self.n_model_loads = 0  # repro: guarded-by[_lock]
+        self.n_model_evictions = 0  # repro: guarded-by[_lock]
+        self.per_model: dict[str, int] = {}  # repro: guarded-by[_lock]
 
     def record_batch(
         self, n_requests: int, n_tokens: int, seconds: float, key: tuple | None = None
@@ -383,32 +386,35 @@ class MicroBatchScheduler:
         self.config = config or get_serving_config()
         self._policy = make_policy(self.config)
         self._queue: queue.Queue = queue.Queue()
+        # Guards the closed/capacity-check-then-enqueue in _enqueue against
+        # close() and concurrent submitters: without it a request could land
+        # behind the shutdown sentinel (its future would never resolve) or
+        # two submitters could both pass the capacity check.  Also guards
+        # the health/restart-count/drain-deadline lifecycle fields below.
+        # Lock order: the stats lock may be taken first (snapshot ->
+        # _stats_extra -> this lock); this lock is never held while calling
+        # into stats.
+        self._lifecycle_lock = make_lock("scheduler.lifecycle")
         #: dispatcher health: HEALTHY, DEGRADED (running on a supervised
         #: restart that has not completed a batch yet) or FAILED (restart
         #: budget exhausted / control-flow exception; nothing drains the
-        #: queue anymore).  Written by the dispatcher/supervisor, read
-        #: lock-free from any thread.
-        self._health = HEALTHY
+        #: queue anymore).
+        self._health = HEALTHY  # repro: guarded-by[_lifecycle_lock]
         #: lifetime count of supervised dispatcher restarts.
-        self._restarts = 0
+        self._restarts = 0  # repro: guarded-by[_lifecycle_lock]
         self.stats = ServiceStats(
-            queue_depth=lambda: self._depth, extra=self._stats_extra
+            queue_depth=lambda: self.queue_depth, extra=self._stats_extra
         )
-        self._closed = False
+        self._closed = False  # repro: guarded-by[_lifecycle_lock]
         #: absolute perf_counter deadline of a drain-mode close; ``None``
         #: means flush everything (the classic close).  Written once under
         #: the lifecycle lock before the shutdown sentinel is enqueued.
-        self._drain_deadline: float | None = None
+        self._drain_deadline: float | None = None  # repro: guarded-by[_lifecycle_lock]
         # Number of accepted-but-undispatched requests: intake queue plus
         # the policy's pending buffer.  Kept as an explicit counter (not
         # qsize()) so the capacity check stays exact while the dispatcher
         # moves requests from the intake queue into the policy.
-        self._depth = 0
-        # Guards the closed/capacity-check-then-enqueue in _enqueue against
-        # close() and concurrent submitters: without it a request could land
-        # behind the shutdown sentinel (its future would never resolve) or
-        # two submitters could both pass the capacity check.
-        self._lifecycle_lock = threading.Lock()
+        self._depth = 0  # repro: guarded-by[_lifecycle_lock]
         #: batch currently being processed; read by _abandon_pending when
         #: the dispatcher dies mid-batch (single-writer: dispatcher thread).
         self._in_flight: list[Request] = []
@@ -422,23 +428,28 @@ class MicroBatchScheduler:
     def _stats_extra(self) -> dict:
         """Resilience entries merged into ``ServiceStats.snapshot()``.
 
-        Called under the stats lock — must stay lock-free (plain attribute
-        reads only) so it can never deadlock against a recording thread.
+        Called under the stats lock; takes the lifecycle lock, which is
+        safe because stats methods are never invoked while the lifecycle
+        lock is held (lock order: stats -> lifecycle, enforced by the
+        lock-order tracker).
         """
-        return {
-            "health": self._health,
-            "n_dispatcher_restarts": self._restarts,
-        }
+        with self._lifecycle_lock:
+            return {
+                "health": self._health,
+                "n_dispatcher_restarts": self._restarts,
+            }
 
     @property
     def queue_depth(self) -> int:
         """Instantaneous number of accepted, undispatched requests."""
-        return self._depth
+        with self._lifecycle_lock:
+            return self._depth
 
     @property
     def health(self) -> str:
         """Dispatcher health: ``healthy``, ``degraded`` or ``failed``."""
-        return self._health
+        with self._lifecycle_lock:
+            return self._health
 
     @property
     def scheduling_policy(self) -> str:
@@ -494,14 +505,19 @@ class MicroBatchScheduler:
             # Only submitters (all serialized by this lock) grow the depth,
             # so check-then-put cannot overshoot the capacity: the
             # dispatcher draining concurrently only shrinks it.
-            if capacity is not None and self._depth >= capacity:
-                self.stats.record_rejected()
-                raise QueueFullError(
-                    f"serving queue is at capacity ({capacity}); retry later "
-                    "or raise ServingConfig.queue_capacity"
-                )
-            self._depth += 1
-            self._queue.put(request)
+            rejected = capacity is not None and self._depth >= capacity
+            if not rejected:
+                self._depth += 1
+                self._queue.put(request)
+        if rejected:
+            # Recorded after releasing the lifecycle lock: stats methods
+            # take the stats lock, and holding lifecycle->stats here would
+            # form an ABBA cycle with snapshot's stats->lifecycle order.
+            self.stats.record_rejected()
+            raise QueueFullError(
+                f"serving queue is at capacity ({capacity}); retry later "
+                "or raise ServingConfig.queue_capacity"
+            )
         return request.future
 
     # -------------------------------------------------------------- #
@@ -628,13 +644,13 @@ class MicroBatchScheduler:
         with self._lifecycle_lock:
             if self._restarts >= self.config.max_dispatcher_restarts:
                 restart = False
+                self._health = FAILED
             else:
                 restart = True
                 self._restarts += 1
                 self._health = DEGRADED
                 attempt = self._restarts
         if not restart:
-            self._health = FAILED
             self._abandon_pending(cause)
             return  # swallow: the failure is fully reported through futures
         backoff_s = (
@@ -664,7 +680,8 @@ class MicroBatchScheduler:
                 self._queue.put(None)
 
     def _drain_expired(self) -> bool:
-        deadline = self._drain_deadline
+        with self._lifecycle_lock:
+            deadline = self._drain_deadline
         return deadline is not None and time.perf_counter() > deadline
 
     def _serve(self) -> None:
@@ -686,9 +703,10 @@ class MicroBatchScheduler:
             faults.fire(faults.DISPATCHER_LOOP)
             self._dispatch(self._in_flight)
             self._in_flight = []
-            if self._health == DEGRADED:
-                # a supervised restart served a batch end to end: recovered
-                self._health = HEALTHY
+            with self._lifecycle_lock:
+                if self._health == DEGRADED:
+                    # a supervised restart served a batch end to end: recovered
+                    self._health = HEALTHY
         # Shutdown: serve whatever is still pending, in policy-ordered
         # full batches — until the drain deadline (if any); everything
         # past it is shed with ServiceShuttingDownError.

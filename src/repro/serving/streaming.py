@@ -332,5 +332,5 @@ class StreamPool:
             stream._n_pushed += 1
         return steps
 
-    def _finish_slot(self, slot: int) -> list[tuple[int, int]]:
+    def _finish_slot(self, slot: int) -> list[tuple[int, int]]:  # repro: confined[caller]
         return self._session.finish(slot)

@@ -196,7 +196,7 @@ class StreamingService(MicroBatchScheduler):
         # services' "at least one timestep" shape check does not apply.
         pass
 
-    def _execute(self, batch: list[Request]) -> None:
+    def _execute(self, batch: list[Request]) -> None:  # repro: confined[dispatcher]
         # Pack consecutive pushes of distinct streams into one tick; cut the
         # tick when a stream re-appears or a control request interleaves, so
         # per-stream request order is preserved exactly.
@@ -221,7 +221,7 @@ class StreamingService(MicroBatchScheduler):
                 self._run_control(request)
         flush()
 
-    def _run_control(self, request: Request) -> None:
+    def _run_control(self, request: Request) -> None:  # repro: confined[dispatcher]
         future = request.future
         if not future.set_running_or_notify_cancel():
             return
@@ -237,7 +237,7 @@ class StreamingService(MicroBatchScheduler):
         except Exception as exc:
             future.set_exception(exc)
 
-    def _run_tick(self, tick: list[Request]) -> None:
+    def _run_tick(self, tick: list[Request]) -> None:  # repro: confined[dispatcher]
         """Advance one tick's streams together; fall back per stream on error."""
         started = time.perf_counter()
         try:
@@ -277,7 +277,9 @@ class StreamingService(MicroBatchScheduler):
             else:
                 future.set_exception(value)
 
-    def _step_individually(self, tick: list[Request]) -> list[tuple[bool, Any]]:
+    def _step_individually(
+        self, tick: list[Request]
+    ) -> list[tuple[bool, Any]]:  # repro: confined[dispatcher]
         outcomes: list[tuple[bool, Any]] = []
         for request in tick:
             try:

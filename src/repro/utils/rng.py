@@ -8,7 +8,7 @@ forms so downstream code only ever deals with ``Generator`` objects.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

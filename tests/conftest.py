@@ -10,6 +10,23 @@ from repro.datasets.pos import generate_wsj_like_corpus
 from repro.datasets.toy import generate_toy_dataset
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _lock_order_gate():
+    """Fail the session if an armed lock-order tracker saw a violation.
+
+    Inert by default (the tracker is disarmed and ``make_lock`` hands out
+    plain locks); CI's serving/chaos steps export ``REPRO_LOCK_TRACKER=1``
+    so every lock the serving tier creates feeds the acquisition-order
+    graph, and an ABBA cycle observed anywhere in the run fails here.
+    """
+    yield
+    from repro.analysis.lockorder import get_tracker
+
+    tracker = get_tracker()
+    if tracker is not None:
+        tracker.assert_clean()
+
+
 @pytest.fixture(scope="session")
 def rng():
     """A deterministic generator for ad-hoc randomness inside tests."""

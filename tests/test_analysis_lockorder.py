@@ -1,0 +1,166 @@
+"""Runtime lock-order tracker: ABBA cycles, reentry, arming, the factory."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import lockorder
+from repro.analysis.lockorder import (
+    LockOrderError,
+    LockOrderTracker,
+    TrackedLock,
+    make_lock,
+)
+
+
+@pytest.fixture
+def tracker():
+    return LockOrderTracker()
+
+
+def locks(tracker, *names):
+    return tuple(TrackedLock(name, tracker) for name in names)
+
+
+class TestCycleDetection:
+    def test_consistent_order_is_clean(self, tracker):
+        a, b = locks(tracker, "A", "B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        tracker.assert_clean()
+        assert tracker.violations == []
+
+    def test_abba_cycle_is_recorded(self, tracker):
+        a, b = locks(tracker, "A", "B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert len(tracker.violations) == 1
+        violation = tracker.violations[0]
+        assert violation.kind == "cycle"
+        assert {"A", "B"} <= set(violation.cycle)
+        with pytest.raises(LockOrderError):
+            tracker.assert_clean()
+
+    def test_transitive_cycle_is_recorded(self, tracker):
+        a, b, c = locks(tracker, "A", "B", "C")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:
+                pass
+        assert any(v.kind == "cycle" for v in tracker.violations)
+
+    def test_cycle_across_threads(self, tracker):
+        a, b = locks(tracker, "A", "B")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        thread = threading.Thread(target=forward)
+        thread.start()
+        thread.join()
+        with b:
+            with a:
+                pass
+        assert any(v.kind == "cycle" for v in tracker.violations)
+
+    def test_instances_share_a_node_by_name(self, tracker):
+        # Two scheduler instances: lock *names* define the discipline.
+        a1, b1 = locks(tracker, "stats", "lifecycle")
+        a2, b2 = locks(tracker, "stats", "lifecycle")
+        with a1:
+            with b1:
+                pass
+        with b2:
+            with a2:
+                pass
+        assert any(v.kind == "cycle" for v in tracker.violations)
+
+
+class TestReentry:
+    def test_reacquiring_a_held_name_is_recorded(self):
+        tracker = LockOrderTracker(strict=True)
+        (a,) = locks(tracker, "A")
+        a.acquire()
+        try:
+            # strict mode raises *before* the real (deadlocking) acquire
+            with pytest.raises(LockOrderError):
+                a.acquire()
+        finally:
+            a.release()
+        assert tracker.violations[0].kind == "reentry"
+
+
+class TestStrictMode:
+    def test_strict_raises_at_the_closing_edge(self):
+        tracker = LockOrderTracker(strict=True)
+        a, b = locks(tracker, "A", "B")
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderError):
+                a.acquire()
+
+
+class TestTrackedLock:
+    def test_context_manager_and_locked(self, tracker):
+        (a,) = locks(tracker, "A")
+        assert not a.locked()
+        with a:
+            assert a.locked()
+        assert not a.locked()
+
+    def test_release_clears_the_held_stack(self, tracker):
+        a, b = locks(tracker, "A", "B")
+        with a:
+            pass
+        with b:  # A was released: no A -> B edge, no cycle potential
+            pass
+        with b:
+            with a:
+                pass
+        tracker.assert_clean()
+
+
+class TestFactory:
+    def test_disarmed_returns_plain_lock(self):
+        assert not lockorder.is_armed()
+        lock = make_lock("anything")
+        assert not isinstance(lock, TrackedLock)
+        assert type(lock) is type(threading.Lock())
+
+    def test_armed_returns_tracked_lock(self):
+        previous = lockorder.get_tracker()
+        tracker = lockorder.arm()
+        try:
+            lock = make_lock("scheduler.lifecycle")
+            assert isinstance(lock, TrackedLock)
+            assert lock.name == "scheduler.lifecycle"
+            assert lockorder.get_tracker() is tracker
+        finally:
+            lockorder._tracker = previous
+
+    def test_disarm_restores_plain_locks(self):
+        previous = lockorder.get_tracker()
+        lockorder.arm()
+        lockorder.disarm()
+        try:
+            assert not lockorder.is_armed()
+            assert not isinstance(make_lock("x"), TrackedLock)
+        finally:
+            lockorder._tracker = previous
