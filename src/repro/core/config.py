@@ -170,6 +170,12 @@ class ServingConfig:
         accepted work is still served for this long, the remainder is shed
         with :class:`~repro.exceptions.ServiceShuttingDownError`.  ``None``
         (the default) flushes everything, however long it takes.
+    mmap_artifacts:
+        When true, registry loads map schema-v3 artifact arrays read-only
+        (``numpy.load(..., mmap_mode="r")``) instead of copying them onto
+        the private heap, so N worker processes serving the same model
+        share one set of page-cache pages.  Artifacts written before
+        schema v3 fall back to a regular private-copy load.
     """
 
     max_batch_size: int = 64
@@ -186,6 +192,7 @@ class ServingConfig:
     breaker_threshold: int = 3
     breaker_cooldown_s: float = 5.0
     drain_timeout_s: float | None = None
+    mmap_artifacts: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -245,6 +252,10 @@ class ServingConfig:
         if self.drain_timeout_s is not None and self.drain_timeout_s < 0:
             raise ValidationError(
                 f"drain_timeout_s must be non-negative or None, got {self.drain_timeout_s}"
+            )
+        if not isinstance(self.mmap_artifacts, bool):
+            raise ValidationError(
+                f"mmap_artifacts must be a bool, got {self.mmap_artifacts!r}"
             )
 
 

@@ -33,7 +33,14 @@ class CategoricalEmission(EmissionModel):
         sums = B.sum(axis=1)
         if not np.allclose(sums, 1.0, atol=1e-6):
             raise ValidationError("rows of emission_probs must sum to 1")
-        self.emission_probs = B / sums[:, None]
+        if np.allclose(sums, 1.0, rtol=0.0, atol=1e-12):
+            # Already normalized: keep the caller's buffer.  This preserves
+            # read-only memory-mapped tables (serving artifacts loaded with
+            # mmap=True) — renormalizing would silently copy the whole
+            # table onto the private heap, defeating page sharing.
+            self.emission_probs = B
+        else:
+            self.emission_probs = B / sums[:, None]
         self.n_states, self.n_symbols = B.shape
 
     @classmethod

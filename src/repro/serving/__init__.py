@@ -25,17 +25,28 @@ persistence evolve independently:
 **Storage**
 
 * :mod:`repro.serving.persistence` — versioned, checksummed save/load of
-  models as compressed ``.npz``-plus-JSON-manifest artifact directories;
+  models as artifact directories (schema v3: raw mmap-able ``.npy``
+  payloads; earlier compressed ``.npz`` schemas stay readable);
 * :mod:`repro.serving.registry` — a named, versioned on-disk
   :class:`ModelRegistry` with retention/GC over those artifacts.
 
 **Transport**
 
 * :mod:`repro.serving.http` — a stdlib-only asyncio HTTP front end over
-  the router and streaming service;
+  the router and streaming service, with per-request ``X-Trace-Id``
+  propagation and a ``/metrics`` endpoint (JSON or Prometheus text);
+* :mod:`repro.serving.cluster` — :class:`ClusterServer`, N worker
+  processes behind one port (``SO_REUSEPORT`` or a built-in balancer with
+  health probing and sticky stream routing);
 * :mod:`repro.serving.client` — :class:`ServingClient`, the typed-error
   stdlib HTTP client with :class:`~repro.core.config.RetryPolicy` support;
 * :mod:`repro.serving.cli` — the ``repro-serve`` console entry point.
+
+**Observability**
+
+* :mod:`repro.serving.observability` — trace IDs and the fixed-bucket
+  :class:`LatencyHistogram` behind :class:`ServiceStats` percentiles,
+  ``/metrics`` and the CLI latency reports.
 
 **Resilience** (spanning all layers)
 
@@ -52,6 +63,13 @@ persistence evolve independently:
 
 from repro.serving import faults
 from repro.serving.client import ServingClient
+from repro.serving.cluster import ClusterServer, reuse_port_supported
+from repro.serving.observability import (
+    LatencyHistogram,
+    clean_trace_id,
+    new_trace_id,
+    render_prometheus,
+)
 from repro.serving.persistence import (
     MODEL_TYPES,
     SCHEMA_VERSION,
@@ -112,6 +130,12 @@ __all__ = [
     "StreamingService",
     "ServiceStream",
     "HTTPServingServer",
+    "ClusterServer",
+    "reuse_port_supported",
+    "LatencyHistogram",
+    "new_trace_id",
+    "clean_trace_id",
+    "render_prometheus",
     "ServingClient",
     "faults",
 ]

@@ -27,7 +27,12 @@ Subcommands
 ``serve``
     Run the asyncio HTTP front end
     (:class:`~repro.serving.HTTPServingServer`) over a registry:
-    tag/score/stream/stats/health endpoints until interrupted.
+    tag/score/stream/stats/health/metrics endpoints until interrupted.
+    ``--workers N`` (N > 1) scales out to a
+    :class:`~repro.serving.cluster.ClusterServer` of N independent worker
+    processes sharing the port via ``SO_REUSEPORT`` (or the built-in
+    balancer with ``--no-reuse-port``); ``--mmap-artifacts`` memory-maps
+    schema-v3 model parameters so the workers share pages.
 ``bench``
     Measure micro-batched service throughput against sequential per-request
     decoding on model-sampled sequences.
@@ -244,6 +249,22 @@ def _cmd_tag(args: argparse.Namespace) -> int:
     return 0
 
 
+def _latency_summary(latency: dict) -> str:
+    """One log line of request-latency percentiles from a histogram snapshot.
+
+    The percentiles come from the same :class:`LatencyHistogram` machinery
+    the HTTP ``/metrics`` endpoint serves, so the CLI and the server report
+    the same numbers for the same traffic — not a mean that hides the tail.
+    """
+    if not latency["count"]:
+        return "latency: no completed requests"
+    return (
+        f"latency p50={latency['p50_ms']:.2f} ms "
+        f"p95={latency['p95_ms']:.2f} ms p99={latency['p99_ms']:.2f} ms "
+        f"max={latency['max_ms']:.2f} ms over {latency['count']} requests"
+    )
+
+
 # ------------------------------------------------------------------ #
 # route
 # ------------------------------------------------------------------ #
@@ -416,6 +437,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         f"{n_errors} errors, {n_retried} retried, {stats['n_expired']} expired, "
         f"{stats['n_rejected']} shed, {stats['n_model_loads']} model loads"
     )
+    _log(_latency_summary(stats["latency"]))
     if args.stats:
         # The full ServiceStats snapshot (shed/expiry counters, queue depth,
         # per-model counts, occupancy) as one JSON object — the
@@ -446,7 +468,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scheduling_policy=args.scheduling_policy,
         request_timeout_s=args.request_timeout_s,
         drain_timeout_s=args.drain_timeout_s,
+        mmap_artifacts=args.mmap_artifacts,
     )
+    if args.workers > 1:
+        from repro.serving.cluster import ClusterServer
+
+        warm_up = [name for name in (args.warm_up or "").split(",") if name]
+        cluster = ClusterServer(
+            args.registry,
+            config=config,
+            host=args.host,
+            port=args.port,
+            n_workers=args.workers,
+            reuse_port=False if args.no_reuse_port else None,
+            warm_up=warm_up,
+        )
+        cluster.start()
+        mode = "SO_REUSEPORT" if cluster.reuse_port else "balancer"
+        _log(
+            f"serving registry {args.registry} with {args.workers} workers "
+            f"({mode}) on http://{cluster.host}:{cluster.port} "
+            f"(policy={config.scheduling_policy}); Ctrl-C to stop"
+        )
+        cluster.serve_forever()
+        _log("cluster stopped")
+        return 0
     server = HTTPServingServer(
         args.registry, config=config, host=args.host, port=args.port
     )
@@ -508,6 +554,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         0 if np.array_equal(a, b) else 1 for a, b in zip(sequential, batched)
     )
     n_tokens = sum(len(seq) for seq in sequences)
+    latency = stats["latency"]
     report = {
         "requests": args.requests,
         "tokens": n_tokens,
@@ -519,7 +566,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "mean_batch_size": stats["mean_batch_size"],
         "max_batch_size": stats["max_batch_size"],
         "path_mismatches": mismatches,
+        # per-request percentiles from the service's latency histogram —
+        # the same machinery (and numbers) as the HTTP /metrics endpoint
+        "latency_ms": {
+            "p50": latency["p50_ms"],
+            "p95": latency["p95_ms"],
+            "p99": latency["p99_ms"],
+            "max": latency["max_ms"],
+        },
     }
+    _log(_latency_summary(latency))
     text = json.dumps(report, indent=2)
     if args.out:
         Path(args.out).write_text(text + "\n")
@@ -665,6 +721,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="graceful-drain budget on SIGTERM/Ctrl-C: refuse new work, "
         "serve accepted requests up to this many seconds, shed the rest "
         "(default: hard shutdown after the classic flush)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 runs a multi-process cluster sharing "
+        "the port (SO_REUSEPORT where supported, else a built-in balancer)",
+    )
+    serve.add_argument(
+        "--no-reuse-port",
+        action="store_true",
+        help="force the balancer fallback even where SO_REUSEPORT works "
+        "(enables sticky stream routing across plain connections)",
+    )
+    serve.add_argument(
+        "--mmap-artifacts",
+        action="store_true",
+        help="memory-map schema-v3 model parameters read-only so worker "
+        "processes share page-cache pages instead of private copies",
     )
     serve.set_defaults(func=_cmd_serve)
 

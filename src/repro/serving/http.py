@@ -18,6 +18,9 @@ method   path                            body -> response
 =======  ==============================  =====================================
 GET      ``/healthz``                    -> ``{"status": "ok", ...}``
 GET      ``/stats``                      -> scheduler + stream-service stats
+GET      ``/metrics``                    -> latency histograms + per-policy
+                                         queue waits (``?format=prometheus``
+                                         for text exposition)
 GET      ``/v1/models``                  -> registered names and versions
 POST     ``/v1/models/<name>/tag``       ``{"sequence": [...], "version"?,
                                          "deadline_ms"?}`` -> ``{"tags"}``
@@ -35,6 +38,11 @@ circuit breaker / a draining or failed server / a request that outlived
 expired deadlines ``504``, anything else ``500`` — always as
 ``{"error": <message>}``.  ``/healthz`` reports the dispatcher health
 state machine: ``ok``/``degraded`` are 200, ``failed``/``draining`` 503.
+
+Every response carries an ``X-Trace-Id`` header: a well-formed inbound
+``X-Trace-Id`` is adopted, anything else replaced by a fresh ID.  The same
+ID rides the scheduler request through to the executor, so it shows up in
+``/metrics`` ``recent_traces`` once the request completes.
 
 ``repro-serve serve`` is the CLI entry point; tests drive the server
 in-process via :meth:`HTTPServingServer.start` on an ephemeral port.
@@ -63,6 +71,7 @@ from repro.exceptions import (
     ServingError,
     ValidationError,
 )
+from repro.serving.observability import clean_trace_id, new_trace_id, render_prometheus
 from repro.serving.registry import ModelRegistry
 from repro.serving.router import Router
 from repro.serving.scheduler import FAILED, _model_label
@@ -82,6 +91,15 @@ _STATUS_PHRASES = {
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+
+def _query_param(query: str, name: str) -> str | None:
+    """First value of ``name`` in a raw query string (no unquoting needed)."""
+    for pair in query.split("&"):
+        key, _, value = pair.partition("=")
+        if key == name:
+            return value
+    return None
 
 
 def _retry_after_header(seconds: float | None) -> dict[str, str]:
@@ -112,6 +130,10 @@ class HTTPServingServer:
     host, port:
         Bind address; ``port=0`` picks an ephemeral port (read ``.port``
         after :meth:`start`).
+    reuse_port:
+        Bind with ``SO_REUSEPORT`` so several fully independent server
+        processes can listen on the same port and let the kernel spread
+        connections across them (see :mod:`repro.serving.cluster`).
 
     The server owns its :class:`Router` (and lazily, one
     :class:`StreamingService` per ``(name, version)`` that receives stream
@@ -126,6 +148,7 @@ class HTTPServingServer:
         config: ServingConfig | None = None,
         host: str = "127.0.0.1",
         port: int = 8765,
+        reuse_port: bool = False,
     ) -> None:
         if not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry)
@@ -134,6 +157,7 @@ class HTTPServingServer:
         self.config = self.router.config
         self.host = host
         self.port = port
+        self.reuse_port = bool(reuse_port)
         self._state_lock = make_lock("http.state")
         self._streams: dict[str, tuple[ServiceStream, tuple[str, int]]] = (
             {}
@@ -174,7 +198,10 @@ class HTTPServingServer:
 
     async def _bind(self) -> None:
         self._server = await asyncio.start_server(
-            self._handle_connection, host=self.host, port=self.port
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            reuse_port=self.reuse_port or None,
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -291,12 +318,16 @@ class HTTPServingServer:
                 request_line = await reader.readline()
                 if not request_line or request_line in (b"\r\n", b"\n"):
                     break
+                trace_id = new_trace_id()
                 try:
                     method, target, _version = (
                         request_line.decode("latin1").rstrip("\r\n").split(" ", 2)
                     )
                 except ValueError:
-                    await self._respond(writer, 400, {"error": "malformed request line"})
+                    await self._respond(
+                        writer, 400, {"error": "malformed request line"},
+                        headers={"X-Trace-Id": trace_id},
+                    )
                     break
                 headers: dict[str, str] = {}
                 while True:
@@ -305,29 +336,35 @@ class HTTPServingServer:
                         break
                     name, _, value = line.decode("latin1").partition(":")
                     headers[name.strip().lower()] = value.strip()
+                # Adopt a well-formed inbound trace ID (client/balancer
+                # correlation); anything malformed keeps the fresh one.
+                trace_id = clean_trace_id(headers.get("x-trace-id")) or trace_id
                 try:
                     length = int(headers.get("content-length", "0") or 0)
                 except ValueError:
-                    await self._respond(
-                        writer, 400, {"error": "malformed Content-Length header"}
-                    )
-                    break
+                    length = -1
                 if length < 0:
                     await self._respond(
-                        writer, 400, {"error": "malformed Content-Length header"}
+                        writer, 400, {"error": "malformed Content-Length header"},
+                        headers={"X-Trace-Id": trace_id},
                     )
                     break
                 if length > _MAX_BODY_BYTES:
-                    await self._respond(writer, 413, {"error": "request body too large"})
+                    await self._respond(
+                        writer, 413, {"error": "request body too large"},
+                        headers={"X-Trace-Id": trace_id},
+                    )
                     break
                 body = await reader.readexactly(length) if length else b""
                 status, payload, extra_headers = await self._dispatch(
-                    method, target, body
+                    method, target, body, trace_id
                 )
+                response_headers = {"X-Trace-Id": trace_id}
+                response_headers.update(extra_headers or {})
                 keep_alive = headers.get("connection", "").lower() != "close"
                 await self._respond(
                     writer, status, payload,
-                    keep_alive=keep_alive, headers=extra_headers,
+                    keep_alive=keep_alive, headers=response_headers,
                 )
                 if not keep_alive:
                     break
@@ -344,11 +381,17 @@ class HTTPServingServer:
     async def _respond(
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | str,
         keep_alive: bool = False,
         headers: dict[str, str] | None = None,
     ) -> None:
-        data = json.dumps(payload).encode()
+        if isinstance(payload, str):
+            # Prometheus text exposition (the only non-JSON payload).
+            data = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload).encode()
+            content_type = "application/json"
         phrase = _STATUS_PHRASES.get(status, "Unknown")
         connection = "keep-alive" if keep_alive else "close"
         extra = "".join(
@@ -356,7 +399,7 @@ class HTTPServingServer:
         )
         head = (
             f"HTTP/1.1 {status} {phrase}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"{extra}"
             f"Connection: {connection}\r\n\r\n"
@@ -368,11 +411,12 @@ class HTTPServingServer:
     # Routing
     # -------------------------------------------------------------- #
     async def _dispatch(
-        self, method: str, target: str, body: bytes
-    ) -> tuple[int, dict, dict[str, str] | None]:
+        self, method: str, target: str, body: bytes, trace_id: str
+    ) -> tuple[int, dict | str, dict[str, str] | None]:
         self._inflight += 1
+        path, _, query = target.partition("?")
         try:
-            result = await self._route(method, target.split("?", 1)[0], body)
+            result = await self._route(method, path, query, body, trace_id)
             if isinstance(result, tuple):  # (status, payload) — healthz
                 status, payload = result
                 return status, payload, None
@@ -407,8 +451,8 @@ class HTTPServingServer:
             self._inflight -= 1
 
     async def _route(
-        self, method: str, path: str, body: bytes
-    ) -> dict | tuple[int, dict]:
+        self, method: str, path: str, query: str, body: bytes, trace_id: str
+    ) -> dict | str | tuple[int, dict]:
         parts = [part for part in path.split("/") if part]
         if method == "GET":
             # Health and stats take cross-thread locks (stats, lifecycle,
@@ -418,6 +462,10 @@ class HTTPServingServer:
                 return await self._run_blocking(self._healthz)
             if parts == ["stats"]:
                 return await self._run_blocking(self._stats_payload)
+            if parts == ["metrics"]:
+                if _query_param(query, "format") == "prometheus":
+                    return await self._run_blocking(self._metrics_prometheus)
+                return await self._run_blocking(self._metrics_payload)
             if parts == ["v1", "models"]:
                 return await self._run_blocking(self._list_models)
             raise _HTTPError(404, f"no such resource: GET {path}")
@@ -436,15 +484,15 @@ class HTTPServingServer:
             name, action = parts[2], parts[3]
             if action not in ("tag", "score"):
                 raise _HTTPError(404, f"no such model action: {action}")
-            return await self._tag_or_score(name, action, payload)
+            return await self._tag_or_score(name, action, payload, trace_id)
         if parts == ["v1", "streams"]:
             return await self._open_stream(payload)
         if len(parts) == 4 and parts[:2] == ["v1", "streams"]:
             stream_id, action = parts[2], parts[3]
             if action == "push":
-                return await self._push_stream(stream_id, payload)
+                return await self._push_stream(stream_id, payload, trace_id)
             if action == "finish":
-                return await self._finish_stream(stream_id)
+                return await self._finish_stream(stream_id, trace_id)
             raise _HTTPError(404, f"no such stream action: {action}")
         raise _HTTPError(404, f"no such resource: POST {path}")
 
@@ -514,6 +562,53 @@ class HTTPServingServer:
             "n_open_streams": n_open,
         }
 
+    def _metrics_payload(self) -> dict:
+        """Request-level metrics: latency histograms, queue waits, traces."""
+        with self._state_lock:
+            stream_services = dict(self._stream_services)
+        router = self.router.stats.snapshot()
+        streams = {}
+        for key, service in stream_services.items():
+            snap = service.stats.snapshot()
+            streams[_model_label(key)] = {
+                "n_requests": snap["n_requests"],
+                "latency": snap["latency"],
+                "queue_wait_by_policy": snap["queue_wait_by_policy"],
+                "recent_traces": snap["recent_traces"],
+            }
+        return {
+            "router": {
+                "n_requests": router["n_requests"],
+                "latency": router["latency"],
+                "queue_wait_by_policy": router["queue_wait_by_policy"],
+                "recent_traces": router["recent_traces"],
+            },
+            "streams": streams,
+        }
+
+    def _metrics_prometheus(self) -> str:
+        """The same metrics in Prometheus text exposition format."""
+        metrics = self._metrics_payload()
+        histograms: list[tuple[str, dict[str, str], dict]] = []
+        counters: list[tuple[str, dict[str, str], float]] = []
+
+        def emit(labels: dict[str, str], section: dict) -> None:
+            histograms.append(
+                ("repro_request_latency_seconds", labels, section["latency"])
+            )
+            for policy, snap in section["queue_wait_by_policy"].items():
+                histograms.append(
+                    ("repro_queue_wait_seconds", {**labels, "policy": policy}, snap)
+                )
+            counters.append(
+                ("repro_requests_total", labels, float(section["n_requests"]))
+            )
+
+        emit({"component": "router"}, metrics["router"])
+        for label, section in metrics["streams"].items():
+            emit({"component": "stream", "model": label}, section)
+        return render_prometheus(histograms, counters)
+
     def _list_models(self) -> dict:
         models = []
         for name in self.registry.list_models():
@@ -523,7 +618,9 @@ class HTTPServingServer:
             )
         return {"models": models}
 
-    async def _tag_or_score(self, name: str, action: str, payload: dict) -> dict:
+    async def _tag_or_score(
+        self, name: str, action: str, payload: dict, trace_id: str
+    ) -> dict:
         if "sequence" not in payload:
             raise _HTTPError(400, "request body needs a 'sequence' field")
         sequence = np.asarray(payload["sequence"])
@@ -534,7 +631,13 @@ class HTTPServingServer:
         # queue lock: keep it off the event loop, then await the scheduler
         # future without blocking anything.
         future = await self._run_blocking(
-            lambda: submit(name, sequence, version=version, deadline_ms=deadline_ms)
+            lambda: submit(
+                name,
+                sequence,
+                version=version,
+                deadline_ms=deadline_ms,
+                trace_id=trace_id,
+            )
         )
         result = await self._await_scheduler(future)
         if action == "tag":
@@ -577,7 +680,9 @@ class HTTPServingServer:
             "version": key[1],
         }
 
-    async def _push_stream(self, stream_id: str, payload: dict) -> dict:
+    async def _push_stream(
+        self, stream_id: str, payload: dict, trace_id: str
+    ) -> dict:
         if "observation" not in payload:
             raise _HTTPError(400, "request body needs an 'observation' field")
         observation = np.asarray(payload["observation"])
@@ -594,7 +699,7 @@ class HTTPServingServer:
                 if entry is None:
                     raise _HTTPError(404, f"no such stream: {stream_id}")
                 handle, _key = entry
-                return handle.submit_push(observation)
+                return handle.submit_push(observation, trace_id=trace_id)
 
         future = await self._run_blocking(blocking_push)
         step = await self._await_scheduler(future)
@@ -604,7 +709,7 @@ class HTTPServingServer:
             "log_likelihood": float(step.log_likelihood),
         }
 
-    async def _finish_stream(self, stream_id: str) -> dict:
+    async def _finish_stream(self, stream_id: str, trace_id: str) -> dict:
         def blocking_finish():
             with self._state_lock:
                 entry = self._streams.get(stream_id)
@@ -615,7 +720,7 @@ class HTTPServingServer:
                 # release the lock, so a concurrent push observes it and
                 # fails with 400 instead of landing behind the finish in
                 # the queue.
-                future = handle.submit_finish()
+                future = handle.submit_finish(trace_id=trace_id)
                 del self._streams[stream_id]
                 return future
 

@@ -1,0 +1,220 @@
+"""Request-level observability primitives: trace IDs and latency histograms.
+
+Two building blocks used across the serving tier:
+
+``new_trace_id`` / ``clean_trace_id``
+    Opaque per-request identifiers.  The HTTP front end mints one per
+    request (or adopts a well-formed inbound ``X-Trace-Id`` header), the
+    scheduler carries it on the :class:`~repro.serving.scheduler.Request`,
+    and the executor records it in :class:`ServiceStats` — so a response
+    header can be matched to the batch that served it.
+
+``LatencyHistogram``
+    A fixed-bucket (log-spaced) histogram over seconds.  Recording is
+    O(log n_buckets) and allocation-free, so it is safe on the dispatcher
+    hot path.  Percentiles (p50/p95/p99) are estimated by linear
+    interpolation inside the matching bucket — the standard Prometheus
+    ``histogram_quantile`` estimate, computed server-side.
+
+The histogram itself is deliberately *not* thread-safe: every instance is
+owned by exactly one lock domain (``ServiceStats._lock``) or one thread
+(the CLI), mirroring how counters are handled elsewhere in the stack.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import uuid
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "DEFAULT_BUCKET_BOUNDS",
+    "LatencyHistogram",
+    "clean_trace_id",
+    "new_trace_id",
+    "render_prometheus",
+]
+
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+def new_trace_id() -> str:
+    """Mint an opaque 32-hex-character request identifier."""
+    return uuid.uuid4().hex
+
+
+def clean_trace_id(candidate: object) -> str | None:
+    """Return ``candidate`` if it is a well-formed trace ID, else ``None``.
+
+    Inbound headers are untrusted: anything but a short token of URL-safe
+    characters is rejected so stats snapshots and response headers can
+    never carry header-injection payloads.
+    """
+    if isinstance(candidate, str) and _TRACE_ID_RE.match(candidate):
+        return candidate
+    return None
+
+
+def _default_bounds() -> tuple[float, ...]:
+    # 0.25 ms doubling up to ~65 s: 19 finite bucket upper bounds.  Wide
+    # enough for queue waits on a loaded box and for multi-second batch
+    # requests, fine enough that p50 on a sub-millisecond path is not
+    # flattened into a single bucket.
+    return tuple(0.00025 * 2.0**i for i in range(19))
+
+
+DEFAULT_BUCKET_BOUNDS: tuple[float, ...] = _default_bounds()
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram over non-negative durations in seconds."""
+
+    __slots__ = ("bounds", "counts", "overflow", "n", "total", "min_value", "max_value")
+
+    def __init__(self, bounds: Sequence[float] | None = None) -> None:
+        chosen = tuple(bounds) if bounds is not None else DEFAULT_BUCKET_BOUNDS
+        if not chosen or any(b <= 0 for b in chosen) or list(chosen) != sorted(chosen):
+            raise ValidationError(
+                "histogram bounds must be a sorted sequence of positive seconds"
+            )
+        self.bounds = chosen
+        self.counts = [0] * len(chosen)
+        self.overflow = 0
+        self.n = 0
+        self.total = 0.0
+        self.min_value: float | None = None
+        self.max_value: float | None = None
+
+    def record(self, seconds: float) -> None:
+        value = max(0.0, float(seconds))
+        index = bisect.bisect_left(self.bounds, value)
+        if index >= len(self.counts):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.n += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValidationError("cannot merge histograms with different bounds")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.overflow += other.overflow
+        self.n += other.n
+        self.total += other.total
+        for value in (other.min_value, other.max_value):
+            if value is None:
+                continue
+            if self.min_value is None or value < self.min_value:
+                self.min_value = value
+            if self.max_value is None or value > self.max_value:
+                self.max_value = value
+
+    def percentile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) in seconds."""
+        if self.n == 0:
+            return None
+        rank = q * self.n
+        cumulative = 0.0
+        lower = 0.0
+        for upper, count in zip(self.bounds, self.counts):
+            if count:
+                cumulative += count
+                if cumulative >= rank:
+                    # Linear interpolation inside the bucket; clamp to the
+                    # observed max so tiny samples do not report a bucket
+                    # ceiling nobody ever hit.
+                    fraction = 1.0 - (cumulative - rank) / count
+                    estimate = lower + (upper - lower) * fraction
+                    if self.max_value is not None:
+                        estimate = min(estimate, self.max_value)
+                    if self.min_value is not None:
+                        estimate = max(estimate, self.min_value)
+                    return estimate
+            lower = upper
+        return self.max_value
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable summary (counts cumulative, Prometheus-style)."""
+        cumulative = 0
+        buckets = []
+        for upper, count in zip(self.bounds, self.counts):
+            cumulative += count
+            buckets.append({"le_seconds": upper, "count": cumulative})
+        buckets.append({"le_seconds": "+Inf", "count": cumulative + self.overflow})
+        return {
+            "count": self.n,
+            "sum_seconds": self.total,
+            "min_ms": None if self.min_value is None else self.min_value * 1e3,
+            "max_ms": None if self.max_value is None else self.max_value * 1e3,
+            "p50_ms": _to_ms(self.percentile(0.50)),
+            "p95_ms": _to_ms(self.percentile(0.95)),
+            "p99_ms": _to_ms(self.percentile(0.99)),
+            "buckets": buckets,
+        }
+
+
+def _to_ms(seconds: float | None) -> float | None:
+    return None if seconds is None else seconds * 1e3
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    formatted = repr(float(value))
+    return formatted
+
+
+def histogram_lines(
+    metric: str, labels: Mapping[str, str], snapshot: Mapping
+) -> list[str]:
+    """Render one histogram snapshot as Prometheus exposition lines."""
+    lines = []
+    for bucket in snapshot["buckets"]:
+        bound = bucket["le_seconds"]
+        le = "+Inf" if bound == "+Inf" else _format_value(float(bound))
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = le
+        lines.append(f"{metric}_bucket{_format_labels(bucket_labels)} {bucket['count']}")
+    lines.append(f"{metric}_sum{_format_labels(labels)} {_format_value(snapshot['sum_seconds'])}")
+    lines.append(f"{metric}_count{_format_labels(labels)} {snapshot['count']}")
+    return lines
+
+
+def render_prometheus(
+    histograms: Iterable[tuple[str, Mapping[str, str], Mapping]],
+    counters: Iterable[tuple[str, Mapping[str, str], float]] = (),
+) -> str:
+    """Render histograms and counters as a Prometheus text-format payload.
+
+    ``histograms`` yields ``(metric, labels, snapshot)`` triples (snapshot as
+    produced by :meth:`LatencyHistogram.snapshot`); ``counters`` yields
+    ``(metric, labels, value)``.  ``# TYPE`` headers are emitted once per
+    metric name, in first-seen order.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for metric, labels, snapshot in histograms:
+        if metric not in typed:
+            lines.append(f"# TYPE {metric} histogram")
+            typed.add(metric)
+        lines.extend(histogram_lines(metric, labels, snapshot))
+    for metric, labels, value in counters:
+        if metric not in typed:
+            lines.append(f"# TYPE {metric} counter")
+            typed.add(metric)
+        lines.append(f"{metric}{_format_labels(labels)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

@@ -1,12 +1,9 @@
-"""Versioned model persistence: ``.npz`` arrays plus a JSON manifest.
+"""Versioned model persistence: numpy array payloads plus a JSON manifest.
 
-An *artifact* is a directory holding two files:
-
-* ``manifest.json`` — the schema version, the model type, user metadata and
-  the (nested) state-dict structure with every numpy array replaced by a
-  ``{"__ndarray__": <key>}`` placeholder;
-* ``arrays.npz`` — the arrays themselves, keyed by the dotted path of the
-  placeholder that references them.
+An *artifact* is a directory holding a ``manifest.json`` — the schema
+version, the model type, user metadata and the (nested) state-dict
+structure with every numpy array replaced by a ``{"__ndarray__": <key>}``
+placeholder — plus the array payload files the manifest references.
 
 Splitting structure from payload keeps the manifest human-readable (and
 diff-able in a registry) while the parameters stay in numpy's native
@@ -16,20 +13,32 @@ than it understands instead of misreading them.
 
 Schema history
 --------------
-* **v1** — uncompressed ``np.savez`` payload, no integrity information.
-* **v2** (current) — the payload is written with ``np.savez_compressed``
-  (large emission tables shrink several-fold) and the manifest records a
-  SHA-256 checksum of the payload file, verified on every load: silent
-  on-disk corruption (a torn copy, bit rot, a truncated download) fails
-  loudly as :class:`~repro.exceptions.ArtifactCorruptError` (carrying the
-  payload path and both digests) instead of decoding garbage parameters.
-  v1 artifacts (no ``checksums`` entry) still load unchanged.
+* **v1** — uncompressed ``np.savez`` payload (``arrays.npz``), no
+  integrity information.
+* **v2** — the ``arrays.npz`` payload is written with
+  ``np.savez_compressed`` and the manifest records a SHA-256 checksum of
+  the payload file, verified on every load: silent on-disk corruption (a
+  torn copy, bit rot, a truncated download) fails loudly as
+  :class:`~repro.exceptions.ArtifactCorruptError` (carrying the payload
+  path and both digests) instead of decoding garbage parameters.  v1
+  artifacts (no ``checksums`` entry) still load unchanged.
+* **v3** (current) — every array is its own **raw little-endian ``.npy``
+  file** next to the manifest (``arrays-0000.npy``, ...), mapped from the
+  state-dict key by the manifest's ``"arrays"`` table, with a SHA-256
+  checksum per file.  Raw ``.npy`` payloads are memory-mappable:
+  ``load_artifact(..., mmap=True)`` opens each array with
+  ``np.load(mmap_mode="r")``, so N serving worker processes loading the
+  same artifact share one set of read-only page-cache pages instead of
+  holding N private heap copies.  v1/v2 artifacts still load (a ``mmap``
+  request on a compressed ``.npz`` silently falls back to a private copy),
+  and ``save_artifact(..., schema_version=2)`` keeps writing the old
+  layout for mixed-version stores.
 
-Both files are written **atomically** — to a temporary file in the target
-directory, flushed, then ``os.replace``-d into place — so a crash mid-save
-can never leave a half-written file under the final name.  The manifest is
-written last: an artifact directory is complete exactly when its manifest
-exists.
+All payload and manifest files are written **atomically** — to a temporary
+file in the target directory, flushed, then ``os.replace``-d into place —
+so a crash mid-save can never leave a half-written file under the final
+name.  The manifest is written last: an artifact directory is complete
+exactly when its manifest exists.
 
 Every model class that participates implements ``to_state_dict`` /
 ``from_state_dict``; the mapping between class and the ``model_type``
@@ -42,6 +51,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
 from pathlib import Path
 from typing import Any, Callable
@@ -58,10 +68,19 @@ from repro.hmm.model import HMM
 
 #: Current artifact layout version.  Bump on breaking layout changes and
 #: keep a loader branch for every older version still supported.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 MANIFEST_NAME = "manifest.json"
+#: v1/v2 bundled payload file (still read; written by schema_version=2 saves).
 ARRAYS_NAME = "arrays.npz"
+
+#: schema versions :func:`save_artifact` can still write.
+_WRITABLE_SCHEMAS = (2, 3)
+
+
+def _npy_name(index: int) -> str:
+    """Payload filename of the ``index``-th array of a v3 artifact."""
+    return f"arrays-{index:04d}.npy"
 
 #: ``model_type`` manifest string <-> persistable class.  Exact types only:
 #: ``OptimizedHMMClassifier`` subclasses ``SupervisedHMMClassifier`` but has
@@ -178,13 +197,38 @@ def _write_atomic(path: Path, writer: Callable[[Any], None], mode: str) -> None:
         raise
 
 
-def save_artifact(model: Any, path: str | Path, metadata: dict | None = None) -> Path:
-    """Persist a model (or fitted estimator) as a schema-v2 artifact directory.
+def _as_little_endian(array: np.ndarray) -> np.ndarray:
+    """A contiguous little-endian view/copy of ``array`` (v3 payload format).
 
-    The ``arrays.npz`` payload is compressed and its SHA-256 checksum
-    recorded in the manifest; both files are written atomically (temp file
-    + ``os.replace``), the manifest last, so a crash mid-save never leaves
-    a torn artifact that looks complete.
+    On little-endian hosts (every supported platform today) native float64
+    arrays pass through untouched; the explicit byte order is recorded in
+    the ``.npy`` header either way, so a big-endian writer still produces
+    artifacts every reader maps identically.
+    """
+    dtype = array.dtype
+    if dtype.byteorder == ">" or (dtype.byteorder == "=" and sys.byteorder == "big"):
+        array = array.astype(dtype.newbyteorder("<"))
+    return np.ascontiguousarray(array)
+
+
+def save_artifact(
+    model: Any,
+    path: str | Path,
+    metadata: dict | None = None,
+    schema_version: int | None = None,
+) -> Path:
+    """Persist a model (or fitted estimator) as an artifact directory.
+
+    By default this writes the current schema (v3): one raw little-endian
+    ``.npy`` file per parameter array, each with a SHA-256 checksum in the
+    manifest, so the artifact can later be loaded with ``mmap=True`` and
+    shared read-only across worker processes.  ``schema_version=2`` keeps
+    writing the compressed single-``.npz`` layout for stores that must stay
+    readable by pre-v3 tooling.
+
+    Every file is written atomically (temp file + ``os.replace``), the
+    manifest last, so a crash mid-save never leaves a torn artifact that
+    looks complete.
 
     Parameters
     ----------
@@ -195,24 +239,49 @@ def save_artifact(model: Any, path: str | Path, metadata: dict | None = None) ->
     metadata:
         Optional JSON-serializable user metadata stored verbatim in the
         manifest (dataset name, training notes, metrics, ...).
+    schema_version:
+        Artifact layout to write: ``3`` (the default) or ``2``.
 
     Returns the artifact directory path.
     """
+    if schema_version is None:
+        schema_version = SCHEMA_VERSION
+    if schema_version not in _WRITABLE_SCHEMAS:
+        raise ValidationError(
+            f"cannot write artifact schema version {schema_version!r}; "
+            f"writable versions: {_WRITABLE_SCHEMAS}"
+        )
     type_name = model_type_name(model)
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {}
     state = _flatten(model.to_state_dict(), "", arrays)
-    _write_atomic(
-        path / ARRAYS_NAME, lambda fh: np.savez_compressed(fh, **arrays), "wb"
-    )
-    manifest = {
-        "schema_version": SCHEMA_VERSION,
+    manifest: dict[str, Any] = {
+        "schema_version": schema_version,
         "model_type": type_name,
         "metadata": metadata or {},
-        "checksums": {ARRAYS_NAME: _sha256_file(path / ARRAYS_NAME)},
         "state": state,
     }
+    if schema_version == 2:
+        _write_atomic(
+            path / ARRAYS_NAME, lambda fh: np.savez_compressed(fh, **arrays), "wb"
+        )
+        manifest["checksums"] = {ARRAYS_NAME: _sha256_file(path / ARRAYS_NAME)}
+    else:
+        array_files: dict[str, str] = {}
+        checksums: dict[str, str] = {}
+        for index, key in enumerate(sorted(arrays)):
+            filename = _npy_name(index)
+            payload = _as_little_endian(arrays[key])
+            _write_atomic(
+                path / filename,
+                lambda fh, data=payload: np.save(fh, data, allow_pickle=False),
+                "wb",
+            )
+            array_files[key] = filename
+            checksums[filename] = _sha256_file(path / filename)
+        manifest["arrays"] = array_files
+        manifest["checksums"] = checksums
     text = json.dumps(manifest, indent=2) + "\n"
     _write_atomic(path / MANIFEST_NAME, lambda fh: fh.write(text), "w")
     return path
@@ -279,27 +348,52 @@ def verify_checksums(path: str | Path, manifest: dict | None = None) -> bool:
     return True
 
 
-def load_artifact(path: str | Path) -> Any:
+def load_artifact(path: str | Path, mmap: bool = False) -> Any:
     """Load an artifact directory back into a model instance.
 
-    Schema-v2 artifacts are checksum-verified before any array is decoded;
-    v1 artifacts (which recorded no checksums) load as before.
+    Checksum-carrying artifacts (v2/v3) are verified before any array is
+    decoded; v1 artifacts (which recorded no checksums) load as before.
+
+    ``mmap=True`` maps each schema-v3 array file read-only
+    (``np.load(mmap_mode="r")``) instead of reading it onto the heap: the
+    returned model's parameter arrays are backed by the page cache, shared
+    between every process that maps the same artifact, and writes to them
+    raise.  v1/v2 artifacts cannot be mapped (their ``.npz`` payload is
+    compressed) and silently fall back to a regular private-copy load.
     """
     path = Path(path)
     manifest = read_manifest(path)
     verify_checksums(path, manifest)
-    with np.load(path / ARRAYS_NAME) as npz:
-        arrays = {key: npz[key] for key in npz.files}
+    if manifest["schema_version"] >= 3:
+        array_files = manifest.get("arrays")
+        if not isinstance(array_files, dict):
+            raise ValidationError(
+                f"schema-v3 artifact at {path} has no 'arrays' table in its "
+                "manifest"
+            )
+        mmap_mode = "r" if mmap else None
+        arrays = {
+            key: np.load(path / filename, mmap_mode=mmap_mode, allow_pickle=False)
+            for key, filename in array_files.items()
+        }
+    else:
+        with np.load(path / ARRAYS_NAME) as npz:
+            arrays = {key: npz[key] for key in npz.files}
     state = _unflatten(manifest["state"], arrays)
     cls = MODEL_TYPES[manifest["model_type"]]
     return cls.from_state_dict(state)
 
 
-def save_model(model: Any, path: str | Path, metadata: dict | None = None) -> Path:
+def save_model(
+    model: Any,
+    path: str | Path,
+    metadata: dict | None = None,
+    schema_version: int | None = None,
+) -> Path:
     """Alias of :func:`save_artifact` (symmetric with :func:`load_model`)."""
-    return save_artifact(model, path, metadata=metadata)
+    return save_artifact(model, path, metadata=metadata, schema_version=schema_version)
 
 
-def load_model(path: str | Path) -> Any:
+def load_model(path: str | Path, mmap: bool = False) -> Any:
     """Alias of :func:`load_artifact`."""
-    return load_artifact(path)
+    return load_artifact(path, mmap=mmap)

@@ -4,7 +4,7 @@ Layout (all paths relative to the registry root)::
 
     <root>/
         <name>/
-            v0001/  manifest.json  arrays.npz
+            v0001/  manifest.json  arrays-0000.npy  arrays-0001.npy ...
             v0002/  ...
 
 Versions are monotonically increasing integers assigned at save time; the
@@ -123,16 +123,21 @@ class ModelRegistry:
         save_artifact(model, target, metadata=metadata)
         return version
 
-    def load(self, name: str, version: int | None = None) -> Any:
+    def load(self, name: str, version: int | None = None, mmap: bool = False) -> Any:
         """Load a stored model (latest version by default).
 
-        A checksum-mismatched or truncated v2 artifact surfaces as
+        ``mmap=True`` maps schema-v3 parameter arrays read-only so
+        concurrent worker processes share page-cache pages (see
+        :func:`~repro.serving.persistence.load_artifact`); pre-v3 artifacts
+        fall back to a regular private-copy load.
+
+        A checksum-mismatched or truncated v2/v3 artifact surfaces as
         :class:`~repro.exceptions.ArtifactCorruptError` (see
         :func:`~repro.serving.persistence.verify_checksums`).
         """
         path = self.artifact_path(name, version)
         faults.fire(faults.ARTIFACT_LOAD)
-        return load_artifact(path)
+        return load_artifact(path, mmap=mmap)
 
     def gc(
         self,

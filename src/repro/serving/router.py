@@ -253,10 +253,13 @@ class Router(MicroBatchScheduler):
         sequence: np.ndarray,
         version: int | None = None,
         deadline_ms: float | None = None,
+        trace_id: str | None = None,
     ) -> Future:
         """Enqueue a Viterbi tagging request against one registry model."""
         key = self._resolve_key(name, version)
-        return self._enqueue(_TAG, sequence, deadline_ms=deadline_ms, key=key)
+        return self._enqueue(
+            _TAG, sequence, deadline_ms=deadline_ms, key=key, trace_id=trace_id
+        )
 
     def submit_score(
         self,
@@ -264,10 +267,13 @@ class Router(MicroBatchScheduler):
         sequence: np.ndarray,
         version: int | None = None,
         deadline_ms: float | None = None,
+        trace_id: str | None = None,
     ) -> Future:
         """Enqueue a scoring request against one registry model."""
         key = self._resolve_key(name, version)
-        return self._enqueue(_SCORE, sequence, deadline_ms=deadline_ms, key=key)
+        return self._enqueue(
+            _SCORE, sequence, deadline_ms=deadline_ms, key=key, trace_id=trace_id
+        )
 
     def tag(self, name: str, sequence: np.ndarray, **kwargs) -> np.ndarray:
         """Synchronous tag through the routed queue."""
@@ -366,9 +372,15 @@ class Router(MicroBatchScheduler):
                 self._executors.move_to_end(key)
                 return executor
         # Artifact I/O happens outside the lock; only the dispatcher thread
-        # loads, so there is no duplicate-load race.
+        # loads, so there is no duplicate-load race.  mmap is only forwarded
+        # when enabled, so registries with a plain (name, version) load
+        # signature keep working.
         name, version = key
-        executor = _ModelExecutor(self.registry.load(name, version))
+        if self.config.mmap_artifacts:
+            model = self.registry.load(name, version, mmap=True)
+        else:
+            model = self.registry.load(name, version)
+        executor = _ModelExecutor(model)
         self.stats.record_model_load()
         n_evicted = 0
         with self._executors_lock:
@@ -422,7 +434,7 @@ class Router(MicroBatchScheduler):
             compute = self._drop_expired(compute)
             try:
                 if compute:
-                    executor.run(compute, self.stats)
+                    executor.run(compute, self.stats, policy=self.scheduling_policy)
             except Exception as exc:
                 # The whole engine call hard-failed (per-request problems
                 # are isolated inside run()): that's a model-level failure.

@@ -45,7 +45,7 @@ import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -59,6 +59,10 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.serving import faults
+from repro.serving.observability import LatencyHistogram, new_trace_id
+
+#: ring-buffer size of per-request trace records kept in ServiceStats.
+RECENT_TRACES = 256
 
 #: Dispatcher health states (see :attr:`MicroBatchScheduler.health`).
 HEALTHY = "healthy"
@@ -82,6 +86,15 @@ class Request:
     key: tuple[str, int] | None = None
     #: service-specific payload (e.g. the stream handle of a push).
     payload: Any = None
+    #: opaque per-request identifier, minted at submission when the
+    #: transport did not provide one; echoed in stats trace records.
+    trace_id: str = ""
+    #: ``time.perf_counter()`` at admission; basis for latency histograms.
+    enqueued_at: float | None = None
+    #: ``time.perf_counter()`` when the dispatcher popped the request into
+    #: a batch; ``dequeued_at - enqueued_at`` is the queue wait.  Written
+    #: by the dispatcher thread only.
+    dequeued_at: float | None = None
 
 
 def _model_label(key: tuple[str, int]) -> str:
@@ -124,6 +137,13 @@ class ServiceStats:
         self.n_model_loads = 0  # repro: guarded-by[_lock]
         self.n_model_evictions = 0  # repro: guarded-by[_lock]
         self.per_model: dict[str, int] = {}  # repro: guarded-by[_lock]
+        #: end-to-end latency (admission -> futures resolved), all requests.
+        self.latency = LatencyHistogram()  # repro: guarded-by[_lock]
+        #: queue wait (admission -> batch formation), keyed by the
+        #: scheduling policy that formed the batch.
+        self.queue_wait_by_policy: dict[str, LatencyHistogram] = {}  # repro: guarded-by[_lock]
+        #: ring buffer of per-request trace records (newest last).
+        self.recent_traces: deque[dict] = deque(maxlen=RECENT_TRACES)  # repro: guarded-by[_lock]
 
     def record_batch(
         self, n_requests: int, n_tokens: int, seconds: float, key: tuple | None = None
@@ -137,6 +157,47 @@ class ServiceStats:
             if key is not None:
                 label = _model_label(key)
                 self.per_model[label] = self.per_model.get(label, 0) + n_requests
+
+    def record_completed(
+        self, requests: Sequence["Request"], policy: str | None = None
+    ) -> None:
+        """Record per-request latency, queue wait and trace records.
+
+        Called by the executor right before the batch's futures are
+        resolved, so a trace ID returned to a client is already visible in
+        the stats.  ``policy`` names the scheduling policy that formed the
+        batch (the per-policy queue-wait breakdown).
+        """
+        now = time.perf_counter()
+        with self._lock:
+            wait_hist = None
+            for request in requests:
+                if request.enqueued_at is None:
+                    continue
+                latency = now - request.enqueued_at
+                self.latency.record(latency)
+                wait = None
+                if request.dequeued_at is not None:
+                    wait = request.dequeued_at - request.enqueued_at
+                    if wait_hist is None:
+                        wait_hist = self.queue_wait_by_policy.setdefault(
+                            policy or "unknown", LatencyHistogram()
+                        )
+                    wait_hist.record(wait)
+                if request.trace_id:
+                    self.recent_traces.append(
+                        {
+                            "trace_id": request.trace_id,
+                            "kind": request.kind,
+                            "model": (
+                                _model_label(request.key)
+                                if request.key is not None
+                                else None
+                            ),
+                            "latency_ms": latency * 1e3,
+                            "queue_wait_ms": None if wait is None else wait * 1e3,
+                        }
+                    )
 
     def record_rejected(self) -> None:
         with self._lock:
@@ -180,6 +241,12 @@ class ServiceStats:
                 "n_model_loads": self.n_model_loads,
                 "n_model_evictions": self.n_model_evictions,
                 "per_model": dict(self.per_model),
+                "latency": self.latency.snapshot(),
+                "queue_wait_by_policy": {
+                    policy: hist.snapshot()
+                    for policy, hist in self.queue_wait_by_policy.items()
+                },
+                "recent_traces": list(self.recent_traces),
             }
             if self._extra is not None:
                 snapshot.update(self._extra())
@@ -484,6 +551,7 @@ class MicroBatchScheduler:
         deadline_ms: float | None = None,
         key: tuple[str, int] | None = None,
         payload: Any = None,
+        trace_id: str | None = None,
     ) -> Future:
         seq = np.asarray(sequence)
         self._check_sequence(kind, seq)
@@ -494,6 +562,8 @@ class MicroBatchScheduler:
             deadline=self._absolute_deadline(deadline_ms),
             key=key,
             payload=payload,
+            trace_id=trace_id or new_trace_id(),
+            enqueued_at=time.perf_counter(),
         )
         capacity = self.config.queue_capacity
         with self._lifecycle_lock:
@@ -560,6 +630,9 @@ class MicroBatchScheduler:
         """Pop the policy's next micro-batch, keeping the depth gauge exact."""
         batch = self._policy.pop_batch(self.config.max_batch_size)
         if batch:
+            popped_at = time.perf_counter()
+            for request in batch:
+                request.dequeued_at = popped_at
             with self._lifecycle_lock:
                 self._depth -= len(batch)
         return batch

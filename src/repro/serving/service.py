@@ -62,7 +62,9 @@ class _ModelExecutor:
         self._hmm = resolve_hmm(model)
         self._engine = self._hmm.inference_engine
 
-    def run(self, batch: list[Request], stats: ServiceStats) -> None:
+    def run(
+        self, batch: list[Request], stats: ServiceStats, policy: str | None = None
+    ) -> None:
         """Compute one micro-batch and resolve its futures (stats first)."""
         started = time.perf_counter()
         # Fired before the isolation try-block: an injected executor fault
@@ -90,6 +92,7 @@ class _ModelExecutor:
             seconds=time.perf_counter() - started,
             key=batch[0].key,
         )
+        stats.record_completed(batch, policy=policy)
         for request, (ok, value) in zip(batch, outcomes):
             future = request.future
             # A client may have cancelled while the request was queued;
@@ -179,16 +182,24 @@ class TaggingService(MicroBatchScheduler):
     # Client API
     # -------------------------------------------------------------- #
     def submit_tag(
-        self, sequence: np.ndarray, deadline_ms: float | None = None
+        self,
+        sequence: np.ndarray,
+        deadline_ms: float | None = None,
+        trace_id: str | None = None,
     ) -> Future:
         """Enqueue a Viterbi tagging request; resolves to the label array."""
-        return self._enqueue(_TAG, sequence, deadline_ms=deadline_ms)
+        return self._enqueue(_TAG, sequence, deadline_ms=deadline_ms, trace_id=trace_id)
 
     def submit_score(
-        self, sequence: np.ndarray, deadline_ms: float | None = None
+        self,
+        sequence: np.ndarray,
+        deadline_ms: float | None = None,
+        trace_id: str | None = None,
     ) -> Future:
         """Enqueue a scoring request; resolves to the log-likelihood float."""
-        return self._enqueue(_SCORE, sequence, deadline_ms=deadline_ms)
+        return self._enqueue(
+            _SCORE, sequence, deadline_ms=deadline_ms, trace_id=trace_id
+        )
 
     def tag(self, sequence: np.ndarray) -> np.ndarray:
         """Synchronous tag: submit and wait."""
@@ -215,4 +226,4 @@ class TaggingService(MicroBatchScheduler):
 
     # -------------------------------------------------------------- #
     def _execute(self, batch: list[Request]) -> None:
-        self._executor.run(batch, self.stats)
+        self._executor.run(batch, self.stats, policy=self.scheduling_policy)

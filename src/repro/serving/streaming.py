@@ -237,6 +237,29 @@ class PooledStream:
         """Consume one observation (a one-stream tick through the pool)."""
         return self._pool.push_tick([(self, observation)])[0]
 
+    def push_wave(self, observations: Sequence[Any]) -> list[StreamStep]:
+        """Consume a wave of observations for *this* stream in one submission.
+
+        Emission scoring for the whole wave happens in a single vectorized
+        call (a stack of timesteps is just a sequence to the emission
+        family); the per-token propagations then run in arrival order, so
+        the returned steps are bit-identical to ``[self.push(o) for o in
+        observations]`` at one scoring call instead of ``len(observations)``.
+        """
+        if self._finished:
+            raise ValidationError("cannot push to a finished stream")
+        wave = [np.asarray(obs) for obs in observations]
+        if not wave:
+            raise ValidationError("push_wave requires at least one observation")
+        log_rows = self._pool._emissions.log_likelihoods(np.stack(wave))
+        steps = []
+        for row in log_rows:
+            step = self._pool._session.step_many(row[None, ...], [self._slot])[0]
+            self._state.record(step)
+            self._n_pushed += 1
+            steps.append(step)
+        return steps
+
     def finish(self) -> StreamResult:
         """Flush the remaining window, free the pool slot, assemble the result."""
         if self._finished:

@@ -18,15 +18,26 @@ A stream's pushes must reach the session in submission order, so streaming
 requests are deadline-free and keyed to a single scheduling class: under
 every :class:`~repro.serving.scheduler.SchedulingPolicy` they drain in
 exact arrival order.  Within one drained micro-batch the dispatcher packs
-consecutive pushes of *distinct* streams into one tick and cuts a new tick
+consecutive pushes of *distinct* streams into one wave and cuts a new wave
 whenever a stream re-appears (or an open/finish control request
 interleaves), preserving per-stream order while still coalescing
 concurrent clients.
 
+Wave submission
+---------------
+:meth:`ServiceStream.submit_push_many` submits a whole run of tokens as
+**one** queue entry (where :meth:`ServiceStream.submit_push` costs one
+entry per token): the dispatcher advances all wave fronts in lock step —
+token ``t`` of every participating stream forms one vectorized tick — so a
+wave of W streams x T tokens costs W queue round-trips and T batched ticks
+instead of W*T of each.  This is what makes the streaming service faster
+than per-client decoders at realistic concurrency (see
+``benchmarks/test_bench_serving.py``).
+
 Failure isolation mirrors the tagging service: a malformed observation
 poisoning a shared tick is retried per stream, so only the offending push
-fails (its stream simply does not advance) and every other stream's step
-resolves normally.
+fails (its stream stops advancing at the bad token; tokens already applied
+stay recorded) and every other stream's step resolves normally.
 """
 
 from __future__ import annotations
@@ -47,6 +58,7 @@ from repro.serving.streaming import _UNSET, StreamResult, _StreamState
 
 _OPEN = "open"
 _PUSH = "push"
+_PUSH_MANY = "push_many"
 _FINISH = "finish"
 
 #: placeholder payload array for control (open/finish) requests.
@@ -83,29 +95,55 @@ class ServiceStream:
         labels = self._state.labels
         return [labels[t] for t in range(len(labels))]
 
-    def submit_push(self, observation: Any) -> Future:
+    def submit_push(self, observation: Any, trace_id: str | None = None) -> Future:
         """Enqueue one observation; resolves to its :class:`StreamStep`."""
         if self._finished:
             raise ValidationError("cannot push to a finished stream")
         return self._service._enqueue(
-            _PUSH, np.asarray(observation), payload=self
+            _PUSH, np.asarray(observation), payload=self, trace_id=trace_id
         )
 
     def push(self, observation: Any) -> StreamStep:
         """Synchronous push: submit one observation and wait for its step."""
         return self.submit_push(observation).result()
 
-    def push_many(self, observations: Any) -> list[StreamStep]:
-        """Submit several observations at once and gather their steps.
+    def submit_push_many(
+        self, observations: Any, trace_id: str | None = None
+    ) -> Future:
+        """Enqueue a wave of observations as **one** queue entry.
 
-        Submitting before waiting is the high-throughput client pattern:
-        the queued pushes (typically interleaved with other clients') drain
-        into near-full batched ticks.
+        The future resolves to the ``list[StreamStep]`` of every token, in
+        order.  The wave's tokens are applied strictly in order on the
+        dispatcher; if one token fails, the stream stops at it (earlier
+        tokens stay applied and recorded in the handle's history) and the
+        whole future resolves with that token's exception.
+
+        The first axis of ``observations`` indexes tokens: a 1-D int array
+        for categorical emissions, an ``(T, n_features)`` array for
+        Bernoulli features.
         """
-        futures = [self.submit_push(obs) for obs in observations]
-        return [future.result() for future in futures]
+        if self._finished:
+            raise ValidationError("cannot push to a finished stream")
+        wave = np.asarray(observations)
+        if wave.ndim < 1 or wave.shape[0] < 1:
+            raise ValidationError(
+                "push_many needs at least one observation along the first "
+                f"axis, got shape {wave.shape}"
+            )
+        return self._service._enqueue(
+            _PUSH_MANY, wave, payload=self, trace_id=trace_id
+        )
 
-    def submit_finish(self) -> Future:
+    def push_many(self, observations: Any) -> list[StreamStep]:
+        """Submit a wave of observations as one entry; wait for all steps.
+
+        One queue round-trip for the whole wave — the high-throughput
+        client pattern (compare :meth:`submit_push` per token, which pays
+        queue admission per observation).
+        """
+        return self.submit_push_many(observations).result()
+
+    def submit_finish(self, trace_id: str | None = None) -> Future:
         """Enqueue the finish; resolves to the stream's :class:`StreamResult`.
 
         The stream refuses further pushes immediately.
@@ -113,7 +151,9 @@ class ServiceStream:
         if self._finished:
             raise ValidationError("stream already finished")
         self._finished = True
-        return self._service._enqueue(_FINISH, _CONTROL_SEQUENCE, payload=self)
+        return self._service._enqueue(
+            _FINISH, _CONTROL_SEQUENCE, payload=self, trace_id=trace_id
+        )
 
     def finish(self) -> StreamResult:
         """Flush the remaining window and assemble the final result."""
@@ -197,25 +237,25 @@ class StreamingService(MicroBatchScheduler):
         pass
 
     def _execute(self, batch: list[Request]) -> None:  # repro: confined[dispatcher]
-        # Pack consecutive pushes of distinct streams into one tick; cut the
-        # tick when a stream re-appears or a control request interleaves, so
-        # per-stream request order is preserved exactly.
-        tick: list[Request] = []
-        tick_slots: set[int] = set()
+        # Pack consecutive pushes/waves of distinct streams into one wave
+        # group; cut the group when a stream re-appears or a control request
+        # interleaves, so per-stream request order is preserved exactly.
+        wave: list[Request] = []
+        wave_slots: set[int] = set()
 
         def flush() -> None:
-            nonlocal tick, tick_slots
-            if tick:
-                self._run_tick(tick)
-                tick, tick_slots = [], set()
+            nonlocal wave, wave_slots
+            if wave:
+                self._run_wave(wave)
+                wave, wave_slots = [], set()
 
         for request in batch:
-            if request.kind == _PUSH:
+            if request.kind in (_PUSH, _PUSH_MANY):
                 slot = request.payload._slot
-                if slot in tick_slots:
+                if slot in wave_slots:
                     flush()
-                tick.append(request)
-                tick_slots.add(request.payload._slot)
+                wave.append(request)
+                wave_slots.add(slot)
             else:
                 flush()
                 self._run_control(request)
@@ -236,58 +276,87 @@ class StreamingService(MicroBatchScheduler):
                 future.set_result(handle._state.assemble(remaining))
         except Exception as exc:
             future.set_exception(exc)
+        self.stats.record_completed([request], policy=self.scheduling_policy)
 
-    def _run_tick(self, tick: list[Request]) -> None:  # repro: confined[dispatcher]
-        """Advance one tick's streams together; fall back per stream on error."""
-        started = time.perf_counter()
-        try:
-            # Inside the isolation block on purpose: an injected tick fault
-            # behaves like a poisoned shared call — the per-stream fallback
-            # must absorb it with every stream's output unchanged.
-            faults.fire(faults.STREAM_TICK)
-            stacked = np.stack([request.sequence for request in tick])
-            rows = self._emissions.log_likelihoods(stacked)
-            steps = self._session.step_many(
-                rows, [request.payload._slot for request in tick]
+    @staticmethod
+    def _wave_tokens(request: Request) -> list[np.ndarray]:
+        """The token sequence a request contributes to its wave front."""
+        if request.kind == _PUSH:
+            return [request.sequence]
+        return [np.asarray(token) for token in request.sequence]
+
+    def _run_wave(self, wave: list[Request]) -> None:  # repro: confined[dispatcher]
+        """Advance a wave of distinct streams in lock-step batched ticks.
+
+        Token ``t`` of every still-active front forms one tick: one
+        vectorized emission-scoring call plus one batched session step.
+        Single pushes are just fronts of depth one, so mixed traffic
+        (pushes interleaved with waves) still coalesces.  On a poisoned
+        tick the fallback advances each front on its own; a front whose
+        token fails stops there (its earlier tokens stay applied) and its
+        request resolves with the exception.
+        """
+        fronts = [self._wave_tokens(request) for request in wave]
+        slots = [request.payload._slot for request in wave]
+        steps: list[list[StreamStep]] = [[] for _ in wave]
+        failures: dict[int, Exception] = {}
+        depth = max(len(front) for front in fronts)
+        for t in range(depth):
+            active = [
+                i
+                for i in range(len(wave))
+                if t < len(fronts[i]) and i not in failures
+            ]
+            if not active:
+                break
+            started = time.perf_counter()
+            try:
+                # Inside the isolation block on purpose: an injected tick
+                # fault behaves like a poisoned shared call — the per-stream
+                # fallback must absorb it with every stream's output
+                # unchanged.
+                faults.fire(faults.STREAM_TICK)
+                stacked = np.stack([fronts[i][t] for i in active])
+                rows = self._emissions.log_likelihoods(stacked)
+                tick_steps = self._session.step_many(
+                    rows, [slots[i] for i in active]
+                )
+                for i, step in zip(active, tick_steps):
+                    steps[i].append(step)
+            except Exception:
+                # One malformed observation poisons the shared scoring call
+                # (or ragged observations break the stack): advance each
+                # stream on its own so only the offending fronts fail.
+                # Control-flow exceptions are deliberately not caught — they
+                # must stop the dispatcher, not be swallowed into a client
+                # future.
+                for i in active:
+                    try:
+                        row = self._emissions.log_likelihoods(
+                            fronts[i][t][None, ...]
+                        )
+                        steps[i].append(self._session.step_many(row, [slots[i]])[0])
+                    except Exception as exc:
+                        # the front stops here; tokens already applied stay
+                        failures[i] = exc
+            self.stats.record_batch(
+                n_requests=len(active),
+                n_tokens=len(active),
+                seconds=time.perf_counter() - started,
             )
-        except Exception:
-            # One malformed observation poisons the shared scoring call (or
-            # ragged observations break the stack): advance each stream on
-            # its own so only the offending pushes fail.  Control-flow
-            # exceptions are deliberately not caught — they must stop the
-            # dispatcher, not be swallowed into a client future.
-            outcomes = self._step_individually(tick)
-        else:
-            outcomes = [(True, step) for step in steps]
-        self.stats.record_batch(
-            n_requests=len(tick),
-            n_tokens=len(tick),
-            seconds=time.perf_counter() - started,
-        )
-        for request, (ok, value) in zip(tick, outcomes):
+        self.stats.record_completed(wave, policy=self.scheduling_policy)
+        for i, request in enumerate(wave):
             handle = request.payload
             future = request.future
-            if ok:
-                handle._state.record(value)
+            for step in steps[i]:
+                handle._state.record(step)
                 handle._n_pushed += 1
             if not future.set_running_or_notify_cancel():
                 continue
-            if ok:
-                future.set_result(value)
+            error = failures.get(i)
+            if error is not None:
+                future.set_exception(error)
+            elif request.kind == _PUSH:
+                future.set_result(steps[i][0])
             else:
-                future.set_exception(value)
-
-    def _step_individually(
-        self, tick: list[Request]
-    ) -> list[tuple[bool, Any]]:  # repro: confined[dispatcher]
-        outcomes: list[tuple[bool, Any]] = []
-        for request in tick:
-            try:
-                row = self._emissions.log_likelihoods(request.sequence[None, ...])
-                steps = self._session.step_many(row, [request.payload._slot])
-                outcomes.append((True, steps[0]))
-            except Exception as exc:
-                # the stream did not advance; the client may retry with a
-                # corrected observation
-                outcomes.append((False, exc))
-        return outcomes
+                future.set_result(steps[i])

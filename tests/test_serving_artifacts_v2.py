@@ -48,7 +48,7 @@ def _write_v1_artifact(model, path, model_type="hmm"):
 
 class TestSchemaV2:
     def test_manifest_records_payload_checksum(self, tmp_path):
-        save_artifact(_random_hmm(0), tmp_path / "m")
+        save_artifact(_random_hmm(0), tmp_path / "m", schema_version=2)
         manifest = read_manifest(tmp_path / "m")
         assert manifest["schema_version"] == 2
         digest = manifest["checksums"][ARRAYS_NAME]
@@ -64,13 +64,13 @@ class TestSchemaV2:
         _write_v1_artifact(
             model, tmp_path / "v1", model_type="supervised_diversified_hmm"
         )
-        save_artifact(model, tmp_path / "v2")
+        save_artifact(model, tmp_path / "v2", schema_version=2)
         v1_bytes = (tmp_path / "v1" / ARRAYS_NAME).stat().st_size
         v2_bytes = (tmp_path / "v2" / ARRAYS_NAME).stat().st_size
         assert v2_bytes < v1_bytes
 
     def test_corrupt_payload_fails_loudly(self, tmp_path):
-        save_artifact(_random_hmm(0), tmp_path / "m")
+        save_artifact(_random_hmm(0), tmp_path / "m", schema_version=2)
         payload = tmp_path / "m" / ARRAYS_NAME
         blob = bytearray(payload.read_bytes())
         blob[len(blob) // 2] ^= 0xFF
@@ -83,7 +83,7 @@ class TestSchemaV2:
         assert info.value.actual is not None
 
     def test_missing_payload_reported(self, tmp_path):
-        save_artifact(_random_hmm(0), tmp_path / "m")
+        save_artifact(_random_hmm(0), tmp_path / "m", schema_version=2)
         (tmp_path / "m" / ARRAYS_NAME).unlink()
         with pytest.raises(ArtifactCorruptError, match="missing payload") as info:
             load_artifact(tmp_path / "m")
@@ -106,7 +106,7 @@ class TestSchemaV2:
         model = _random_hmm(5)
         _write_v1_artifact(model, tmp_path / "old")
         upgraded = load_artifact(tmp_path / "old")
-        save_artifact(upgraded, tmp_path / "new")
+        save_artifact(upgraded, tmp_path / "new", schema_version=2)
         assert read_manifest(tmp_path / "new")["schema_version"] == 2
         reloaded = load_artifact(tmp_path / "new")
         _, obs = model.sample(12, seed=5)
@@ -120,7 +120,8 @@ class TestSchemaV2:
         registry.save("m", v2_model)
         assert registry.versions("m") == [1, 2]
         assert registry.describe("m", 1)["schema_version"] == 1
-        assert registry.describe("m", 2)["schema_version"] == 2
+        # registry.save always writes the current schema
+        assert registry.describe("m", 2)["schema_version"] == 3
         _, obs = v1_model.sample(8, seed=1)
         obs = np.asarray(obs)
         assert np.array_equal(
@@ -130,19 +131,19 @@ class TestSchemaV2:
 
 class TestAtomicWrites:
     def test_partial_payload_write_is_never_visible(self, tmp_path, monkeypatch):
-        """Regression: a crash mid-``np.savez`` used to leave a torn
-        ``arrays.npz`` under the final name.  Now the write lands in a temp
-        file, so the destination name never exists half-written."""
+        """Regression: a crash mid-payload-write used to leave a torn file
+        under the final name.  Now the write lands in a temp file, so the
+        destination name never exists half-written."""
         target = tmp_path / "m"
 
-        def torn_savez(fh, **arrays):
-            fh.write(b"PK\x03\x04 partial garbage")
+        def torn_save(fh, *args, **kwargs):
+            fh.write(b"\x93NUMPY partial garbage")
             raise OSError("disk full")
 
-        monkeypatch.setattr(np, "savez_compressed", torn_savez)
+        monkeypatch.setattr(np, "save", torn_save)
         with pytest.raises(OSError, match="disk full"):
             save_artifact(_random_hmm(0), target)
-        assert not (target / ARRAYS_NAME).exists()
+        assert not (target / "arrays-0000.npy").exists()
         assert not (target / MANIFEST_NAME).exists()
         # no temp litter either
         assert [p.name for p in target.iterdir()] == []
@@ -154,11 +155,11 @@ class TestAtomicWrites:
         original = _random_hmm(1)
         save_artifact(original, target)
 
-        def torn_savez(fh, **arrays):
+        def torn_save(fh, *args, **kwargs):
             fh.write(b"garbage")
             raise OSError("disk full")
 
-        monkeypatch.setattr(np, "savez_compressed", torn_savez)
+        monkeypatch.setattr(np, "save", torn_save)
         with pytest.raises(OSError):
             save_artifact(_random_hmm(2), target)
         loaded = load_artifact(target)  # checksum still verifies
@@ -172,10 +173,10 @@ class TestAtomicWrites:
         registry = ModelRegistry(tmp_path / "registry")
         registry.save("m", _random_hmm(1))
 
-        def torn_savez(fh, **arrays):
+        def torn_save(fh, *args, **kwargs):
             raise OSError("disk full")
 
-        monkeypatch.setattr(np, "savez_compressed", torn_savez)
+        monkeypatch.setattr(np, "save", torn_save)
         with pytest.raises(OSError):
             registry.save("m", _random_hmm(2))
         assert registry.versions("m") == [1]

@@ -203,7 +203,7 @@ class TestRoute:
         """A corrupt artifact (FileNotFoundError, not a ReproError) and a
         malformed version value must become per-request error records, not
         crash the whole route run."""
-        (two_model_registry / "blue" / "v0001" / "arrays.npz").unlink()
+        (two_model_registry / "blue" / "v0001" / "arrays-0000.npy").unlink()
         requests = tmp_path / "requests.jsonl"
         output = tmp_path / "routed.jsonl"
         with requests.open("w") as fh:
@@ -349,3 +349,61 @@ class TestBench:
         assert report["speedup"] > 0
         assert report["path_mismatches"] == 0
         assert report["mean_batch_size"] > 1
+
+
+class TestLatencyReporting:
+    """route/bench percentile output matches the /metrics histogram machinery."""
+
+    def test_route_stats_include_latency_percentiles(self, tmp_path, capsys):
+        from repro.hmm import HMM, CategoricalEmission
+
+        registry_root = tmp_path / "registry"
+        registry = ModelRegistry(registry_root)
+        rng = np.random.default_rng(0)
+        registry.save(
+            "red",
+            HMM(
+                rng.dirichlet(np.ones(4)),
+                rng.dirichlet(np.ones(4), size=4),
+                CategoricalEmission(rng.dirichlet(np.ones(8), size=4)),
+            ),
+        )
+        requests = tmp_path / "requests.jsonl"
+        with requests.open("w") as fh:
+            for _ in range(8):
+                record = {
+                    "model": "red",
+                    "sequence": [int(s) for s in rng.integers(0, 8, size=5)],
+                }
+                fh.write(json.dumps(record) + "\n")
+        output = tmp_path / "routed.jsonl"
+        assert _run(
+            ["route", "--registry", registry_root, "--input", requests,
+             "--output", output, "--stats"]
+        ) == 0
+        captured = capsys.readouterr()
+        stats = json.loads(captured.out)
+        latency = stats["latency"]
+        assert latency["count"] == 8
+        assert latency["p50_ms"] is not None
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+        assert "fifo" in stats["queue_wait_by_policy"]
+        assert stats["queue_wait_by_policy"]["fifo"]["count"] == 8
+        # the human-readable summary line quotes the same percentiles
+        assert "latency p50=" in captured.err
+        assert "over 8 requests" in captured.err
+
+    def test_bench_report_includes_latency_percentiles(
+        self, fitted_registry, tmp_path, capsys
+    ):
+        registry, _ = fitted_registry
+        out = tmp_path / "bench.json"
+        assert _run(
+            ["bench", "--registry", registry, "--name", "pos-tagger",
+             "--requests", 20, "--length", 8, "--out", out]
+        ) == 0
+        report = json.loads(out.read_text())
+        latency = report["latency_ms"]
+        assert set(latency) == {"p50", "p95", "p99", "max"}
+        assert 0.0 < latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+        assert "latency p50=" in capsys.readouterr().err

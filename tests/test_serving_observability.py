@@ -1,0 +1,275 @@
+"""Observability: trace IDs, latency histograms, /metrics, Prometheus text."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serving import HTTPServingServer, ModelRegistry
+from repro.serving.observability import (
+    LatencyHistogram,
+    clean_trace_id,
+    histogram_lines,
+    new_trace_id,
+    render_prometheus,
+)
+from repro.hmm import HMM, CategoricalEmission
+
+
+def _random_hmm(seed, n_states=4, n_symbols=8):
+    rng = np.random.default_rng(seed)
+    emissions = CategoricalEmission(rng.dirichlet(np.ones(n_symbols), size=n_states))
+    return HMM(
+        rng.dirichlet(np.ones(n_states)),
+        rng.dirichlet(np.ones(n_states), size=n_states),
+        emissions,
+    )
+
+
+class TestTraceIds:
+    def test_minted_ids_are_url_safe_and_unique(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert len(trace_id) == 32
+            assert clean_trace_id(trace_id) == trace_id
+
+    def test_well_formed_inbound_ids_pass(self):
+        assert clean_trace_id("req-12_ABC") == "req-12_ABC"
+        assert clean_trace_id("a") == "a"
+        assert clean_trace_id("x" * 64) == "x" * 64
+
+    @pytest.mark.parametrize(
+        "candidate",
+        [None, 5, b"bytes", "", "has space", "x" * 65, "evil\r\nX-Other: 1", "semi;colon"],
+    )
+    def test_malformed_inbound_ids_rejected(self, candidate):
+        assert clean_trace_id(candidate) is None
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_has_no_percentiles(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(0.5) is None
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["p50_ms"] is None and snap["p99_ms"] is None
+        assert snap["min_ms"] is None and snap["max_ms"] is None
+
+    def test_single_sample_percentiles_clamp_to_the_observation(self):
+        hist = LatencyHistogram()
+        hist.record(0.004)
+        snap = hist.snapshot()
+        assert snap["count"] == 1
+        assert snap["sum_seconds"] == pytest.approx(0.004)
+        for key in ("min_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert snap[key] == pytest.approx(4.0)
+
+    def test_percentiles_are_monotone_and_bracketed(self):
+        hist = LatencyHistogram()
+        values = [0.0005 * (i + 1) for i in range(200)]  # 0.5 ms .. 100 ms
+        for value in values:
+            hist.record(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 200
+        assert snap["min_ms"] <= snap["p50_ms"] <= snap["p95_ms"] <= snap["p99_ms"]
+        assert snap["p99_ms"] <= snap["max_ms"]
+        # p50 of a uniform 0.5-100 ms spread must land mid-range, not at an edge
+        assert 10.0 < snap["p50_ms"] < 90.0
+
+    def test_negative_durations_clamp_to_zero(self):
+        hist = LatencyHistogram()
+        hist.record(-1.0)
+        assert hist.min_value == 0.0
+        assert hist.snapshot()["min_ms"] == 0.0
+
+    def test_overflow_lands_in_the_inf_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(1e6)  # beyond the largest finite bound
+        snap = hist.snapshot()
+        assert snap["buckets"][-1]["le_seconds"] == "+Inf"
+        assert snap["buckets"][-1]["count"] == 1
+        assert snap["buckets"][-2]["count"] == 0
+
+    def test_bucket_counts_are_cumulative(self):
+        hist = LatencyHistogram(bounds=[0.001, 0.01, 0.1])
+        for value in (0.0005, 0.005, 0.005, 0.05):
+            hist.record(value)
+        counts = [bucket["count"] for bucket in hist.snapshot()["buckets"]]
+        assert counts == [1, 3, 4, 4]
+
+    def test_merge_matches_recording_everything_in_one(self):
+        merged, reference = LatencyHistogram(), LatencyHistogram()
+        left, right = LatencyHistogram(), LatencyHistogram()
+        for i in range(50):
+            value = 0.0003 * (i + 1)
+            (left if i % 2 else right).record(value)
+            reference.record(value)
+        merged.merge(left)
+        merged.merge(right)
+        assert merged.snapshot() == reference.snapshot()
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValidationError, match="different bounds"):
+            LatencyHistogram().merge(LatencyHistogram(bounds=[0.1, 1.0]))
+
+    @pytest.mark.parametrize("bounds", [[], [0.1, 0.01], [0.0, 0.1], [-1.0]])
+    def test_invalid_bounds_rejected(self, bounds):
+        with pytest.raises(ValidationError, match="bounds"):
+            LatencyHistogram(bounds=bounds)
+
+
+class TestPrometheusRendering:
+    def test_histogram_exposition_shape(self):
+        hist = LatencyHistogram(bounds=[0.001, 0.01])
+        hist.record(0.0005)
+        hist.record(0.005)
+        lines = histogram_lines("m", {"component": "router"}, hist.snapshot())
+        assert lines == [
+            'm_bucket{component="router",le="0.001"} 1',
+            'm_bucket{component="router",le="0.01"} 2',
+            'm_bucket{component="router",le="+Inf"} 2',
+            'm_sum{component="router"} 0.0055',
+            'm_count{component="router"} 2',
+        ]
+
+    def test_type_headers_emitted_once_per_metric(self):
+        hist = LatencyHistogram(bounds=[0.001])
+        hist.record(0.0005)
+        snap = hist.snapshot()
+        text = render_prometheus(
+            [("lat", {"worker": "0"}, snap), ("lat", {"worker": "1"}, snap)],
+            [("reqs_total", {}, 2), ("reqs_total", {"worker": "0"}, 1)],
+        )
+        assert text.count("# TYPE lat histogram") == 1
+        assert text.count("# TYPE reqs_total counter") == 1
+        assert "reqs_total 2.0" in text
+        assert 'reqs_total{worker="0"} 1.0' in text
+        assert text.endswith("\n")
+
+
+# ------------------------------------------------------------------ #
+# End-to-end: trace IDs and /metrics over HTTP
+# ------------------------------------------------------------------ #
+@pytest.fixture(scope="module")
+def models():
+    return {"alpha": _random_hmm(0)}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory, models):
+    root = tmp_path_factory.mktemp("obs") / "registry"
+    registry = ModelRegistry(root)
+    for name, model in models.items():
+        registry.save(name, model)
+    with HTTPServingServer(registry, port=0) as server:
+        yield server
+
+
+def _url(server, path):
+    return f"http://{server.host}:{server.port}{path}"
+
+
+def _get(server, path, headers=None):
+    request = urllib.request.Request(_url(server, path), headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, response.read(), dict(response.headers)
+
+
+def _post(server, path, payload=None, headers=None):
+    request = urllib.request.Request(
+        _url(server, path),
+        data=json.dumps(payload or {}).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read()), dict(response.headers)
+
+
+class TestHTTPTraceIds:
+    def test_every_response_carries_a_trace_id(self, server):
+        _, _, headers = _post(server, "/v1/models/alpha/tag", {"sequence": [0, 1, 2]})
+        trace_id = headers.get("X-Trace-Id")
+        assert clean_trace_id(trace_id) == trace_id
+
+    def test_error_responses_carry_a_trace_id_too(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/no-such-route")
+        assert excinfo.value.code == 404
+        assert clean_trace_id(excinfo.value.headers.get("X-Trace-Id")) is not None
+
+    def test_inbound_trace_id_is_adopted_and_visible_in_stats(self, server):
+        trace_id = f"client-{new_trace_id()}"
+        _, _, headers = _post(
+            server,
+            "/v1/models/alpha/tag",
+            {"sequence": [0, 1, 2, 3]},
+            headers={"X-Trace-Id": trace_id},
+        )
+        assert headers["X-Trace-Id"] == trace_id
+        _, body, _ = _get(server, "/stats")
+        traces = json.loads(body)["router"]["recent_traces"]
+        match = [t for t in traces if t["trace_id"] == trace_id]
+        assert len(match) == 1
+        assert match[0]["kind"] == "tag"
+        assert match[0]["model"] == "alpha:v0001"
+        assert match[0]["latency_ms"] > 0.0
+        assert match[0]["queue_wait_ms"] is not None
+
+    def test_malformed_inbound_trace_id_is_replaced(self, server):
+        _, _, headers = _post(
+            server,
+            "/v1/models/alpha/tag",
+            {"sequence": [0, 1]},
+            headers={"X-Trace-Id": "not a valid header!!"},
+        )
+        minted = headers["X-Trace-Id"]
+        assert minted != "not a valid header!!"
+        assert clean_trace_id(minted) == minted
+
+
+class TestMetricsEndpoint:
+    def test_json_metrics_report_percentiles_after_traffic(self, server):
+        for _ in range(5):
+            _post(server, "/v1/models/alpha/tag", {"sequence": [0, 1, 2]})
+        _, body, headers = _get(server, "/metrics")
+        assert headers["Content-Type"].startswith("application/json")
+        metrics = json.loads(body)
+        latency = metrics["router"]["latency"]
+        assert latency["count"] >= 5
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            assert latency[key] is not None and latency[key] > 0.0
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+        waits = metrics["router"]["queue_wait_by_policy"]
+        assert "fifo" in waits and waits["fifo"]["count"] >= 5
+
+    def test_prometheus_text_format(self, server):
+        _post(server, "/v1/models/alpha/tag", {"sequence": [0, 1, 2]})
+        _, body, headers = _get(server, "/metrics?format=prometheus")
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        assert "# TYPE repro_request_latency_seconds histogram" in text
+        assert 'repro_request_latency_seconds_bucket{component="router"' in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{component="router"} ' in text
+
+    def test_stream_traffic_shows_up_with_traces(self, server):
+        _, opened, _ = _post(server, "/v1/streams", {"model": "alpha"})
+        stream_id = opened["stream_id"]
+        trace_id = f"stream-{new_trace_id()}"
+        _post(
+            server,
+            f"/v1/streams/{stream_id}/push",
+            {"observation": 1},
+            headers={"X-Trace-Id": trace_id},
+        )
+        _, body, _ = _get(server, "/metrics")
+        streams = json.loads(body)["streams"]
+        assert "alpha:v0001" in streams
+        snap = streams["alpha:v0001"]
+        assert snap["latency"]["count"] >= 1
+        assert any(t["trace_id"] == trace_id for t in snap["recent_traces"])

@@ -75,7 +75,7 @@ class TestHmmRoundTrip:
     def test_manifest_is_json_with_schema_and_type(self, tmp_path):
         save_artifact(_random_hmm(0, "categorical"), tmp_path / "m")
         manifest = json.loads((tmp_path / "m" / MANIFEST_NAME).read_text())
-        assert manifest["schema_version"] == 2
+        assert manifest["schema_version"] == 3
         assert manifest["model_type"] == "hmm"
 
     def test_metadata_round_trips(self, tmp_path):

@@ -208,7 +208,7 @@ class TestLifecycle:
         registry.save("stable", models["beta"])
         # The manifest survives (submit-time validation passes) but the
         # arrays payload is gone, so the lazy load in the dispatcher fails.
-        (registry.root / "doomed" / "v0001" / "arrays.npz").unlink()
+        (registry.root / "doomed" / "v0001" / "arrays-0000.npy").unlink()
         with Router(registry) as router:
             doomed = router.submit_tag("doomed", sequences[0])
             stable = router.submit_tag("stable", sequences[1])

@@ -337,3 +337,57 @@ class TestStreamPool:
         labels = [state for _, state in online] + list(tail.path)
         assert np.array_equal(np.array(labels), full.path)
         assert tail.filtering.shape == (0, model.n_states)
+
+
+class TestPushWave:
+    def test_wave_matches_per_token_pushes(self):
+        """push_wave is bit-identical to the equivalent push loop."""
+        model = _random_hmm(3)
+        _, obs = model.sample(24, seed=3)
+        obs = np.asarray(obs)
+        wave_pool, loop_pool = StreamPool(model, lag=4), StreamPool(model, lag=4)
+        wave_stream, loop_stream = wave_pool.open(), loop_pool.open()
+        wave_steps = []
+        for start in range(0, len(obs), 8):
+            wave_steps.extend(wave_stream.push_wave(obs[start : start + 8]))
+        loop_steps = [loop_stream.push(token) for token in obs]
+        assert len(wave_steps) == len(loop_steps)
+        for got, want in zip(wave_steps, loop_steps):
+            assert got.t == want.t
+            assert np.array_equal(got.filtering, want.filtering)
+            assert got.log_likelihood == want.log_likelihood
+            assert got.finalized == want.finalized
+        wave_result, loop_result = wave_stream.finish(), loop_stream.finish()
+        assert np.array_equal(wave_result.path, loop_result.path)
+        assert wave_result.log_likelihood == loop_result.log_likelihood
+        assert wave_stream.n_tokens == len(obs)
+
+    def test_wave_interleaves_with_other_streams(self):
+        """A wave on one stream leaves a sibling stream's output untouched."""
+        model = _random_hmm(5)
+        _, wave_obs = model.sample(12, seed=5)
+        _, tick_obs = model.sample(6, seed=6)
+        wave_obs, tick_obs = np.asarray(wave_obs), np.asarray(tick_obs)
+        pool = StreamPool(model, lag=3)
+        wavy, ticky = pool.open(), pool.open()
+        wavy.push_wave(wave_obs[:6])
+        for token in tick_obs:
+            ticky.push(token)
+        wavy.push_wave(wave_obs[6:])
+        for stream, obs in ((wavy, wave_obs), (ticky, tick_obs)):
+            decoder = StreamingDecoder(model, lag=3)
+            decoder.push_many(obs)
+            assert np.array_equal(stream.finish().path, decoder.finish().path)
+
+    def test_empty_wave_rejected(self):
+        pool = StreamPool(_random_hmm(0), lag=2)
+        with pytest.raises(ValidationError, match="at least one"):
+            pool.open().push_wave([])
+
+    def test_wave_to_finished_stream_raises(self):
+        pool = StreamPool(_random_hmm(0), lag=2)
+        stream = pool.open()
+        stream.push(0)
+        stream.finish()
+        with pytest.raises(ValidationError, match="finished"):
+            stream.push_wave([0, 1])

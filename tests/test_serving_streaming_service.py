@@ -264,3 +264,82 @@ class TestFailureIsolation:
             decoder = StreamingDecoder(model, lag=2)
             decoder.push_many(seq)
             assert np.array_equal(got.path, decoder.finish().path)
+
+
+class TestWaveBatching:
+    def test_push_many_matches_per_token_submission(self, model):
+        obs = _observations(model, n_streams=1, length=24)[0]
+        with StreamingService(model, lag=4) as service:
+            stream = service.open()
+            steps = []
+            for start in range(0, len(obs), 8):
+                steps.extend(stream.push_many(obs[start : start + 8]))
+            result = stream.finish()
+        decoder = StreamingDecoder(model, lag=4)
+        want_steps = decoder.push_many(obs)
+        _assert_stream_equal(steps, result, want_steps, decoder.finish())
+
+    def test_wave_is_one_queue_entry(self, model):
+        """A 10-token wave pays ONE queue admission, not ten."""
+        obs = _observations(model, n_streams=1, length=30)[0]
+        with StreamingService(model, lag=4) as service:
+            stream = service.open()
+            for start in range(0, 30, 10):
+                stream.push_many(obs[start : start + 10])
+            stats = service.stats.snapshot()
+        # every token is served (per-tick accounting unchanged) ...
+        assert stats["n_requests"] == 30
+        # ... but the queue/latency machinery sees one entry per wave
+        # (plus the open() control request): 1 + 3, not 1 + 30
+        assert stats["latency"]["count"] == 4
+        waits = stats["queue_wait_by_policy"]
+        assert sum(hist["count"] for hist in waits.values()) == 4
+
+    def test_waves_coalesce_with_single_pushes(self, model):
+        obs = _observations(model, n_streams=2, length=12)
+        config = ServingConfig(max_batch_size=64, max_wait_ms=20.0)
+        with StreamingService(model, lag=3, config=config) as service:
+            wavy, ticky = service.open(), service.open()
+            futures = [
+                wavy.submit_push_many(obs[0][:6]),
+                *[ticky.submit_push(o) for o in obs[1][:6]],
+                wavy.submit_push_many(obs[0][6:]),
+                *[ticky.submit_push(o) for o in obs[1][6:]],
+            ]
+            for future in futures:
+                future.result(timeout=10)
+            results = [wavy.finish(), ticky.finish()]
+        for got, seq in zip(results, obs):
+            decoder = StreamingDecoder(model, lag=3)
+            decoder.push_many(seq)
+            assert np.array_equal(got.path, decoder.finish().path)
+
+    def test_failed_token_stops_the_wave_but_not_the_stream(self, model):
+        """A wave failing at token k keeps tokens < k applied; the stream
+        stays usable and later decodes as if the bad token was never sent."""
+        obs = _observations(model, n_streams=1, length=12)[0]
+        with StreamingService(model, lag=2) as service:
+            stream = service.open()
+            stream.push_many(obs[:4])
+            poisoned = np.concatenate([obs[4:8], np.asarray([999])])
+            with pytest.raises(Exception):
+                stream.push_many(poisoned)
+            stream.push_many(obs[8:])
+            result = stream.finish()
+        decoder = StreamingDecoder(model, lag=2)
+        decoder.push_many(obs)
+        assert np.array_equal(result.path, decoder.finish().path)
+
+    def test_empty_wave_rejected(self, model):
+        with StreamingService(model) as service:
+            stream = service.open()
+            with pytest.raises(ValidationError, match="at least one"):
+                stream.submit_push_many([])
+
+    def test_wave_after_finish_raises(self, model):
+        with StreamingService(model) as service:
+            stream = service.open()
+            stream.push(np.int64(0))
+            stream.finish()
+            with pytest.raises(ValidationError, match="finished"):
+                stream.submit_push_many([0, 1])
