@@ -39,6 +39,23 @@ MIN_VITERBI_SPEEDUP = float(os.environ.get("BENCH_MIN_VITERBI_SPEEDUP", "4.0"))
 _RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_inference.json"
 
 
+def _merge_results(update: dict) -> None:
+    """Merge this benchmark's keys into the shared BENCH_inference.json.
+
+    The long-sequence benchmark writes its section into the same file, so
+    a clobbering ``write_text`` here would erase it (and vice versa)
+    depending on execution order.
+    """
+    existing: dict = {}
+    if _RESULT_PATH.is_file():
+        try:
+            existing = json.loads(_RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    existing.update(update)
+    _RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
 def _build_model(corpus) -> HMM:
     rng = np.random.default_rng(1)
     emissions = CategoricalEmission.random_init(
@@ -146,7 +163,7 @@ def test_batched_engine_speedup(benchmark, pos_corpus):
         "viterbi_batch_speedup": viterbi_batch_speedup,
         "viterbi_backpointer_dtype": bp_dtype.name,
     }
-    _RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    _merge_results(results)
 
     print_header("Inference engine - batched scaled vs sequential log-domain")
     print(f"E-step          : scaled {e_step_scaled * 1e3:8.1f} ms | "
@@ -155,7 +172,7 @@ def test_batched_engine_speedup(benchmark, pos_corpus):
           f"log {viterbi_reference * 1e3:8.1f} ms | {viterbi_speedup:5.1f}x")
     print(f"Viterbi (batch) : scaled {viterbi_batch_scaled * 1e3:8.1f} ms | "
           f"log {viterbi_reference * 1e3:8.1f} ms | {viterbi_batch_speedup:5.1f}x")
-    print(f"results written to {_RESULT_PATH.name}")
+    print(f"results merged into {_RESULT_PATH.name}")
 
     benchmark.extra_info.update(
         e_step_speedup=e_step_speedup, viterbi_speedup=viterbi_speedup

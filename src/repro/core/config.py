@@ -29,11 +29,32 @@ class InferenceConfig:
         calling thread; values above 1 opt in to a thread pool (numpy
         releases the GIL inside the kernels' matmuls, so large multi-bucket
         corpora can overlap buckets).
+    decode_window:
+        Window length ``W`` of the chunked long-sequence decode mode: a
+        sequence longer than ``long_threshold`` is split into windows of
+        this many tokens (overlapping by ``decode_overlap``), decoded as
+        one batched bucket, and stitched back together.  Together with
+        ``decode_overlap`` this bounds the peak working memory of decoding
+        independent of the sequence length.
+    decode_overlap:
+        Overlap ``V`` between adjacent decode windows.  Stitching picks an
+        agreement point inside the overlap; once the overlap exceeds the
+        model's mixing lag the stitched path matches full-sequence Viterbi
+        exactly (the same fixed-lag stabilization property the streaming
+        sessions rely on).  Must satisfy ``2 * decode_overlap <=
+        decode_window`` so adjacent windows keep disjoint "own" regions.
+    long_threshold:
+        Sequence length above which inference automatically routes through
+        the chunked long-sequence engine instead of a single padded
+        bucket.  Must be at least ``decode_window``.
     """
 
     backend: str = "scaled"
     bucket_size: int = 64
     n_workers: int = 1
+    decode_window: int = 4096
+    decode_overlap: int = 256
+    long_threshold: int = 32768
 
     def __post_init__(self) -> None:
         # Imported lazily: the backend registry lives in the hmm layer, and
@@ -52,6 +73,20 @@ class InferenceConfig:
         if self.n_workers < 1:
             raise ValidationError(
                 f"n_workers must be at least 1, got {self.n_workers}"
+            )
+        if self.decode_overlap < 1:
+            raise ValidationError(
+                f"decode_overlap must be at least 1, got {self.decode_overlap}"
+            )
+        if self.decode_window < 2 * self.decode_overlap:
+            raise ValidationError(
+                f"decode_window must be at least 2 * decode_overlap "
+                f"({2 * self.decode_overlap}), got {self.decode_window}"
+            )
+        if self.long_threshold < self.decode_window:
+            raise ValidationError(
+                f"long_threshold must be at least decode_window "
+                f"({self.decode_window}), got {self.long_threshold}"
             )
 
 

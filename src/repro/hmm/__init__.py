@@ -26,9 +26,20 @@ from repro.hmm.corpus import (
     CompiledCorpus,
     CorpusBucket,
     CorpusPosteriors,
+    LongSequenceWindows,
     compile_corpus,
 )
 from repro.hmm.engine import InferenceEngine, build_engine
+from repro.hmm.longseq import (
+    ArraySource,
+    EmissionSource,
+    LongDecodeResult,
+    as_source,
+    checkpointed_posteriors,
+    chunked_viterbi,
+    plan_windows,
+    streaming_log_likelihood,
+)
 from repro.hmm.forward_backward import (
     SequencePosteriors,
     log_backward,
@@ -64,7 +75,16 @@ __all__ = [
     "CompiledCorpus",
     "CorpusBucket",
     "CorpusPosteriors",
+    "LongSequenceWindows",
     "compile_corpus",
+    "ArraySource",
+    "EmissionSource",
+    "LongDecodeResult",
+    "as_source",
+    "checkpointed_posteriors",
+    "chunked_viterbi",
+    "plan_windows",
+    "streaming_log_likelihood",
     "SequencePosteriors",
     "log_forward",
     "log_backward",

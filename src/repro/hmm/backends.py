@@ -60,6 +60,13 @@ from repro.hmm.forward_backward import (
     compute_posteriors_from_log,
     log_forward,
 )
+from repro.hmm.longseq import (
+    ArraySource,
+    LongDecodeResult,
+    checkpointed_posteriors,
+    chunked_viterbi,
+    streaming_log_likelihood,
+)
 from repro.hmm.viterbi import viterbi_decode_from_log
 from repro.utils.maths import logsumexp, safe_log
 
@@ -251,6 +258,55 @@ class InferenceBackend(abc.ABC):
             corpus.tables(scores_ext),
             log_startprob=log_startprob,
             log_transmat=log_transmat,
+        )
+
+    # -------------------------------------------------------------- #
+    # Long-sequence (chunked) decoding
+    # -------------------------------------------------------------- #
+    def viterbi_long(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        source,
+        *,
+        window: int,
+        overlap: int,
+        group_size: int = 64,
+        log_startprob: np.ndarray | None = None,
+        log_transmat: np.ndarray | None = None,
+    ) -> LongDecodeResult:
+        """Chunked Viterbi over a long sequence (see :func:`chunked_viterbi`).
+
+        The generic implementation batches each group of windows through
+        :meth:`viterbi`; backends with a native bucket kernel override it
+        to feed the padded window tensor to the kernel directly, skipping
+        the per-window repack.
+        """
+        startprob = np.asarray(startprob, dtype=np.float64)
+        transmat = np.asarray(transmat, dtype=np.float64)
+        _check_params(startprob, transmat)
+        if log_startprob is None:
+            log_startprob = safe_log(startprob)
+        if log_transmat is None:
+            log_transmat = safe_log(transmat)
+
+        def decode_bucket(start_log, padded, lengths):
+            return self.viterbi(
+                startprob,
+                transmat,
+                list(padded),
+                log_startprob=start_log,
+                log_transmat=log_transmat,
+            )
+
+        return chunked_viterbi(
+            log_startprob,
+            log_transmat,
+            source,
+            window=window,
+            overlap=overlap,
+            group_size=group_size,
+            decode_bucket=decode_bucket,
         )
 
 
@@ -580,6 +636,19 @@ class ScaledBatchedBackend(InferenceBackend):
             xi_sum += xi_part
             start_counts += start_part
             lls[bucket.idx] = ll_part
+        for lw in corpus.long_windows:
+            # Long sequences bypass the padded buckets: sqrt-checkpointed
+            # forward-backward over a view of the corpus score table keeps
+            # the working set O(sqrt(T) * K) per sequence.
+            r = checkpointed_posteriors(
+                startprob,
+                transmat,
+                ArraySource(scores_ext[lw.offset : lw.offset + lw.length]),
+            )
+            gamma_ext[lw.offset : lw.offset + lw.length] = r.gamma
+            xi_sum += r.xi_sum
+            start_counts += r.gamma[0]
+            lls[lw.seq_index] = r.log_likelihood
         return CorpusPosteriors(
             gamma_concat=gamma_ext[:-1],
             start_counts=start_counts,
@@ -610,6 +679,19 @@ class ScaledBatchedBackend(InferenceBackend):
         ):
             for j, res in zip(bucket.idx, bucket_results):
                 results[j] = res
+        for lw in corpus.long_windows:
+            # Long sequences decode through the chunked stitcher instead of
+            # one giant padded bucket row.
+            long_res = self.viterbi_long(
+                startprob,
+                transmat,
+                ArraySource(scores_ext[lw.offset : lw.offset + lw.length]),
+                window=lw.window,
+                overlap=lw.overlap,
+                log_startprob=log_startprob,
+                log_transmat=log_transmat,
+            )
+            results[lw.seq_index] = (long_res.path, long_res.log_joint)
         return results
 
     def log_likelihood_corpus(
@@ -639,6 +721,13 @@ class ScaledBatchedBackend(InferenceBackend):
             corpus.buckets, self._map_buckets(run, corpus.buckets)
         ):
             lls[bucket.idx] = bucket_lls
+        for lw in corpus.long_windows:
+            # Forward-only streamed scoring: O(K) state per long sequence.
+            lls[lw.seq_index] = streaming_log_likelihood(
+                startprob,
+                transmat,
+                ArraySource(scores_ext[lw.offset : lw.offset + lw.length]),
+            )
         return lls
 
     def _viterbi_bucket(  # repro: hot-path
@@ -748,6 +837,49 @@ class ScaledBatchedBackend(InferenceBackend):
         if log_transmat is None:
             log_transmat = safe_log(np.asarray(transmat, dtype=np.float64))
         return log_startprob, np.ascontiguousarray(log_transmat.T)
+
+    def viterbi_long(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        source,
+        *,
+        window: int,
+        overlap: int,
+        group_size: int | None = None,
+        log_startprob: np.ndarray | None = None,
+        log_transmat: np.ndarray | None = None,
+    ) -> LongDecodeResult:
+        """Chunked Viterbi feeding window groups straight to the fused kernel.
+
+        Each group of windows becomes one padded ``(G, window, K)`` bucket
+        decoded by :meth:`_viterbi_bucket` — no per-window repack, no
+        length sorting (all windows have equal length).  ``group_size``
+        defaults to the backend's ``bucket_size``.
+        """
+        startprob = np.asarray(startprob, dtype=np.float64)
+        transmat = np.asarray(transmat, dtype=np.float64)
+        _check_params(startprob, transmat)
+        log_pi, log_AT = self._viterbi_log_params(
+            startprob, transmat, log_startprob, log_transmat
+        )
+        if group_size is None:
+            group_size = self.bucket_size
+
+        def decode_bucket(start_log, padded, lengths):
+            return self._viterbi_bucket(start_log, log_AT, padded, lengths)
+
+        # log_AT.T is exactly log(A) (the kernel keeps the transpose
+        # contiguous); reuse it for stitch scoring instead of re-deriving.
+        return chunked_viterbi(
+            log_pi,
+            log_AT.T,
+            source,
+            window=window,
+            overlap=overlap,
+            group_size=group_size,
+            decode_bucket=decode_bucket,
+        )
 
     # -------------------------------------------------------------- #
     # Public batched entry points
@@ -1017,6 +1149,19 @@ class StreamingSession:
         self._next_emit = self._t + 1
         return remaining
 
+    def peek_tail(self) -> list[tuple[int, int]]:
+        """Current best labels of the not-yet-finalized window, non-destructively.
+
+        Returns the same ``(position, state)`` pairs :meth:`finish` would
+        emit right now, but keeps the session open: the window is not
+        flushed, and further :meth:`step` calls may still revise these
+        labels (they are provisional, exactly like the tail of a chunked
+        decode window before its overlap is stitched).
+        """
+        if self._finished or self._t < 0:
+            return []
+        return self._backtrack(self._next_emit)
+
     @property
     def log_joint(self) -> float:
         """Joint log-probability of the current best (Viterbi) path."""
@@ -1268,6 +1413,18 @@ class BatchedStreamingSession:
         slot.next_emit = slot.t + 1
         self._free.append(stream)
         return remaining
+
+    def peek_tail(self, stream: int) -> list[tuple[int, int]]:
+        """One stream's provisional tail labels, without finalizing it.
+
+        The batched analogue of :meth:`StreamingSession.peek_tail`: the
+        pairs :meth:`finish` would emit for ``stream`` right now, with the
+        stream left open and its window intact.
+        """
+        slot = self._slot(stream)
+        if slot.finished or slot.t < 0:
+            return []
+        return self._backtrack(stream, slot.next_emit)
 
 
 _BACKENDS = {

@@ -59,6 +59,43 @@ def bucket_indices(lengths: Sequence[int], bucket_size: int) -> list[np.ndarray]
 
 
 @dataclass(frozen=True)
+class LongSequenceWindows:
+    """Window-decode plan for one long sequence of a :class:`CompiledCorpus`.
+
+    Sequences longer than the corpus' ``long_threshold`` are kept out of
+    the padded length-buckets — one ``(1, T, K)`` bucket row would both
+    serialize the recursion and materialize O(T * K) tensors — and instead
+    carry this plan: the inference backends route them through the chunked
+    long-sequence kernels (:mod:`repro.hmm.longseq`) over a view of the
+    corpus score table.
+
+    Attributes
+    ----------
+    seq_index:
+        Index of the sequence in the corpus ordering.
+    offset / length:
+        The sequence's slice ``[offset, offset + length)`` of the
+        concatenated token array (and of the corpus score table).
+    window / overlap:
+        Chunked-decode knobs frozen at compile time (from
+        :class:`~repro.core.config.InferenceConfig` by default).
+    """
+
+    seq_index: int
+    offset: int
+    length: int
+    window: int
+    overlap: int
+
+    @property
+    def n_windows(self) -> int:
+        """Number of decode windows the plan produces."""
+        from repro.hmm.longseq import plan_windows
+
+        return len(plan_windows(self.length, self.window, self.overlap))
+
+
+@dataclass(frozen=True)
 class CorpusBucket:
     """One padded length-bucket of a :class:`CompiledCorpus`.
 
@@ -97,11 +134,41 @@ class CompiledCorpus:
         Maximum number of sequences per padded length-bucket; align it with
         the inference backend's ``bucket_size``
         (:meth:`repro.hmm.engine.InferenceEngine.compile` does).
+    long_threshold:
+        Sequences longer than this stay out of the padded buckets and are
+        compiled into :class:`LongSequenceWindows` plans instead (see
+        ``long_windows``); ``None`` (the default for direct construction)
+        disables long-sequence routing.  :func:`compile_corpus` and the
+        engine fill it from :class:`~repro.core.config.InferenceConfig`.
+    decode_window / decode_overlap:
+        Window plan knobs recorded on each long sequence's plan; default to
+        4096 / 256 when ``long_threshold`` is set without them.
     """
 
-    def __init__(self, sequences: Sequence[np.ndarray], bucket_size: int = 64) -> None:
+    def __init__(
+        self,
+        sequences: Sequence[np.ndarray],
+        bucket_size: int = 64,
+        long_threshold: int | None = None,
+        decode_window: int | None = None,
+        decode_overlap: int | None = None,
+    ) -> None:
         if bucket_size < 1:
             raise ValidationError(f"bucket_size must be positive, got {bucket_size}")
+        if decode_window is None:
+            decode_window = 4096
+        if decode_overlap is None:
+            decode_overlap = 256
+        if decode_window < 2 * decode_overlap:
+            raise ValidationError(
+                f"decode_window must be at least 2 * decode_overlap "
+                f"({2 * decode_overlap}), got {decode_window}"
+            )
+        if long_threshold is not None and long_threshold < decode_window:
+            raise ValidationError(
+                f"long_threshold must be at least decode_window "
+                f"({decode_window}), got {long_threshold}"
+            )
         arrays = [np.asarray(seq) for seq in sequences]
         if not arrays:
             raise ValidationError("cannot compile an empty corpus")
@@ -120,8 +187,31 @@ class CompiledCorpus:
         self.offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
         np.cumsum(self.lengths, out=self.offsets[1:])
         self.concat = np.concatenate(arrays, axis=0) if len(arrays) > 1 else arrays[0]
+        self.long_threshold = long_threshold
+        self.decode_window = int(decode_window)
+        self.decode_overlap = int(decode_overlap)
+        # Long sequences (length > long_threshold) bypass the padded
+        # buckets entirely: they compile into window-decode plans the
+        # backends route through the chunked long-sequence kernels.
+        self.long_windows: list[LongSequenceWindows] = []
+        if long_threshold is not None:
+            long_mask = self.lengths > long_threshold
+            for j in np.flatnonzero(long_mask):
+                self.long_windows.append(
+                    LongSequenceWindows(
+                        seq_index=int(j),
+                        offset=int(self.offsets[j]),
+                        length=int(self.lengths[j]),
+                        window=self.decode_window,
+                        overlap=self.decode_overlap,
+                    )
+                )
+            short_idx = np.flatnonzero(~long_mask)
+        else:
+            short_idx = np.arange(len(arrays), dtype=np.int64)
         self.buckets: list[CorpusBucket] = []
-        for idx in bucket_indices(self.lengths, self.bucket_size):
+        for sub in bucket_indices(self.lengths[short_idx], self.bucket_size):
+            idx = short_idx[sub]
             blens = self.lengths[idx]
             max_len = int(blens.max())
             span = np.arange(max_len, dtype=np.int64)
@@ -193,26 +283,39 @@ class CompiledCorpus:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"CompiledCorpus(n_sequences={self.n_sequences}, "
-            f"n_tokens={self.n_tokens}, n_buckets={len(self.buckets)})"
+            f"n_tokens={self.n_tokens}, n_buckets={len(self.buckets)}, "
+            f"n_long={len(self.long_windows)})"
         )
 
 
 def compile_corpus(
-    sequences: Sequence[np.ndarray], bucket_size: int | None = None
+    sequences: Sequence[np.ndarray],
+    bucket_size: int | None = None,
+    long_threshold: int | None = None,
 ) -> CompiledCorpus:
     """Compile a dataset using the process-wide inference configuration.
 
     Convenience for callers without an engine at hand (experiment drivers,
-    scripts): the bucket size defaults to
-    :attr:`repro.core.config.InferenceConfig.bucket_size`, so the compiled
-    buckets line up with whatever engine the models will build lazily.
+    scripts): the bucket size, long-sequence threshold and window/overlap
+    knobs default to :class:`repro.core.config.InferenceConfig`, so the
+    compiled buckets (and long-sequence window plans) line up with whatever
+    engine the models will build lazily.
     """
-    if bucket_size is None:
-        # Imported lazily; core.config's validation imports the hmm layer.
-        from repro.core.config import get_inference_config
+    # Imported lazily; core.config's validation imports the hmm layer.
+    from repro.core.config import get_inference_config
 
-        bucket_size = get_inference_config().bucket_size
-    return CompiledCorpus(sequences, bucket_size=bucket_size)
+    config = get_inference_config()
+    if bucket_size is None:
+        bucket_size = config.bucket_size
+    if long_threshold is None:
+        long_threshold = config.long_threshold
+    return CompiledCorpus(
+        sequences,
+        bucket_size=bucket_size,
+        long_threshold=long_threshold,
+        decode_window=config.decode_window,
+        decode_overlap=config.decode_overlap,
+    )
 
 
 @dataclass

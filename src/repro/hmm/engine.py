@@ -38,6 +38,11 @@ from repro.hmm.backends import (
 )
 from repro.hmm.corpus import CompiledCorpus, CorpusPosteriors
 from repro.hmm.forward_backward import SequencePosteriors
+from repro.hmm.longseq import (
+    LongDecodeResult,
+    checkpointed_posteriors,
+    streaming_log_likelihood,
+)
 from repro.utils.maths import safe_log
 
 
@@ -146,14 +151,49 @@ class InferenceEngine:
             log_transmat=p.log_transmat if wants_logs else None,
         )
 
+    @staticmethod
+    def _long_indices(log_obs_seqs: Sequence[np.ndarray]) -> list[int]:
+        """Positions of sequences exceeding the configured long threshold.
+
+        Resolved from the process-wide config at call time, so
+        :func:`~repro.core.config.inference_backend`-style overrides of
+        ``long_threshold`` take effect without rebuilding the engine.
+        """
+        from repro.core.config import get_inference_config
+
+        threshold = get_inference_config().long_threshold
+        return [n for n, lo in enumerate(log_obs_seqs) if len(lo) > threshold]
+
     def posteriors_batch(
         self,
         startprob: np.ndarray,
         transmat: np.ndarray,
         log_obs_seqs: Sequence[np.ndarray],
     ) -> list[SequencePosteriors]:
-        """Forward-backward posteriors for every emission table, in order."""
-        return self._dispatch("forward_backward", startprob, transmat, log_obs_seqs)
+        """Forward-backward posteriors for every emission table, in order.
+
+        Sequences longer than ``InferenceConfig.long_threshold`` are routed
+        through :meth:`posteriors_long` (sqrt-checkpointed, bounded working
+        memory); the rest go through the backend's padded buckets.
+        """
+        long_idx = self._long_indices(log_obs_seqs)
+        if not long_idx:
+            return self._dispatch("forward_backward", startprob, transmat, log_obs_seqs)
+        long_set = set(long_idx)
+        short_pos = [n for n in range(len(log_obs_seqs)) if n not in long_set]
+        results: list[SequencePosteriors] = [None] * len(log_obs_seqs)
+        if short_pos:
+            short = self._dispatch(
+                "forward_backward",
+                startprob,
+                transmat,
+                [log_obs_seqs[n] for n in short_pos],
+            )
+            for n, res in zip(short_pos, short):
+                results[n] = res
+        for n in long_idx:
+            results[n] = self.posteriors_long(startprob, transmat, log_obs_seqs[n])
+        return results
 
     def viterbi_batch(
         self,
@@ -161,8 +201,28 @@ class InferenceEngine:
         transmat: np.ndarray,
         log_obs_seqs: Sequence[np.ndarray],
     ) -> list[tuple[np.ndarray, float]]:
-        """Most likely state path and joint log-probability per table."""
-        return self._dispatch("viterbi", startprob, transmat, log_obs_seqs)
+        """Most likely state path and joint log-probability per table.
+
+        Sequences longer than ``InferenceConfig.long_threshold`` are routed
+        through the chunked :meth:`viterbi_long` decode instead of a padded
+        bucket row.
+        """
+        long_idx = self._long_indices(log_obs_seqs)
+        if not long_idx:
+            return self._dispatch("viterbi", startprob, transmat, log_obs_seqs)
+        long_set = set(long_idx)
+        short_pos = [n for n in range(len(log_obs_seqs)) if n not in long_set]
+        results: list[tuple[np.ndarray, float]] = [None] * len(log_obs_seqs)
+        if short_pos:
+            short = self._dispatch(
+                "viterbi", startprob, transmat, [log_obs_seqs[n] for n in short_pos]
+            )
+            for n, res in zip(short_pos, short):
+                results[n] = res
+        for n in long_idx:
+            long_res = self.viterbi_long(startprob, transmat, log_obs_seqs[n])
+            results[n] = (long_res.path, long_res.log_joint)
+        return results
 
     def log_likelihood_batch(
         self,
@@ -170,8 +230,101 @@ class InferenceEngine:
         transmat: np.ndarray,
         log_obs_seqs: Sequence[np.ndarray],
     ) -> np.ndarray:
-        """Log marginal likelihood of every emission table (1-D array)."""
-        return self._dispatch("log_likelihood", startprob, transmat, log_obs_seqs)
+        """Log marginal likelihood of every emission table (1-D array).
+
+        Sequences longer than ``InferenceConfig.long_threshold`` are scored
+        by the forward-only streamed sweep (:meth:`log_likelihood_long`).
+        """
+        long_idx = self._long_indices(log_obs_seqs)
+        if not long_idx:
+            return self._dispatch("log_likelihood", startprob, transmat, log_obs_seqs)
+        long_set = set(long_idx)
+        short_pos = [n for n in range(len(log_obs_seqs)) if n not in long_set]
+        out = np.empty(len(log_obs_seqs))
+        if short_pos:
+            out[short_pos] = self._dispatch(
+                "log_likelihood",
+                startprob,
+                transmat,
+                [log_obs_seqs[n] for n in short_pos],
+            )
+        for n in long_idx:
+            out[n] = self.log_likelihood_long(startprob, transmat, log_obs_seqs[n])
+        return out
+
+    # -------------------------------------------------------------- #
+    # Long-sequence (chunked / checkpointed) entry points
+    # -------------------------------------------------------------- #
+    def _long_knobs(
+        self, window: int | None, overlap: int | None
+    ) -> tuple[int, int]:
+        from repro.core.config import get_inference_config
+
+        cfg = get_inference_config()
+        window = cfg.decode_window if window is None else int(window)
+        overlap = cfg.decode_overlap if overlap is None else int(overlap)
+        return window, overlap
+
+    def viterbi_long(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        source,
+        window: int | None = None,
+        overlap: int | None = None,
+        group_size: int | None = None,
+    ) -> LongDecodeResult:
+        """Chunked Viterbi decode of one long sequence.
+
+        ``source`` is a ``(T, K)`` emission log-likelihood table or a block
+        source (:func:`repro.hmm.longseq.as_source`); knobs default to
+        ``InferenceConfig.decode_window`` / ``decode_overlap`` resolved at
+        call time.  Peak working memory is ``O(group_size * window * K)``
+        regardless of T; the result carries stitch diagnostics (see
+        :class:`~repro.hmm.longseq.LongDecodeResult`).
+        """
+        window, overlap = self._long_knobs(window, overlap)
+        if group_size is None:
+            group_size = getattr(self.backend, "bucket_size", 64)
+        p = self._cached(startprob, transmat)
+        return self.backend.viterbi_long(
+            p.startprob,
+            p.transmat,
+            source,
+            window=window,
+            overlap=overlap,
+            group_size=group_size,
+            log_startprob=p.log_startprob,
+            log_transmat=p.log_transmat,
+        )
+
+    def posteriors_long(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        source,
+        checkpoint: int | None = None,
+    ) -> SequencePosteriors:
+        """Exact posteriors of one long sequence with O(sqrt(T) * K) working memory.
+
+        Backend-independent: the sqrt-checkpointed recursion
+        (:func:`repro.hmm.longseq.checkpointed_posteriors`) matches the
+        batched backends to floating-point reassociation (1e-8 tested).
+        """
+        p = self._cached(startprob, transmat)
+        return checkpointed_posteriors(
+            p.startprob, p.transmat, source, checkpoint=checkpoint
+        )
+
+    def log_likelihood_long(
+        self,
+        startprob: np.ndarray,
+        transmat: np.ndarray,
+        source,
+    ) -> float:
+        """Log marginal likelihood of one long sequence, streamed in O(K) state."""
+        p = self._cached(startprob, transmat)
+        return streaming_log_likelihood(p.startprob, p.transmat, source)
 
     # -------------------------------------------------------------- #
     # Compiled-corpus entry points
@@ -184,9 +337,21 @@ class InferenceEngine:
         the backend would otherwise rebuild on every call.  The result is
         emission- and parameter-agnostic: one compile serves every EM
         iteration and every decode over the same dataset.
+
+        Sequences longer than ``InferenceConfig.long_threshold`` compile
+        into window-decode plans (``corpus.long_windows``) instead of
+        padded bucket rows, so corpus-level decode/score/posterior calls
+        route them through the chunked long-sequence kernels.
         """
+        from repro.core.config import get_inference_config
+
+        cfg = get_inference_config()
         return CompiledCorpus(
-            sequences, bucket_size=getattr(self.backend, "bucket_size", 64)
+            sequences,
+            bucket_size=getattr(self.backend, "bucket_size", cfg.bucket_size),
+            long_threshold=cfg.long_threshold,
+            decode_window=cfg.decode_window,
+            decode_overlap=cfg.decode_overlap,
         )
 
     def _dispatch_corpus(self, method_name, startprob, transmat, corpus, scores_ext):

@@ -173,6 +173,29 @@ class HMM:
             )
         ]
 
+    def decode_long(
+        self,
+        sequence: np.ndarray,
+        window: int | None = None,
+        overlap: int | None = None,
+    ):
+        """Chunked Viterbi decode of one arbitrarily long sequence.
+
+        Unlike :meth:`decode`, the ``(T, K)`` emission table is never
+        materialized: windows are scored on demand through an
+        :class:`~repro.hmm.longseq.EmissionSource`, so peak memory is
+        bounded by the window/overlap knobs (defaulting to
+        ``InferenceConfig.decode_window`` / ``decode_overlap``) regardless
+        of T.  Returns a :class:`~repro.hmm.longseq.LongDecodeResult` with
+        the stitched path plus stitch diagnostics.
+        """
+        from repro.hmm.longseq import EmissionSource
+
+        source = EmissionSource(self.emissions, sequence)
+        return self.inference_engine.viterbi_long(
+            self.startprob, self.transmat, source, window=window, overlap=overlap
+        )
+
     # ------------------------------------------------------------------ #
     # Compiled-corpus inference
     # ------------------------------------------------------------------ #

@@ -186,64 +186,106 @@ def _iter_jsonl(path: str):
             source.close()
 
 
-def _read_sequences(path: str, family: str) -> list[np.ndarray]:
-    """Parse a JSON-lines file into per-family observation arrays."""
+def _iter_sequence_batches(path: str, family: str, batch_size: int):
+    """Yield lists of at most ``batch_size`` sequences, reading lazily.
+
+    Only one batch of parsed sequences is resident at a time, so tagging an
+    arbitrarily large file is memory-bounded by the batch size (and, for
+    sequences above ``InferenceConfig.long_threshold``, by the chunked
+    decode windows) — never by the file size.
+    """
     dtype = np.int64 if family == "categorical" else np.float64
-    return [np.asarray(values, dtype=dtype) for _, values in _iter_jsonl(path)]
+    batch: list[np.ndarray] = []
+    for _, values in _iter_jsonl(path):
+        batch.append(np.asarray(values, dtype=dtype))
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
 
 
 def _cmd_tag(args: argparse.Namespace) -> int:
     if args.streaming and args.service:
         _log("--streaming and --service are mutually exclusive")
         return 2
+    if args.batch_size < 1:
+        _log(f"--batch-size must be positive, got {args.batch_size}")
+        return 2
     model = _load_registered(args)
     hmm = resolve_hmm(model)
-    sequences = _read_sequences(args.input, hmm.emissions.family)
-    if not sequences:
-        _log("no input sequences")
-        return 1
+    batches = _iter_sequence_batches(args.input, hmm.emissions.family, args.batch_size)
 
     started = time.perf_counter()
-    if args.streaming:
-        paths = []
-        lag = None
-        for seq in sequences:
-            # No --lag -> the decoder falls back to ServingConfig.streaming_lag.
-            decoder = (
-                StreamingDecoder(hmm)
-                if args.lag is None
-                else StreamingDecoder(hmm, lag=args.lag)
-            )
-            lag = decoder._session.lag
-            decoder.push_many(seq)
-            paths.append(decoder.finish().path)
-        mode = f"streaming (lag={lag})"
-    elif args.service:
-        config = ServingConfig(
-            max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms
-        )
-        with TaggingService(hmm, config=config) as service:
-            paths = service.tag_many(sequences)
-            occupancy = service.stats.snapshot()["mean_batch_size"]
-        mode = f"micro-batched (mean batch {occupancy:.1f})"
-    else:
-        # Offline default: compile the whole file once and decode it through
-        # the corpus path (no queue/dispatcher needed for a batch file).
-        corpus = hmm.compile(sequences)
-        paths = hmm.predict_corpus(corpus)
-        mode = f"compiled corpus ({len(corpus.buckets)} buckets)"
-    elapsed = time.perf_counter() - started
-
+    n_sequences = 0
+    n_tokens = 0
+    n_batches = 0
     out = sys.stdout if args.output is None else Path(args.output).open("w")
     try:
-        for path in paths:
-            out.write(" ".join(str(int(s)) for s in path) + "\n")
+
+        def emit(paths) -> None:
+            for path in paths:
+                out.write(" ".join(str(int(s)) for s in path) + "\n")
+
+        if args.streaming:
+            lag = None
+            for batch in batches:
+                for seq in batch:
+                    # No --lag -> ServingConfig.streaming_lag default.
+                    # keep_history=False keeps per-stream state O(lag):
+                    # finalized labels are harvested from each step, the
+                    # tail comes from the final window flush.
+                    decoder = (
+                        StreamingDecoder(hmm, keep_history=False)
+                        if args.lag is None
+                        else StreamingDecoder(hmm, lag=args.lag, keep_history=False)
+                    )
+                    lag = decoder._session.lag
+                    labels: list[int] = []
+                    for obs in seq:
+                        step = decoder.push(obs)
+                        labels.extend(state for _, state in step.finalized)
+                    labels.extend(int(s) for s in decoder.finish().path)
+                    emit([labels])
+                    n_sequences += 1
+                    n_tokens += len(seq)
+                n_batches += 1
+            mode = f"streaming (lag={lag})"
+        elif args.service:
+            config = ServingConfig(
+                max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms
+            )
+            with TaggingService(hmm, config=config) as service:
+                for batch in batches:
+                    emit(service.tag_many(batch))
+                    n_sequences += len(batch)
+                    n_tokens += sum(len(seq) for seq in batch)
+                    n_batches += 1
+                occupancy = service.stats.snapshot()["mean_batch_size"]
+            mode = f"micro-batched (mean batch {occupancy:.1f})"
+        else:
+            # Offline default: compile one bounded batch at a time and
+            # decode it through the corpus path (sequences above the long
+            # threshold route through the chunked long-sequence decoder),
+            # so neither the file size nor any single sequence's length
+            # dictates peak memory.
+            for batch in batches:
+                corpus = hmm.compile(batch)
+                emit(hmm.predict_corpus(corpus))
+                n_sequences += len(batch)
+                n_tokens += sum(len(seq) for seq in batch)
+                n_batches += 1
+            mode = f"compiled corpus ({n_batches} batches <= {args.batch_size} seqs)"
     finally:
         if out is not sys.stdout:
             out.close()
-    n_tokens = sum(len(seq) for seq in sequences)
+    elapsed = time.perf_counter() - started
+
+    if n_sequences == 0:
+        _log("no input sequences")
+        return 1
     _log(
-        f"tagged {len(sequences)} sequences / {n_tokens} tokens in "
+        f"tagged {n_sequences} sequences / {n_tokens} tokens in "
         f"{elapsed * 1e3:.1f} ms via {mode}"
     )
     return 0
@@ -631,6 +673,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tag.add_argument("--max-batch-size", type=int, default=serving_defaults.max_batch_size)
     tag.add_argument("--max-wait-ms", type=float, default=serving_defaults.max_wait_ms)
+    tag.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="sequences read + decoded per batch; bounds peak memory on "
+        "large input files (the file is consumed lazily, one batch at a time)",
+    )
     tag.set_defaults(func=_cmd_tag)
 
     route = sub.add_parser(

@@ -175,6 +175,20 @@ class StreamingDecoder:
         """Consume several observations; returns one step per token."""
         return [self.push(obs) for obs in observations]
 
+    def decode_tail(self) -> np.ndarray:
+        """Current best labels of the not-yet-finalized tail, without closing.
+
+        The streaming analogue of the chunked decoder's window flush
+        (:func:`repro.hmm.longseq.chunked_viterbi` emits each window's tail
+        once the next window's overlap confirms it): the labels
+        :meth:`finish` would emit *right now*, backtracked from the current
+        best state, with the stream left open.  ``finalized_labels`` +
+        ``decode_tail()`` is the full best path so far; the tail labels are
+        provisional and may be revised by further :meth:`push` calls.
+        """
+        pairs = self._session.peek_tail()
+        return np.array([state for _, state in pairs], dtype=np.int64)
+
     def finish(self) -> StreamResult:
         """Flush the remaining Viterbi window and assemble the result.
 
@@ -259,6 +273,17 @@ class PooledStream:
             self._n_pushed += 1
             steps.append(step)
         return steps
+
+    def decode_tail(self) -> np.ndarray:
+        """Provisional tail labels without closing the stream.
+
+        Same contract as :meth:`StreamingDecoder.decode_tail`, backed by
+        the pool's batched session.
+        """
+        if self._finished:
+            return np.array([], dtype=np.int64)
+        pairs = self._pool._session.peek_tail(self._slot)
+        return np.array([state for _, state in pairs], dtype=np.int64)
 
     def finish(self) -> StreamResult:
         """Flush the remaining window, free the pool slot, assemble the result."""

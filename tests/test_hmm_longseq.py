@@ -1,0 +1,510 @@
+"""Long-sequence decode engine: chunked Viterbi stitching + checkpointed posteriors.
+
+Property suites for :mod:`repro.hmm.longseq` and its wiring through the
+backends, the engine (automatic long-sequence routing), the compiled corpus
+(window-decode plans) and the model facade (``decode_long``):
+
+* chunked Viterbi equals full-sequence Viterbi exactly whenever every
+  window join stitched at an agreement run (and stays >= 99.9% token
+  agreement otherwise);
+* ``checkpointed_posteriors`` matches the log-domain reference to 1e-8 at
+  every checkpoint stride;
+* adversarial models exercise the posterior-argmax fallback and the
+  overlap-widening escape hatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    InferenceConfig,
+    get_inference_config,
+    set_inference_config,
+)
+from repro.exceptions import ValidationError
+from repro.hmm import (
+    HMM,
+    ArraySource,
+    CategoricalEmission,
+    EmissionSource,
+    GaussianEmission,
+    LogDomainBackend,
+    ScaledBatchedBackend,
+    chunked_viterbi,
+    checkpointed_posteriors,
+    compute_posteriors_from_log,
+    plan_windows,
+    streaming_log_likelihood,
+    viterbi_decode_from_log,
+)
+from repro.hmm.baum_welch import BaumWelchTrainer
+from repro.hmm.engine import InferenceEngine
+from repro.hmm.longseq import _find_agreement_cut, as_source, score_path
+from repro.utils.maths import safe_log
+
+
+@pytest.fixture
+def long_routing_config():
+    """Temporarily lower the long-sequence knobs so small tests route."""
+    base = get_inference_config()
+    set_inference_config(
+        InferenceConfig(decode_window=256, decode_overlap=64, long_threshold=600)
+    )
+    yield
+    set_inference_config(base)
+
+
+def random_model(rng, n_states, self_weight=0.0):
+    pi = rng.dirichlet(np.ones(n_states))
+    transmat = rng.dirichlet(np.ones(n_states), size=n_states)
+    if self_weight:
+        transmat = self_weight * np.eye(n_states) + (1 - self_weight) * transmat
+        transmat /= transmat.sum(axis=1, keepdims=True)
+    return pi, transmat
+
+
+# ------------------------------------------------------------------ #
+# Window planning
+# ------------------------------------------------------------------ #
+class TestPlanWindows:
+    def test_single_window_when_short(self):
+        assert plan_windows(100, 256, 64) == [(0, 100)]
+        assert plan_windows(256, 256, 64) == [(0, 256)]
+
+    def test_full_coverage_equal_windows(self):
+        for length in (257, 300, 448, 449, 1000, 4097):
+            spans = plan_windows(length, 256, 64)
+            assert spans[0][0] == 0 and spans[-1][1] == length
+            assert all(e - s == 256 for s, e in spans)
+            for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+                assert s1 > s0
+                assert e0 - s1 >= 64  # overlap at least the requested one
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            plan_windows(100, 100, 51)  # window < 2 * overlap
+        with pytest.raises(ValidationError):
+            plan_windows(100, 256, 0)
+        with pytest.raises(ValidationError):
+            plan_windows(0, 256, 64)
+
+
+# ------------------------------------------------------------------ #
+# Agreement-cut selection
+# ------------------------------------------------------------------ #
+class TestAgreementCut:
+    def test_no_agreement_returns_none(self):
+        assert _find_agreement_cut(np.array([0, 1, 0]), np.array([1, 0, 1])) is None
+
+    def test_full_agreement_cuts_midpoint(self):
+        cut = _find_agreement_cut(np.zeros(9, dtype=int), np.zeros(9, dtype=int))
+        assert cut == 4
+
+    def test_longest_run_wins(self):
+        prev = np.array([0, 9, 9, 0, 0, 0, 0, 9])
+        cur = np.array([0, 1, 1, 0, 0, 0, 0, 1])
+        cut = _find_agreement_cut(prev, cur)
+        assert 3 <= cut <= 6  # inside the length-4 run, not at index 0
+
+
+# ------------------------------------------------------------------ #
+# Chunked Viterbi vs full Viterbi
+# ------------------------------------------------------------------ #
+class TestChunkedViterbi:
+    def test_property_random_models(self):
+        rng = np.random.default_rng(7)
+        backend = ScaledBatchedBackend(bucket_size=16)
+        n_exact = 0
+        trials = []
+        for trial in range(10):
+            n_states = int(rng.integers(2, 9))
+            pi, transmat = random_model(rng, n_states, self_weight=0.7)
+            length = int(rng.integers(700, 9000))
+            table = rng.normal(0.0, 2.0, size=(length, n_states))
+            trials.append((pi, transmat, table))
+        # one genome-ish trial at the spec'd 50k scale
+        pi, transmat = random_model(rng, 6, self_weight=0.8)
+        trials.append((pi, transmat, rng.normal(0.0, 2.0, size=(50_000, 6))))
+
+        for pi, transmat, table in trials:
+            full_path, full_lj = backend.viterbi(pi, transmat, [table])[0]
+            res = backend.viterbi_long(
+                pi, transmat, table, window=256, overlap=64, group_size=8
+            )
+            assert res.path.shape == (table.shape[0],)
+            assert (
+                res.n_agreement_stitches + res.n_fallback_stitches
+                == res.n_windows - 1
+            )
+            assert res.max_windows_resident <= 8
+            if res.exact_stitch:
+                n_exact += 1
+                assert np.array_equal(res.path, full_path)
+                assert res.log_joint == pytest.approx(full_lj, abs=1e-8)
+            else:
+                agreement = (res.path == full_path).mean()
+                assert agreement >= 0.999
+        # the overlap dwarfs these models' mixing lag: stitching should be
+        # exact essentially always, not just "mostly agree"
+        assert n_exact >= len(trials) - 1
+
+    def test_single_window_is_bit_identical(self):
+        rng = np.random.default_rng(3)
+        pi, transmat = random_model(rng, 5)
+        table = rng.normal(size=(120, 5))
+        backend = ScaledBatchedBackend()
+        full_path, full_lj = backend.viterbi(pi, transmat, [table])[0]
+        res = backend.viterbi_long(pi, transmat, table, window=256, overlap=64)
+        assert res.n_windows == 1
+        assert np.array_equal(res.path, full_path)
+        assert res.log_joint == full_lj  # bit-identical, not just close
+
+    def test_generic_backend_path_matches_reference(self):
+        rng = np.random.default_rng(11)
+        pi, transmat = random_model(rng, 4, self_weight=0.6)
+        table = rng.normal(0.0, 2.0, size=(1500, 4))
+        ref_path, ref_lj = viterbi_decode_from_log(
+            safe_log(pi), safe_log(transmat), table
+        )
+        for backend in (LogDomainBackend(), ScaledBatchedBackend(bucket_size=4)):
+            res = backend.viterbi_long(
+                pi, transmat, table, window=300, overlap=100, group_size=4
+            )
+            if res.exact_stitch:
+                assert np.array_equal(res.path, ref_path)
+                assert res.log_joint == pytest.approx(ref_lj, abs=1e-8)
+            else:  # pragma: no cover - seed-pinned models stitch exactly
+                assert (res.path == ref_path).mean() >= 0.999
+
+    def test_score_path_matches_manual_joint(self):
+        rng = np.random.default_rng(5)
+        pi, transmat = random_model(rng, 3)
+        table = rng.normal(size=(40, 3))
+        path = rng.integers(0, 3, size=40)
+        log_pi, log_A = safe_log(pi), safe_log(transmat)
+        expected = log_pi[path[0]] + table[0, path[0]]
+        for t in range(1, 40):
+            expected += log_A[path[t - 1], path[t]] + table[t, path[t]]
+        got = score_path(log_pi, log_A, ArraySource(table), path, block=7)
+        assert got == pytest.approx(float(expected), abs=1e-10)
+
+    def test_viterbi_joint_is_exact_not_window_sum(self):
+        # The reported log_joint must re-score the *stitched* path, so it
+        # matches the full-sequence optimum whenever stitching is exact.
+        rng = np.random.default_rng(21)
+        pi, transmat = random_model(rng, 4, self_weight=0.8)
+        table = rng.normal(0.0, 2.0, size=(3000, 4))
+        backend = ScaledBatchedBackend()
+        _, full_lj = backend.viterbi(pi, transmat, [table])[0]
+        res = backend.viterbi_long(pi, transmat, table, window=256, overlap=64)
+        assert res.n_windows > 1
+        if res.exact_stitch:
+            assert res.log_joint == pytest.approx(full_lj, abs=1e-8)
+
+    def test_group_size_bounds_resident_windows(self):
+        rng = np.random.default_rng(13)
+        pi, transmat = random_model(rng, 3, self_weight=0.7)
+        table = rng.normal(size=(5000, 3))
+        backend = ScaledBatchedBackend()
+        res = backend.viterbi_long(
+            pi, transmat, table, window=256, overlap=64, group_size=3
+        )
+        assert res.max_windows_resident <= 3
+        assert res.n_windows > 3
+
+
+# ------------------------------------------------------------------ #
+# Adversarial models: fallback stitches + overlap widening
+# ------------------------------------------------------------------ #
+class TestAdversarialStitching:
+    def test_alternating_model_falls_back_without_crashing(self):
+        # Deterministic two-state alternation with uninformative emissions:
+        # every window's decode locks to a phase set by its own start, so
+        # adjacent windows starting at odd strides disagree at *every*
+        # overlap position -> the posterior-argmax fallback must take over.
+        pi = np.array([1.0, 0.0])
+        transmat = np.array([[1e-12, 1.0 - 1e-12], [1.0 - 1e-12, 1e-12]])
+        length = 1000
+        table = np.zeros((length, 2))
+        backend = ScaledBatchedBackend()
+        res = backend.viterbi_long(
+            pi, transmat, table, window=128, overlap=31, group_size=4
+        )
+        assert res.n_fallback_stitches > 0
+        assert not res.exact_stitch
+        assert res.path.shape == (length,)
+        assert set(np.unique(res.path)) <= {0, 1}
+
+    def test_low_self_transition_needs_wider_overlap(self):
+        # A fast-switching model with weakly informative emissions: window
+        # decodes take longer to forget their uniform start, so a tiny
+        # overlap produces imperfect stitches while a wide one is exact.
+        rng = np.random.default_rng(99)
+        n_states = 4
+        pi = np.full(n_states, 1.0 / n_states)
+        transmat = np.full((n_states, n_states), 1.0 / n_states)
+        transmat += 0.02 * rng.normal(size=(n_states, n_states))
+        transmat = np.abs(transmat)
+        transmat /= transmat.sum(axis=1, keepdims=True)
+        length = 4000
+        table = rng.normal(0.0, 0.05, size=(length, n_states))
+        backend = ScaledBatchedBackend()
+        full_path, _ = backend.viterbi(pi, transmat, [table])[0]
+
+        narrow = backend.viterbi_long(pi, transmat, table, window=64, overlap=2)
+        wide = backend.viterbi_long(pi, transmat, table, window=512, overlap=128)
+        narrow_agree = (narrow.path == full_path).mean()
+        wide_agree = (wide.path == full_path).mean()
+        assert wide_agree >= narrow_agree
+        assert wide.exact_stitch
+        assert np.array_equal(wide.path, full_path)
+
+
+# ------------------------------------------------------------------ #
+# Checkpointed posteriors / streamed likelihood
+# ------------------------------------------------------------------ #
+class TestCheckpointedPosteriors:
+    def test_property_matches_reference(self):
+        rng = np.random.default_rng(17)
+        for trial in range(8):
+            n_states = int(rng.integers(2, 7))
+            pi, transmat = random_model(rng, n_states, self_weight=0.5)
+            length = int(rng.integers(2, 4000))
+            table = rng.normal(0.0, 2.0, size=(length, n_states))
+            ref = compute_posteriors_from_log(
+                safe_log(pi), safe_log(transmat), table
+            )
+            got = checkpointed_posteriors(pi, transmat, table)
+            assert np.allclose(got.gamma, ref.gamma, atol=1e-8)
+            assert np.allclose(got.xi_sum, ref.xi_sum, atol=1e-8)
+            assert got.log_likelihood == pytest.approx(
+                ref.log_likelihood, abs=1e-8, rel=1e-10
+            )
+
+    @pytest.mark.parametrize("checkpoint", [1, 7, 64, 10_000])
+    def test_checkpoint_stride_is_invisible(self, checkpoint):
+        rng = np.random.default_rng(23)
+        pi, transmat = random_model(rng, 5, self_weight=0.6)
+        table = rng.normal(size=(517, 5))
+        ref = compute_posteriors_from_log(safe_log(pi), safe_log(transmat), table)
+        got = checkpointed_posteriors(pi, transmat, table, checkpoint=checkpoint)
+        assert np.allclose(got.gamma, ref.gamma, atol=1e-8)
+        assert np.allclose(got.xi_sum, ref.xi_sum, atol=1e-8)
+        assert got.log_likelihood == pytest.approx(ref.log_likelihood, abs=1e-8)
+
+    def test_streaming_log_likelihood_matches(self):
+        rng = np.random.default_rng(29)
+        pi, transmat = random_model(rng, 4)
+        table = rng.normal(size=(1234, 4))
+        ref = compute_posteriors_from_log(
+            safe_log(pi), safe_log(transmat), table
+        ).log_likelihood
+        for block in (97, 1234, 100_000):
+            got = streaming_log_likelihood(pi, transmat, table, block=block)
+            assert got == pytest.approx(ref, abs=1e-8)
+
+    def test_checkpoint_validation(self):
+        rng = np.random.default_rng(1)
+        pi, transmat = random_model(rng, 3)
+        with pytest.raises(ValidationError):
+            checkpointed_posteriors(
+                pi, transmat, rng.normal(size=(10, 3)), checkpoint=0
+            )
+
+
+# ------------------------------------------------------------------ #
+# Sources
+# ------------------------------------------------------------------ #
+class TestSources:
+    def test_array_source_views(self):
+        table = np.random.default_rng(0).normal(size=(50, 3))
+        source = ArraySource(table)
+        assert source.length == 50 and source.n_states == 3
+        block = source.fetch(10, 20)
+        assert block.base is not None  # a view, not a copy
+        assert np.array_equal(block, table[10:20])
+
+    def test_emission_source_scores_on_demand(self):
+        rng = np.random.default_rng(4)
+        emissions = CategoricalEmission(rng.dirichlet(np.ones(6), size=3))
+        seq = rng.integers(0, 6, size=40)
+        source = EmissionSource(emissions, seq)
+        assert source.length == 40 and source.n_states == 3
+        assert np.allclose(source.fetch(5, 15), emissions.log_likelihoods(seq[5:15]))
+
+    def test_as_source_passthrough_and_coercion(self):
+        table = np.zeros((5, 2))
+        src = ArraySource(table)
+        assert as_source(src) is src
+        assert isinstance(as_source(table), ArraySource)
+
+    def test_source_validation(self):
+        with pytest.raises(Exception):
+            ArraySource(np.zeros((0, 3)))
+        with pytest.raises(Exception):
+            ArraySource(np.zeros(7))
+
+
+# ------------------------------------------------------------------ #
+# Engine routing, corpus plans, model facade
+# ------------------------------------------------------------------ #
+class TestEngineRouting:
+    def make_model(self, seed=0, n_states=4, vocab=8):
+        rng = np.random.default_rng(seed)
+        pi, transmat = random_model(rng, n_states, self_weight=0.8)
+        emissions = CategoricalEmission(rng.dirichlet(np.ones(vocab), size=n_states))
+        return HMM(pi, transmat, emissions), rng
+
+    def test_batch_methods_route_long_sequences(self, long_routing_config):
+        hmm, rng = self.make_model()
+        vocab = hmm.emissions.n_symbols
+        seqs = [rng.integers(0, vocab, size=t) for t in (40, 1500, 90, 2200)]
+
+        base = get_inference_config()
+        set_inference_config(InferenceConfig())  # no routing: reference run
+        try:
+            ref_paths = hmm.predict(seqs)
+            ref_post = hmm.posteriors_batch(seqs)
+            ref_score = hmm.score(seqs)
+        finally:
+            set_inference_config(base)
+
+        paths = hmm.predict(seqs)
+        for got, ref in zip(paths, ref_paths):
+            assert np.array_equal(got, ref)
+        for got, ref in zip(hmm.posteriors_batch(seqs), ref_post):
+            assert np.allclose(got.gamma, ref.gamma, atol=1e-8)
+            assert got.log_likelihood == pytest.approx(ref.log_likelihood, abs=1e-7)
+        assert hmm.score(seqs) == pytest.approx(ref_score, abs=1e-6)
+
+    def test_compiled_corpus_long_windows(self, long_routing_config):
+        hmm, rng = self.make_model(seed=2)
+        vocab = hmm.emissions.n_symbols
+        seqs = [rng.integers(0, vocab, size=t) for t in (50, 1800, 70, 900)]
+        corpus = hmm.compile(seqs)
+        assert [lw.seq_index for lw in corpus.long_windows] == [1, 3]
+        assert corpus.long_windows[0].length == 1800
+        assert corpus.long_windows[0].n_windows > 1
+        # short sequences still bucket normally
+        assert sum(len(b.idx) for b in corpus.buckets) == 2
+
+        base = get_inference_config()
+        set_inference_config(InferenceConfig())
+        try:
+            ref_paths = hmm.predict(seqs)
+            ref_score = hmm.score(seqs)
+            ref_post = hmm.posteriors_batch(seqs)
+        finally:
+            set_inference_config(base)
+
+        for got, ref in zip(hmm.predict_corpus(corpus), ref_paths):
+            assert np.array_equal(got, ref)
+        assert hmm.score_corpus(corpus) == pytest.approx(ref_score, abs=1e-6)
+
+        engine = hmm.inference_engine
+        scores_ext = corpus.score(hmm.emissions)
+        cp = engine.posteriors_corpus(
+            hmm.startprob, hmm.transmat, corpus, scores_ext
+        )
+        gamma_ref = np.concatenate([r.gamma for r in ref_post])
+        assert np.allclose(cp.gamma_concat, gamma_ref, atol=1e-8)
+        assert np.allclose(
+            cp.start_counts, sum(r.gamma[0] for r in ref_post), atol=1e-8
+        )
+        assert np.allclose(cp.xi_sum, sum(r.xi_sum for r in ref_post), atol=1e-6)
+
+    def test_em_training_with_long_sequence(self, long_routing_config):
+        rng = np.random.default_rng(6)
+        n_states, vocab = 3, 6
+        emissions = CategoricalEmission(rng.dirichlet(np.ones(vocab), size=n_states))
+        pi, transmat = random_model(rng, n_states, self_weight=0.5)
+        hmm = HMM(pi, transmat, emissions)
+        seqs = [rng.integers(0, vocab, size=t) for t in (60, 1200, 80)]
+        trainer = BaumWelchTrainer(max_iter=3)
+        result = trainer.fit(hmm, seqs)
+        lls = result.history
+        assert len(lls) >= 2
+        assert all(b >= a - 1e-8 for a, b in zip(lls, lls[1:]))
+
+    def test_engine_long_entry_points(self, long_routing_config):
+        hmm, rng = self.make_model(seed=9)
+        vocab = hmm.emissions.n_symbols
+        seq = rng.integers(0, vocab, size=2000)
+        table = hmm.emissions.log_likelihoods(seq)
+        engine = InferenceEngine(backend="scaled")
+        res = engine.viterbi_long(hmm.startprob, hmm.transmat, table)
+        assert res.window == 256 and res.overlap == 64  # config knobs
+        post = engine.posteriors_long(hmm.startprob, hmm.transmat, table)
+        ref = compute_posteriors_from_log(
+            safe_log(hmm.startprob), safe_log(hmm.transmat), table
+        )
+        assert np.allclose(post.gamma, ref.gamma, atol=1e-8)
+        ll = engine.log_likelihood_long(hmm.startprob, hmm.transmat, table)
+        assert ll == pytest.approx(ref.log_likelihood, abs=1e-8)
+
+    def test_decode_long_never_materializes_table(self, long_routing_config):
+        hmm, rng = self.make_model(seed=12)
+        vocab = hmm.emissions.n_symbols
+        seq = rng.integers(0, vocab, size=3000)
+        res = hmm.decode_long(seq)
+        full = hmm.decode(seq)
+        if res.exact_stitch:
+            assert np.array_equal(res.path, full)
+        else:  # pragma: no cover - seed-pinned model stitches exactly
+            assert (res.path == full).mean() >= 0.999
+
+    def test_decode_long_gaussian_emissions(self, long_routing_config):
+        rng = np.random.default_rng(15)
+        n_states = 3
+        pi, transmat = random_model(rng, n_states, self_weight=0.8)
+        emissions = GaussianEmission(
+            means=np.array([-2.0, 0.0, 2.0]), variances=np.ones(n_states)
+        )
+        hmm = HMM(pi, transmat, emissions)
+        seq = rng.normal(size=1500)
+        res = hmm.decode_long(seq)
+        assert np.array_equal(res.path, hmm.decode(seq))
+
+
+# ------------------------------------------------------------------ #
+# Config / corpus validation
+# ------------------------------------------------------------------ #
+class TestLongConfigValidation:
+    def test_decode_window_overlap_constraint(self):
+        with pytest.raises(ValidationError):
+            InferenceConfig(decode_window=100, decode_overlap=51)
+        with pytest.raises(ValidationError):
+            InferenceConfig(decode_overlap=0)
+        with pytest.raises(ValidationError):
+            InferenceConfig(long_threshold=100, decode_window=4096)
+
+    def test_corpus_validates_long_knobs(self):
+        from repro.hmm.corpus import CompiledCorpus
+
+        with pytest.raises(ValidationError):
+            CompiledCorpus(
+                [np.zeros(5, dtype=np.int64)],
+                long_threshold=10,
+                decode_window=64,
+                decode_overlap=33,
+            )
+        with pytest.raises(ValidationError):
+            CompiledCorpus(
+                [np.zeros(5, dtype=np.int64)],
+                long_threshold=32,
+                decode_window=64,
+            )
+
+    def test_chunked_viterbi_group_size_validation(self):
+        rng = np.random.default_rng(0)
+        pi, transmat = random_model(rng, 3)
+        with pytest.raises(ValidationError):
+            chunked_viterbi(
+                safe_log(pi),
+                safe_log(transmat),
+                rng.normal(size=(10, 3)),
+                window=8,
+                overlap=2,
+                group_size=0,
+                decode_bucket=lambda *a: [],
+            )

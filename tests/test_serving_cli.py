@@ -110,6 +110,52 @@ class TestTag:
             ["tag", "--registry", registry, "--name", "nope", "--input", sample]
         ) == 2
 
+    def test_batch_size_does_not_change_output(self, fitted_registry, tmp_path):
+        registry, sample = fitted_registry
+        big = tmp_path / "big.txt"
+        small = tmp_path / "small.txt"
+        _run(["tag", "--registry", registry, "--name", "pos-tagger",
+              "--input", sample, "--output", big, "--batch-size", 1000])
+        _run(["tag", "--registry", registry, "--name", "pos-tagger",
+              "--input", sample, "--output", small, "--batch-size", 2])
+        assert big.read_text() == small.read_text()
+
+    def test_batch_size_must_be_positive(self, fitted_registry, tmp_path):
+        registry, sample = fitted_registry
+        assert _run(
+            ["tag", "--registry", registry, "--name", "pos-tagger",
+             "--input", sample, "--batch-size", 0]
+        ) == 2
+
+    def test_tag_iterates_input_in_bounded_batches(self, fitted_registry, tmp_path):
+        """Tagging a large file must not materialize every sequence at once.
+
+        The file below holds ~8 MB of token data; with --batch-size 16 the
+        resident working set during tagging must stay far below the file
+        size (pre-fix, _read_sequences loaded the whole file up front).
+        """
+        import tracemalloc
+
+        registry, _ = fitted_registry
+        rng = np.random.default_rng(0)
+        bulk = tmp_path / "bulk.jsonl"
+        with bulk.open("w") as fh:
+            for _ in range(400):
+                fh.write(json.dumps(rng.integers(0, 10, size=600).tolist()) + "\n")
+        file_bytes = bulk.stat().st_size
+        output = tmp_path / "bulk-tags.txt"
+
+        tracemalloc.start()
+        code = _run(["tag", "--registry", registry, "--name", "pos-tagger",
+                     "--input", bulk, "--output", output, "--batch-size", 16])
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        assert code == 0
+        assert len(output.read_text().splitlines()) == 400
+        # bounded: a handful of batches worth of arrays, not the whole file
+        assert peak < max(file_bytes // 2, 4_000_000)
+
 
 class TestRoute:
     @pytest.fixture()
